@@ -1,0 +1,203 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each bench toggles one Adaptive-RL mechanism and reports the resulting
+AveRT / ECS / success-rate deltas:
+
+- task grouping (the TG technique, §IV.D) on/off;
+- shared-learning memory (§III.B) on/off;
+- tabular vs neural value model (DESIGN.md A6);
+- processor power gating (substitution A7) on/off — the literal Eq. 5
+  platform;
+- task-to-site routing policy (DESIGN.md A4).
+"""
+
+from repro.cluster import SleepPolicy
+from repro.experiments import ExperimentConfig, default_platform
+from repro.experiments.sweeps import ablation_table, sweep
+
+from .conftest import BENCH_SEEDS
+
+ABLATION_TASKS = 1200
+ABLATION_PERIOD = 1200.0  # keeps the ablation point under real load
+
+
+def _base() -> ExperimentConfig:
+    return ExperimentConfig(
+        scheduler="adaptive-rl",
+        num_tasks=ABLATION_TASKS,
+        arrival_period=ABLATION_PERIOD,
+    )
+
+
+def bench_ablation_grouping(once):
+    points = once(
+        sweep,
+        _base(),
+        {
+            "tg-on (paper)": lambda c: c,
+            "tg-off": lambda c: c.with_overrides(
+                scheduler_kwargs={"grouping_enabled": False}
+            ),
+        },
+        BENCH_SEEDS,
+    )
+    print()
+    print(ablation_table(points))
+    on, off = points["tg-on (paper)"], points["tg-off"]
+    # Grouping must not hurt response time under load and should not
+    # spend more energy.
+    assert on.avert.mean <= off.avert.mean * 1.10
+    assert on.ecs.mean <= off.ecs.mean * 1.10
+
+
+def bench_ablation_shared_memory(once):
+    points = once(
+        sweep,
+        _base(),
+        {
+            "memory-on (paper)": lambda c: c,
+            "memory-off": lambda c: c.with_overrides(
+                scheduler_kwargs={"shared_memory_enabled": False}
+            ),
+        },
+        BENCH_SEEDS,
+    )
+    print()
+    print(ablation_table(points))
+    on = points["memory-on (paper)"]
+    assert on.success_rate.mean > 0.6
+
+
+def bench_ablation_value_model(once):
+    points = once(
+        sweep,
+        _base(),
+        {
+            "tabular (default)": lambda c: c,
+            "neural (A6)": lambda c: c.with_overrides(
+                scheduler_kwargs={"value_model": "neural"}
+            ),
+        },
+        BENCH_SEEDS,
+    )
+    print()
+    print(ablation_table(points))
+    # Both variants must be functional and land in the same ballpark.
+    tab, neu = points["tabular (default)"], points["neural (A6)"]
+    assert neu.avert.mean < tab.avert.mean * 1.5
+    assert neu.ecs.mean < tab.ecs.mean * 1.5
+
+
+def bench_ablation_sleep(once):
+    no_sleep_platform = default_platform(
+        sleep_policy=SleepPolicy(allow_sleep=False)
+    )
+    points = once(
+        sweep,
+        _base(),
+        {
+            "gating-on (A7)": lambda c: c,
+            "gating-off (literal Eq.5)": lambda c: c.with_overrides(
+                platform=no_sleep_platform
+            ),
+        },
+        BENCH_SEEDS,
+    )
+    print()
+    print(ablation_table(points))
+    on = points["gating-on (A7)"]
+    off = points["gating-off (literal Eq.5)"]
+    # Power gating must save energy on the same workload.
+    assert on.ecs.mean < off.ecs.mean
+
+
+def bench_ablation_split(once):
+    """Split (§IV.D.2) vs gang execution: idle processors stealing tasks
+    from the next queued group must not hurt response time."""
+    gang_platform = default_platform(split_enabled=False)
+    points = once(
+        sweep,
+        _base(),
+        {
+            "split-on (paper)": lambda c: c,
+            "split-off (gang)": lambda c: c.with_overrides(
+                platform=gang_platform
+            ),
+        },
+        BENCH_SEEDS,
+    )
+    print()
+    print(ablation_table(points))
+    on, off = points["split-on (paper)"], points["split-off (gang)"]
+    assert on.avert.mean <= off.avert.mean * 1.05
+
+
+def bench_ablation_dvfs(once):
+    """DVFS extension: the governor trades response time for energy while
+    keeping deadlines safe (see repro.core.dvfs)."""
+    points = once(
+        sweep,
+        ExperimentConfig(scheduler="adaptive-rl", num_tasks=600),
+        {
+            "dvfs-off (paper)": lambda c: c,
+            "dvfs-on (extension)": lambda c: c.with_overrides(
+                scheduler_kwargs={"dvfs_enabled": True}
+            ),
+        },
+        BENCH_SEEDS,
+    )
+    print()
+    print(ablation_table(points))
+    off, on = points["dvfs-off (paper)"], points["dvfs-on (extension)"]
+    assert on.ecs.mean <= off.ecs.mean * 1.02
+    assert on.success_rate.mean > 0.9
+
+
+def bench_ablation_priority_mix(once):
+    """§V.A: "The probabilities of three different task priorities are
+    varied in different experiments" — sensitivity of Adaptive-RL to the
+    priority mix."""
+    points = once(
+        sweep,
+        _base(),
+        {
+            "uniform mix": lambda c: c,
+            "high-heavy (60/30/10)": lambda c: c.with_overrides(
+                priority_mix=(0.6, 0.3, 0.1)
+            ),
+            "low-heavy (10/30/60)": lambda c: c.with_overrides(
+                priority_mix=(0.1, 0.3, 0.6)
+            ),
+        },
+        BENCH_SEEDS,
+    )
+    print()
+    print(ablation_table(points))
+    # A low-heavy mix has generous deadlines: success must not decline
+    # relative to the high-heavy mix.
+    assert (
+        points["low-heavy (10/30/60)"].success_rate.mean
+        >= points["high-heavy (60/30/10)"].success_rate.mean - 0.05
+    )
+
+
+def bench_ablation_routing(once):
+    points = once(
+        sweep,
+        _base(),
+        {
+            "least-loaded (default)": lambda c: c,
+            "round-robin": lambda c: c.with_overrides(
+                scheduler_kwargs={"routing": "round-robin"}
+            ),
+            "random": lambda c: c.with_overrides(
+                scheduler_kwargs={"routing": "random"}
+            ),
+        },
+        BENCH_SEEDS,
+    )
+    print()
+    print(ablation_table(points))
+    # All routing policies must complete the workload with usable quality.
+    for p in points.values():
+        assert p.success_rate.mean > 0.5

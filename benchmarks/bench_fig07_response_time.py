@@ -1,0 +1,20 @@
+"""Figure 7 bench: average response time vs number of tasks.
+
+Regenerates the paper's Figure 7 series (Adaptive-RL, Online RL,
+Q+ learning, Prediction-based learning) and asserts its shape: Adaptive-RL
+has the lowest AveRT, with a margin that grows with load.
+"""
+
+from repro.experiments import figure7, render_figure, shape_checks
+
+from .conftest import BENCH_SEEDS, BENCH_TASK_COUNTS
+
+
+def bench_fig07_response_time(once):
+    fig = once(figure7, BENCH_TASK_COUNTS, BENCH_SEEDS)
+    print()
+    print(render_figure(fig))
+    checks = shape_checks(fig)
+    for c in checks:
+        print(c)
+    assert all(c.passed for c in checks), "Figure 7 shape regression"

@@ -1,0 +1,20 @@
+"""Figure 8 bench: system energy consumption (ECS) vs number of tasks.
+
+Asserts the paper's shape: energy grows with load; Online RL is within a
+few percent of Adaptive-RL ("comparable"); Adaptive-RL's energy is at or
+below every baseline's at the heavy end.
+"""
+
+from repro.experiments import figure8, render_figure, shape_checks
+
+from .conftest import BENCH_SEEDS, BENCH_TASK_COUNTS
+
+
+def bench_fig08_energy(once):
+    fig = once(figure8, BENCH_TASK_COUNTS, BENCH_SEEDS)
+    print()
+    print(render_figure(fig))
+    checks = shape_checks(fig)
+    for c in checks:
+        print(c)
+    assert all(c.passed for c in checks), "Figure 8 shape regression"

@@ -1,0 +1,19 @@
+"""Figure 9 bench: utilization vs % learning cycles, heavily loaded.
+
+Asserts the paper's shape: utilization rises over the learning cycles and
+ends at 0.6 or above for both Adaptive-RL and Online RL.
+"""
+
+from repro.experiments import figure9, render_figure, shape_checks
+
+from .conftest import BENCH_HEAVY
+
+
+def bench_fig09_utilization_heavy(once):
+    fig = once(figure9, BENCH_HEAVY, 1)
+    print()
+    print(render_figure(fig))
+    checks = shape_checks(fig)
+    for c in checks:
+        print(c)
+    assert all(c.passed for c in checks), "Figure 9 shape regression"

@@ -1,0 +1,15 @@
+"""Figure 10 bench: utilization vs % learning cycles, lightly loaded."""
+
+from repro.experiments import figure10, render_figure, shape_checks
+
+from .conftest import BENCH_LIGHT
+
+
+def bench_fig10_utilization_light(once):
+    fig = once(figure10, BENCH_LIGHT, 1)
+    print()
+    print(render_figure(fig))
+    checks = shape_checks(fig)
+    for c in checks:
+        print(c)
+    assert all(c.passed for c in checks), "Figure 10 shape regression"

@@ -1,0 +1,26 @@
+"""Figure 11 bench: Adaptive-RL success rate vs resource heterogeneity.
+
+Asserts the paper's shape: >70 % of tasks meet their deadline on average,
+success declines as heterogeneity grows, and the lightly loaded state
+succeeds at least as often as the heavily loaded one.
+"""
+
+from repro.experiments import figure11, render_figure, shape_checks
+
+from .conftest import BENCH_H_LEVELS, BENCH_HEAVY, BENCH_LIGHT, BENCH_SEEDS
+
+
+def bench_fig11_success_heterogeneity(once):
+    fig = once(
+        figure11,
+        BENCH_H_LEVELS,
+        BENCH_SEEDS,
+        BENCH_LIGHT,
+        BENCH_HEAVY,
+    )
+    print()
+    print(render_figure(fig))
+    checks = shape_checks(fig)
+    for c in checks:
+        print(c)
+    assert all(c.passed for c in checks), "Figure 11 shape regression"

@@ -1,0 +1,26 @@
+"""Figure 12 bench: Adaptive-RL energy consumption vs heterogeneity.
+
+Asserts the paper's shape: heterogeneity does not significantly hamper
+energy efficiency, and the heavy state consumes several times the light
+state's energy.
+"""
+
+from repro.experiments import figure12, render_figure, shape_checks
+
+from .conftest import BENCH_H_LEVELS, BENCH_HEAVY, BENCH_LIGHT, BENCH_SEEDS
+
+
+def bench_fig12_energy_heterogeneity(once):
+    fig = once(
+        figure12,
+        BENCH_H_LEVELS,
+        BENCH_SEEDS,
+        BENCH_LIGHT,
+        BENCH_HEAVY,
+    )
+    print()
+    print(render_figure(fig))
+    checks = shape_checks(fig)
+    for c in checks:
+        print(c)
+    assert all(c.passed for c in checks), "Figure 12 shape regression"

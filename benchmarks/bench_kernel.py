@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the discrete-event simulation kernel.
+
+These time the substrate itself (event throughput, process switching,
+store operations) so regressions in the kernel are visible independently
+of the scheduling experiments.
+"""
+
+from repro.sim import Environment, Store
+
+
+def bench_kernel_timeout_throughput(benchmark):
+    """Schedule and drain 20k bare timeouts."""
+
+    def run():
+        env = Environment()
+        for i in range(20_000):
+            env.timeout(i % 97)
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 96
+
+
+def bench_kernel_process_switching(benchmark):
+    """Two processes ping-pong through a rendezvous store 5k times."""
+
+    def run():
+        env = Environment()
+        a_to_b = Store(env, capacity=1)
+        b_to_a = Store(env, capacity=1)
+        count = 5000
+
+        def ping(env):
+            for i in range(count):
+                yield a_to_b.put(i)
+                yield b_to_a.get()
+
+        def pong(env):
+            for _ in range(count):
+                item = yield a_to_b.get()
+                yield b_to_a.put(item)
+
+        env.process(ping(env))
+        env.process(pong(env))
+        env.run()
+        return count
+
+    assert benchmark(run) == 5000
+
+
+def bench_kernel_many_processes(benchmark):
+    """1k concurrent clock processes, 20 ticks each."""
+
+    def run():
+        env = Environment()
+        done = []
+
+        def clock(env, period):
+            for _ in range(20):
+                yield env.timeout(period)
+            done.append(period)
+
+        for i in range(1000):
+            env.process(clock(env, 1.0 + (i % 7) * 0.1))
+        env.run()
+        return len(done)
+
+    assert benchmark(run) == 1000
+
+
+def bench_kernel_store_contention(benchmark):
+    """100 producers and 100 consumers over one bounded store."""
+
+    def run():
+        env = Environment()
+        store = Store(env, capacity=8)
+        got = []
+
+        def producer(env, k):
+            for i in range(20):
+                yield env.timeout(0.01 * (k % 5))
+                yield store.put((k, i))
+
+        def consumer(env):
+            while True:
+                got.append((yield store.get()))
+
+        for k in range(100):
+            env.process(producer(env, k))
+        for _ in range(100):
+            env.process(consumer(env))
+        env.run(until=1000.0)
+        return len(got)
+
+    assert benchmark(run) == 2000

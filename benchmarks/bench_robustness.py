@@ -1,0 +1,52 @@
+"""Workload-robustness bench (extension).
+
+The paper evaluates only Poisson/uniform workloads (§V.A).  This bench
+checks that Adaptive-RL's headline win over Online RL survives two
+realistic perturbations: bursty MMPP(2) arrivals and heavy-tailed
+(bounded-Pareto) task sizes.
+"""
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+from .conftest import BENCH_SEEDS
+
+SCENARIOS = {
+    "paper (poisson/uniform)": {},
+    "bursty (MMPP2 x6)": {"arrival_process": "mmpp", "mmpp_burstiness": 6.0},
+    "heavy-tail (pareto a=1.2)": {
+        "size_distribution": "bounded-pareto",
+        "pareto_alpha": 1.2,
+    },
+}
+
+
+def bench_robustness_workloads(once):
+    def run_all():
+        results = {}
+        for label, overrides in SCENARIOS.items():
+            for name in ("adaptive-rl", "online-rl"):
+                cfg = ExperimentConfig(
+                    scheduler=name,
+                    num_tasks=1500,
+                    seed=BENCH_SEEDS[0],
+                    arrival_period=1500.0,  # keep it loaded
+                    workload_overrides=overrides,
+                )
+                results[(label, name)] = run_experiment(cfg).metrics
+        return results
+
+    results = once(run_all)
+    print()
+    print(f"{'scenario':28s}{'scheduler':14s}{'AveRT':>9}{'ECS(M)':>9}{'succ':>7}")
+    for (label, name), m in results.items():
+        print(
+            f"{label:28s}{name:14s}{m.avert:>9.1f}{m.ecs / 1e6:>9.3f}"
+            f"{m.success_rate:>7.1%}"
+        )
+    for label in SCENARIOS:
+        adaptive = results[(label, "adaptive-rl")]
+        online = results[(label, "online-rl")]
+        # The response-time win must survive every workload shape.
+        assert adaptive.avert <= online.avert * 1.05, label
+        # Energy stays in the "comparable" band.
+        assert adaptive.ecs <= online.ecs * 1.15, label

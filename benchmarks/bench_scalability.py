@@ -1,0 +1,29 @@
+"""Scalability bench: end-to-end simulation cost vs platform size.
+
+Times one Adaptive-RL run at the small, middle, and paper-maximum ends of
+the §V.A platform ranges, so the wall-clock cost of scaling the target
+system is tracked.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, default_platform, run_experiment
+
+PLATFORMS = {
+    "small (5 sites, 5-10 nodes)": dict(num_sites=5, nodes_per_site=(5, 10)),
+    "medium (8 sites, 10-15 nodes)": dict(num_sites=8, nodes_per_site=(10, 15)),
+    "paper-max (10 sites, 5-20 nodes)": dict(num_sites=10, nodes_per_site=(5, 20)),
+}
+
+
+@pytest.mark.parametrize("label", list(PLATFORMS))
+def bench_scalability_platform(benchmark, label):
+    cfg = ExperimentConfig(
+        scheduler="adaptive-rl",
+        num_tasks=600,
+        platform=default_platform(**PLATFORMS[label]),
+    )
+    result = benchmark.pedantic(
+        run_experiment, args=(cfg,), rounds=1, iterations=1
+    )
+    assert result.metrics.response.count == 600

@@ -1,0 +1,63 @@
+"""Heterogeneity study: how resource diversity affects Adaptive-RL.
+
+Reproduces the spirit of the paper's Experiment 3 interactively: sweep
+the service coefficient of variation of the platform and report success
+rate and energy at a chosen load, with 95 % confidence intervals over
+multiple seeds.
+
+Usage::
+
+    python examples/heterogeneity_study.py [num_tasks] [seeds...]
+"""
+
+import sys
+
+from repro.experiments import ExperimentConfig, default_platform
+from repro.experiments.sweeps import sweep
+
+LEVELS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def main() -> None:
+    num_tasks = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    seeds = tuple(int(s) for s in sys.argv[2:]) or (1, 2, 3)
+
+    base = ExperimentConfig(scheduler="adaptive-rl", num_tasks=num_tasks)
+    variations = {
+        f"h={h}": (
+            lambda c, h=h: c.with_overrides(
+                platform=default_platform(heterogeneity_cv=h)
+            )
+        )
+        for h in LEVELS
+    }
+
+    print(
+        f"Adaptive-RL, {num_tasks} tasks, seeds {list(seeds)} "
+        f"(95% CIs over seeds)"
+    )
+    header = f"{'heterogeneity':>14}{'success rate':>22}{'ECS (M)':>20}{'AveRT':>20}"
+    print(header)
+    print("-" * len(header))
+    points = sweep(base, variations, seeds=seeds)
+    for label, p in points.items():
+        ecs = p.ecs
+        print(
+            f"{label:>14}"
+            f"{p.success_rate.mean:>14.3f} ±{p.success_rate.half_width:<6.3f}"
+            f"{ecs.mean / 1e6:>12.3f} ±{ecs.half_width / 1e6:<6.3f}"
+            f"{p.avert.mean:>12.1f} ±{p.avert.half_width:<6.1f}"
+        )
+
+    first, last = points["h=0.1"], points[f"h={LEVELS[-1]}"]
+    drop = first.success_rate.mean - last.success_rate.mean
+    print()
+    print(
+        f"Success rate drops by {drop:.1%} from h=0.1 to h={LEVELS[-1]} — "
+        "learning takes longer to track a more diverse platform (paper §V, "
+        "Experiment 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

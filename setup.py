@@ -1,0 +1,4 @@
+"""Shim enabling ``python setup.py develop`` on offline hosts without wheel."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Baseline schedulers the paper compares against (§II, §V).
+
+Learning baselines (re-implemented decision cores, "extended versions …
+induced into the same system model", §V.B):
+
+- :class:`OnlineRLScheduler` — Tesauro et al. [11];
+- :class:`QPlusLearningScheduler` — Tan, Liu & Qiu [12];
+- :class:`PredictionBasedScheduler` — Berral et al. [13];
+
+plus non-learning reference schedulers for ablations.
+"""
+
+from .common import SingletonScheduler, shortest_queue_node
+from .online_rl import OnlineRLScheduler
+from .prediction import PredictionBasedScheduler, ResponseTimePredictor
+from .qplus import QPlusLearningScheduler
+from .static import EDFScheduler, FCFSScheduler, RandomScheduler
+
+__all__ = [
+    "SingletonScheduler",
+    "shortest_queue_node",
+    "OnlineRLScheduler",
+    "QPlusLearningScheduler",
+    "PredictionBasedScheduler",
+    "ResponseTimePredictor",
+    "EDFScheduler",
+    "FCFSScheduler",
+    "RandomScheduler",
+]

@@ -1,0 +1,77 @@
+"""Shared plumbing for the baseline schedulers.
+
+The paper evaluates "extended versions" of three learning approaches
+"induced into the same system model and scheduling strategy" (§V.B).  All
+baselines therefore run on the identical platform and submit work as
+singleton task groups (none of them has the paper's TG technique — that
+is the contribution under test); they differ only in their decision core.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..cluster.node import ComputeNode
+from ..cluster.taskgroup import TaskGroup
+from ..core.base import Scheduler
+from ..workload.task import Task
+
+__all__ = ["SingletonScheduler", "shortest_queue_node"]
+
+
+def shortest_queue_node(
+    nodes: Sequence[ComputeNode],
+) -> Optional[ComputeNode]:
+    """Free-slot node with the least pending work per unit speed."""
+    candidates = [n for n in nodes if n.available]
+    if not candidates:
+        return None
+    return min(
+        candidates,
+        key=lambda n: ((n.pending_tasks + 1) / n.total_speed_mips, n.node_id),
+    )
+
+
+class SingletonScheduler(Scheduler):
+    """Base for baselines: FIFO backlog of tasks, singleton-group dispatch.
+
+    Subclasses override :meth:`_pick_node` (and optionally
+    :meth:`_order_backlog`) to implement their decision core.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.backlog: list[Task] = []
+
+    def submit(self, task: Task) -> None:
+        self.backlog.append(task)
+        self.kick()
+
+    def _order_backlog(self) -> None:
+        """Hook: reorder the backlog before a pass (default: FIFO)."""
+
+    def _pick_node(self, task: Task) -> Optional[ComputeNode]:
+        """Hook: choose the destination node (None = hold the task)."""
+        assert self.system is not None
+        return shortest_queue_node(self.system.nodes)
+
+    def _scheduling_pass(self) -> None:
+        assert self.env is not None
+        self._order_backlog()
+        held: list[Task] = []
+        for task in self.backlog:
+            node = self._pick_node(task)
+            if node is None or node.free_slots <= 0:
+                held.append(task)
+                continue
+            group = TaskGroup([task], created_at=self.env.now)
+            task.site_id = node.site_id
+            # Record the Eq. 9 error for parity in diagnostics even
+            # though baselines do not learn from it.
+            from ..core.feedback import grouping_error
+
+            group.error = grouping_error(group.pw, node.processing_capacity)
+            submitted = node.try_submit(group)
+            if not submitted:
+                held.append(task)
+        self.backlog = held

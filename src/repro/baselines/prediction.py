@@ -1,0 +1,165 @@
+"""Prediction-based learning baseline — extended from Berral et al. [13].
+
+The original "estimates the impact of the task on the resource in terms
+of performance and power consumption in advance" with supervised machine
+learning over current system information (power level, CPU load,
+completion time), then consolidates: "executes all tasks with a minimum
+number of resources", aiming to maximize user satisfaction (completion
+before deadline) without raising power.
+
+Extension to this system model: an online linear model (NumPy
+least-squares over features [1, size/speed, pending-work/speed]) predicts
+a task's response time on each candidate node, refit periodically from
+completed-task history.  Dispatch consolidates: nodes are scanned from
+most-loaded-active to fastest-idle, and the task lands on the *first*
+node predicted to meet its deadline (minimizing the number of active
+resources); if none qualifies, the node with the minimum predicted
+response time is used.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cluster.node import ComputeNode
+from ..workload.task import Task
+from .common import SingletonScheduler
+
+__all__ = ["PredictionBasedScheduler", "ResponseTimePredictor"]
+
+
+class ResponseTimePredictor:
+    """Online least-squares model of task response time.
+
+    Features: ``[1, size_mi / node_speed, pending_mi / node_speed]`` —
+    the task's own service demand and the queueing demand ahead of it.
+    Until ``min_samples`` observations exist, the analytic cold-start
+    estimate (service + queue demand) is used.
+    """
+
+    def __init__(self, min_samples: int = 20, max_history: int = 2000) -> None:
+        if min_samples < 3:
+            raise ValueError("min_samples must be at least 3 (model rank)")
+        self.min_samples = min_samples
+        self.max_history = max_history
+        self._x: list[list[float]] = []
+        self._y: list[float] = []
+        self._coef: Optional[np.ndarray] = None
+        self.refits = 0
+
+    @staticmethod
+    def features(task_size_mi: float, node: ComputeNode) -> list[float]:
+        speed = node.total_speed_mips / node.num_processors
+        return [1.0, task_size_mi / speed, node.pending_size_mi / speed]
+
+    def observe(self, features: list[float], response_time: float) -> None:
+        """Record one completed task's (features, outcome) pair."""
+        self._x.append(features)
+        self._y.append(response_time)
+        if len(self._x) > self.max_history:
+            self._x = self._x[-self.max_history :]
+            self._y = self._y[-self.max_history :]
+
+    def refit(self) -> bool:
+        """Refit the linear model; returns True if a model now exists."""
+        if len(self._x) < self.min_samples:
+            return self._coef is not None
+        x = np.asarray(self._x)
+        y = np.asarray(self._y)
+        coef, *_ = np.linalg.lstsq(x, y, rcond=None)
+        self._coef = coef
+        self.refits += 1
+        return True
+
+    @property
+    def trained(self) -> bool:
+        return self._coef is not None
+
+    def predict(self, features: list[float]) -> float:
+        """Predicted response time (cold start: analytic estimate)."""
+        if self._coef is None:
+            # service demand + queue demand, the textbook estimate.
+            return features[1] + features[2]
+        value = float(np.dot(self._coef, features))
+        return max(value, 0.0)
+
+
+class PredictionBasedScheduler(SingletonScheduler):
+    """Consolidating dispatcher driven by a supervised RT predictor."""
+
+    name = "Prediction-based learning"
+
+    #: Multiplicative safety margin required between predicted response
+    #: time and the task's slack before a consolidation placement is
+    #: accepted (guards against the linear model's optimism under load).
+    SAFETY_FACTOR = 1.5
+
+    def __init__(self, refit_every: int = 50) -> None:
+        super().__init__()
+        if refit_every <= 0:
+            raise ValueError("refit_every must be positive")
+        self.refit_every = refit_every
+        self.predictor = ResponseTimePredictor()
+        self._since_refit = 0
+        self._pending_features: dict[int, list[float]] = {}
+
+    def _setup(self) -> None:
+        assert self.system is not None
+        # Learn from every completion, regardless of which policy placed
+        # the task.
+        for node in self.system.nodes:
+            node.on_task_complete(self._record_outcome)
+
+    def _record_outcome(self, task: Task, node: ComputeNode) -> None:
+        features = self._pending_features.pop(task.tid, None)
+        if features is None:
+            return
+        self.predictor.observe(features, task.response_time)
+        self._since_refit += 1
+        if self._since_refit >= self.refit_every:
+            self._since_refit = 0
+            self.predictor.refit()
+
+    # -- dispatch --------------------------------------------------------
+    def _consolidation_order(self) -> list[ComputeNode]:
+        """Most-loaded active nodes first, then fastest idle nodes."""
+        assert self.system is not None
+
+        def key(node: ComputeNode):
+            active = node.pending_tasks > 0
+            return (
+                0 if active else 1,
+                -node.pending_tasks if active else -node.total_speed_mips,
+                node.node_id,
+            )
+
+        return sorted(self.system.nodes, key=key)
+
+    def _pick_node(self, task: Task) -> Optional[ComputeNode]:
+        assert self.env is not None
+        best: Optional[ComputeNode] = None
+        best_rt = float("inf")
+        chosen: Optional[ComputeNode] = None
+        chosen_features: Optional[list[float]] = None
+        best_features: Optional[list[float]] = None
+        slack = task.deadline - self.env.now
+        for node in self._consolidation_order():
+            if not node.available:
+                continue
+            features = self.predictor.features(task.size_mi, node)
+            rt = self.predictor.predict(features)
+            if rt * self.SAFETY_FACTOR <= slack:
+                chosen = node
+                chosen_features = features
+                break
+            if rt < best_rt:
+                best_rt = rt
+                best = node
+                best_features = features
+        if chosen is None:
+            chosen, chosen_features = best, best_features
+        if chosen is not None and chosen_features is not None:
+            self._pending_features[task.tid] = chosen_features
+        return chosen

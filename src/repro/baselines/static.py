@@ -1,0 +1,82 @@
+"""Non-learning reference schedulers (ablation baselines).
+
+Not part of the paper's comparison set, but indispensable for
+interpreting it: they bound what the learning machinery itself buys.
+
+- :class:`FCFSScheduler` — first-come-first-served, round-robin nodes;
+- :class:`EDFScheduler` — earliest-deadline-first backlog, greedy
+  fastest-available node;
+- :class:`RandomScheduler` — uniform random free-slot node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.node import ComputeNode
+from ..workload.task import Task
+from .common import SingletonScheduler
+
+__all__ = ["FCFSScheduler", "EDFScheduler", "RandomScheduler"]
+
+
+class FCFSScheduler(SingletonScheduler):
+    """FIFO arrivals onto nodes in strict rotation."""
+
+    name = "FCFS"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next = 0
+
+    def _pick_node(self, task: Task) -> Optional[ComputeNode]:
+        assert self.system is not None
+        nodes = self.system.nodes
+        for offset in range(len(nodes)):
+            node = nodes[(self._next + offset) % len(nodes)]
+            if node.available:
+                self._next = (self._next + offset + 1) % len(nodes)
+                return node
+        return None
+
+
+class EDFScheduler(SingletonScheduler):
+    """Earliest-deadline-first onto the fastest node with headroom."""
+
+    name = "EDF-greedy"
+
+    def _order_backlog(self) -> None:
+        self.backlog.sort(key=lambda t: t.deadline)
+
+    def _pick_node(self, task: Task) -> Optional[ComputeNode]:
+        assert self.system is not None
+        candidates = [n for n in self.system.nodes if n.available]
+        if not candidates:
+            return None
+        # Fastest effective service rate accounting for queued work.
+        def completion_estimate(node: ComputeNode) -> float:
+            speed = node.total_speed_mips / node.num_processors
+            return (node.pending_size_mi + task.size_mi) / speed
+
+        return min(candidates, key=lambda n: (completion_estimate(n), n.node_id))
+
+
+class RandomScheduler(SingletonScheduler):
+    """Uniform random free-slot node."""
+
+    name = "Random"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._rng = None
+
+    def _setup(self) -> None:
+        assert self.streams is not None
+        self._rng = self.streams["baseline.random"]
+
+    def _pick_node(self, task: Task) -> Optional[ComputeNode]:
+        assert self.system is not None
+        candidates = [n for n in self.system.nodes if n.available]
+        if not candidates:
+            return None
+        return candidates[int(self._rng.integers(len(candidates)))]

@@ -1,0 +1,40 @@
+"""Platform substrate: processors, nodes, sites, and topology synthesis.
+
+Implements the paper's §III.B system model — heterogeneous multi-processor
+compute nodes with bounded task-group queues grouped into resource sites —
+plus the heterogeneity-controlled speed synthesis used by Experiment 3.
+"""
+
+from .failures import FailureInjector, FailureModel
+from .heterogeneity import (
+    DEFAULT_MEAN_SPEED_MIPS,
+    SPEED_CLIP_MIPS,
+    coefficient_of_variation,
+    speeds_with_cv,
+)
+from .node import DEFAULT_QUEUE_SLOTS, ComputeNode, NodeState, SleepPolicy
+from .processor import SPEED_RANGE_MIPS, Processor
+from .site import ResourceSite
+from .system import PlatformSpec, System, build_system
+from .taskgroup import TaskGroup, processing_weight
+
+__all__ = [
+    "Processor",
+    "SPEED_RANGE_MIPS",
+    "TaskGroup",
+    "processing_weight",
+    "ComputeNode",
+    "NodeState",
+    "SleepPolicy",
+    "DEFAULT_QUEUE_SLOTS",
+    "ResourceSite",
+    "FailureInjector",
+    "FailureModel",
+    "PlatformSpec",
+    "System",
+    "build_system",
+    "speeds_with_cv",
+    "coefficient_of_variation",
+    "DEFAULT_MEAN_SPEED_MIPS",
+    "SPEED_CLIP_MIPS",
+]

@@ -1,0 +1,91 @@
+"""Crash-stop failure injection (paper §I motivation).
+
+"Computer systems consuming vast amounts of power also emit excessive
+heat; this often results in system unreliability … system overheating
+causes system freeze and frequent system failures."  The paper does not
+evaluate under failures; this module adds the capability so the
+reproduction can be stress-tested: nodes crash (abandoning their work,
+which schedulers transparently resubmit) and repair after a downtime,
+both exponentially distributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..sim.core import Environment
+from .node import ComputeNode
+
+__all__ = ["FailureModel", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Exponential failure/repair parameters for one node population."""
+
+    mean_time_between_failures: float
+    mean_time_to_repair: float
+
+    def __post_init__(self) -> None:
+        if self.mean_time_between_failures <= 0:
+            raise ValueError("MTBF must be positive")
+        if self.mean_time_to_repair <= 0:
+            raise ValueError("MTTR must be positive")
+
+    @property
+    def availability(self) -> float:
+        """Steady-state fraction of time a node is up."""
+        up = self.mean_time_between_failures
+        return up / (up + self.mean_time_to_repair)
+
+
+class FailureInjector:
+    """Drives independent failure/repair processes on a set of nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: Sequence[ComputeNode],
+        model: FailureModel,
+        rng: np.random.Generator,
+        start_after: float = 0.0,
+    ) -> None:
+        if not nodes:
+            raise ValueError("no nodes to inject failures into")
+        if start_after < 0:
+            raise ValueError("start_after must be non-negative")
+        self.env = env
+        self.nodes = list(nodes)
+        self.model = model
+        self._rng = rng
+        self.start_after = start_after
+        self.failures_injected = 0
+        self.repairs_completed = 0
+        self.log: list[tuple[float, str, str]] = []
+        for node in self.nodes:
+            env.process(self._node_lifecycle(node))
+
+    def _node_lifecycle(self, node: ComputeNode):
+        env = self.env
+        if self.start_after > 0:
+            yield env.timeout(self.start_after)
+        while True:
+            uptime = float(
+                self._rng.exponential(self.model.mean_time_between_failures)
+            )
+            yield env.timeout(uptime)
+            if not node.failed:
+                node.fail()
+                self.failures_injected += 1
+                self.log.append((env.now, node.node_id, "fail"))
+            downtime = float(
+                self._rng.exponential(self.model.mean_time_to_repair)
+            )
+            yield env.timeout(downtime)
+            if node.failed:
+                node.repair()
+                self.repairs_completed += 1
+                self.log.append((env.now, node.node_id, "repair"))

@@ -1,0 +1,83 @@
+"""Adaptive-RL core — the paper's primary contribution (§IV).
+
+Public surface: the :class:`AdaptiveRLScheduler` (with
+:class:`AdaptiveRLConfig` knobs for every ablation), the per-site
+:class:`SiteAgent`, the shared-learning memory, the feedback signals of
+Eqs. 7–9, the task-grouping merge process, and the scheduler base class
+shared with the baselines.
+"""
+
+from .actions import GroupingAction, GroupingMode, action_space
+from .adaptive_rl import AdaptiveRLConfig, AdaptiveRLScheduler
+from .agent import PendingAction, SiteAgent
+from .base import CycleSample, Scheduler
+from .dvfs import DVFSGovernor, energy_optimal_scale
+from .knowledge import (
+    export_knowledge,
+    import_knowledge,
+    load_knowledge,
+    save_knowledge,
+)
+from .dispatch import (
+    LeastLoadedRouting,
+    RandomRouting,
+    RoundRobinRouting,
+    RoutingPolicy,
+    make_routing,
+)
+from .feedback import (
+    ERROR_EPSILON,
+    FeedbackRecord,
+    grouping_error,
+    learning_value,
+    scaled_reward,
+)
+from .grouping import Backlog, merge_next_group
+from .shared_memory import AGENT_MEMORY_CYCLES, Experience, SharedLearningMemory
+from .state import (
+    DiscreteState,
+    SiteObservation,
+    discretize,
+    observe_site,
+)
+from .value_models import NeuralValueModel, TabularValueModel, ValueModel
+
+__all__ = [
+    "AdaptiveRLScheduler",
+    "AdaptiveRLConfig",
+    "SiteAgent",
+    "PendingAction",
+    "Scheduler",
+    "CycleSample",
+    "GroupingAction",
+    "GroupingMode",
+    "action_space",
+    "Backlog",
+    "merge_next_group",
+    "SharedLearningMemory",
+    "Experience",
+    "AGENT_MEMORY_CYCLES",
+    "FeedbackRecord",
+    "grouping_error",
+    "learning_value",
+    "scaled_reward",
+    "ERROR_EPSILON",
+    "SiteObservation",
+    "DiscreteState",
+    "observe_site",
+    "discretize",
+    "ValueModel",
+    "TabularValueModel",
+    "NeuralValueModel",
+    "DVFSGovernor",
+    "energy_optimal_scale",
+    "export_knowledge",
+    "import_knowledge",
+    "save_knowledge",
+    "load_knowledge",
+    "RoutingPolicy",
+    "LeastLoadedRouting",
+    "RoundRobinRouting",
+    "RandomRouting",
+    "make_routing",
+]

@@ -1,0 +1,54 @@
+"""The Adaptive-RL action space (DESIGN.md A5).
+
+The paper describes the action only as "a decision to group tasks that are
+dynamically arriving" (§IV.B) with two merge variants (mixed-priority /
+identical-priority, §IV.D.1) and an adaptive group size ``opnum`` bounded
+by the processor count of a node.  The action space is therefore the cross
+product ``mode × opnum``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GroupingMode", "GroupingAction", "action_space"]
+
+
+class GroupingMode:
+    """Merge-process variants (§IV.D.1)."""
+
+    MIXED = "mixed"
+    IDENTICAL = "identical"
+    ALL = (MIXED, IDENTICAL)
+
+
+@dataclass(frozen=True, order=True)
+class GroupingAction:
+    """One grouping decision: merge mode plus target group size."""
+
+    mode: str
+    opnum: int
+
+    def __post_init__(self) -> None:
+        if self.mode not in GroupingMode.ALL:
+            raise ValueError(f"unknown grouping mode {self.mode!r}")
+        if self.opnum < 1:
+            raise ValueError("opnum must be at least 1")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mode}/{self.opnum}"
+
+
+def action_space(max_opnum: int) -> tuple[GroupingAction, ...]:
+    """All grouping actions with ``opnum ∈ {1..max_opnum}``.
+
+    ``max_opnum`` "must not exceed the maximum number of processors in a
+    node" (§IV.D.1); the agent passes its site's largest node size.
+    """
+    if max_opnum < 1:
+        raise ValueError("max_opnum must be at least 1")
+    return tuple(
+        GroupingAction(mode=mode, opnum=k)
+        for mode in GroupingMode.ALL
+        for k in range(1, max_opnum + 1)
+    )

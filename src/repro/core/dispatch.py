@@ -1,0 +1,90 @@
+"""Task-to-site routing policies (DESIGN.md A4).
+
+The paper does not specify how globally arriving tasks reach resource
+sites.  The default routes each task to the site with the most headroom
+(least pending work per unit of aggregate speed); round-robin and uniform
+random routing are provided for the routing ablation bench.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from ..cluster.site import ResourceSite
+from ..workload.task import Task
+
+__all__ = [
+    "RoutingPolicy",
+    "LeastLoadedRouting",
+    "RoundRobinRouting",
+    "RandomRouting",
+    "make_routing",
+]
+
+
+class RoutingPolicy(abc.ABC):
+    """Chooses the destination site for each arriving task."""
+
+    name: str = "routing"
+
+    @abc.abstractmethod
+    def select(self, sites: Sequence[ResourceSite], task: Task) -> ResourceSite:
+        """Return the site *task* should be routed to."""
+
+
+class LeastLoadedRouting(RoutingPolicy):
+    """Route to the site with the least pending work per unit speed."""
+
+    name = "least-loaded"
+
+    def select(self, sites, task):
+        if not sites:
+            raise ValueError("no sites")
+        return min(
+            sites,
+            key=lambda s: ((s.pending_tasks + 1) / s.total_speed_mips, s.site_id),
+        )
+
+
+class RoundRobinRouting(RoutingPolicy):
+    """Cycle through sites in order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, sites, task):
+        if not sites:
+            raise ValueError("no sites")
+        site = sites[self._next % len(sites)]
+        self._next += 1
+        return site
+
+
+class RandomRouting(RoutingPolicy):
+    """Uniform random site choice."""
+
+    name = "random"
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def select(self, sites, task):
+        if not sites:
+            raise ValueError("no sites")
+        return sites[int(self._rng.integers(len(sites)))]
+
+
+def make_routing(name: str, rng: np.random.Generator) -> RoutingPolicy:
+    """Factory by policy name: least-loaded / round-robin / random."""
+    if name == "least-loaded":
+        return LeastLoadedRouting()
+    if name == "round-robin":
+        return RoundRobinRouting()
+    if name == "random":
+        return RandomRouting(rng)
+    raise ValueError(f"unknown routing policy {name!r}")

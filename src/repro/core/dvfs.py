@@ -1,0 +1,74 @@
+"""Slack-driven DVFS governor (extension; paper §II discusses DVFS).
+
+The paper's energy mechanism is scheduling-level (grouping, matching,
+idle reduction); DVFS is the complementary hardware-level technique it
+cites.  This governor adds it as an optional layer: per node, processors
+are slowed to the lowest frequency that still covers the pending work's
+demanded per-processor rate within its deadline windows (with a safety
+factor), clamped to the *energy-optimal* band of the cubic power model.
+
+With ``p_busy(θ) = pmin + Δ·θ³`` and execution time ∝ 1/θ, busy energy
+per unit of work is ``pmin/θ + Δ·θ²``, minimized at
+``θ* = (pmin / 2Δ)^(1/3)`` (≈ 0.63 for the paper's 48/95 W profile);
+running below the per-profile θ* wastes static energy, so the governor
+never goes below it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cluster.node import ComputeNode
+
+__all__ = ["DVFSGovernor", "energy_optimal_scale"]
+
+
+def energy_optimal_scale(p_min_w: float, p_max_w: float) -> float:
+    """θ* minimizing busy energy per unit work for the cubic model."""
+    if not 0 <= p_min_w < p_max_w:
+        raise ValueError("need 0 <= p_min_w < p_max_w")
+    delta = p_max_w - p_min_w
+    return (p_min_w / (2.0 * delta)) ** (1.0 / 3.0)
+
+
+class DVFSGovernor:
+    """Per-node frequency governor driven by deadline slack."""
+
+    def __init__(self, safety_factor: float = 1.5) -> None:
+        if safety_factor < 1.0:
+            raise ValueError("safety_factor must be at least 1")
+        self.safety_factor = safety_factor
+        self.adjustments = 0
+
+    def target_scale(self, node: ComputeNode, now: float) -> float:
+        """The frequency scale the node's processors should run at."""
+        pending = node.pending_task_list
+        if not pending:
+            return 1.0
+        eps = 1e-6
+        k = min(len(pending), node.num_processors)
+        total_size = sum(t.size_mi for t in pending)
+        mean_window = sum(max(t.deadline - now, eps) for t in pending) / len(
+            pending
+        )
+        # Demanded MI/time per concurrently busy processor.
+        per_proc_demand = (total_size / k) / mean_window
+        mean_speed = node.total_speed_mips / node.num_processors
+        needed = self.safety_factor * per_proc_demand / mean_speed
+        floor = max(
+            energy_optimal_scale(
+                node.processors[0].profile.p_min_w,
+                node.processors[0].profile.p_max_w,
+            ),
+            0.5,
+        )
+        return min(max(needed, floor), 1.0)
+
+    def apply(self, nodes: Sequence[ComputeNode], now: float) -> None:
+        """Set every node's processors to its target scale."""
+        for node in nodes:
+            theta = self.target_scale(node, now)
+            for proc in node.processors:
+                if proc.frequency_scale != theta:
+                    proc.set_frequency_scale(theta)
+                    self.adjustments += 1

@@ -1,0 +1,121 @@
+"""The adaptive task-grouping (TG) merge process (paper §IV.D.1).
+
+The merge process turns a backlog of pending tasks into
+:class:`~repro.cluster.taskgroup.TaskGroup` bundles according to the
+current grouping action:
+
+- **mixed-priority**: the ``opnum`` earliest-deadline tasks form a group,
+  regardless of priority ("tasks with different priorities are mixed and
+  merged into the same group … sorted by their deadline");
+- **identical-priority**: tasks are partitioned by priority class and the
+  ``opnum`` earliest-deadline tasks of the most urgent non-empty class
+  form a group ("tasks are grouped separately according to their
+  priorities … still applies EDF").
+
+The split process (§IV.D.2) is platform-level — idle processors steal
+EDF-ordered tasks from the group at the head of the node queue — and is
+implemented by :class:`~repro.cluster.node.ComputeNode`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..cluster.taskgroup import TaskGroup
+from ..workload.priorities import Priority
+from ..workload.task import Task
+from .actions import GroupingAction, GroupingMode
+
+__all__ = ["Backlog", "merge_next_group"]
+
+
+class Backlog:
+    """Pending tasks awaiting grouping, kept in EDF order."""
+
+    def __init__(self) -> None:
+        self._tasks: list[Task] = []
+
+    def add(self, task: Task) -> None:
+        """Insert *task*, preserving EDF order."""
+        # Insertion keeps the list sorted; backlogs are short in steady
+        # state so a linear scan beats the constant factor of bisect with
+        # a key (and stays Python-version portable).
+        deadline = task.deadline
+        for i, existing in enumerate(self._tasks):
+            if deadline < existing.deadline:
+                self._tasks.insert(i, task)
+                return
+        self._tasks.append(task)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self):
+        return iter(self._tasks)
+
+    @property
+    def oldest_arrival(self) -> Optional[float]:
+        """Earliest arrival time among pending tasks (None when empty)."""
+        if not self._tasks:
+            return None
+        return min(t.arrival_time for t in self._tasks)
+
+    def peek_edf(self, k: int) -> list[Task]:
+        """The *k* earliest-deadline tasks without removing them."""
+        return self._tasks[:k]
+
+    def take(self, tasks: Iterable[Task]) -> None:
+        """Remove *tasks* (which must all be present) from the backlog."""
+        for t in tasks:
+            self._tasks.remove(t)
+
+    def by_priority(self, priority: Priority) -> list[Task]:
+        """Pending tasks of one priority class, EDF-ordered."""
+        return [t for t in self._tasks if t.priority == priority]
+
+
+def merge_next_group(
+    backlog: Backlog,
+    action: GroupingAction,
+    now: float,
+    allow_undersized: bool,
+) -> Optional[TaskGroup]:
+    """Form (and remove from *backlog*) the next task group, if any.
+
+    Parameters
+    ----------
+    backlog:
+        Pending tasks; selected tasks are removed.
+    action:
+        Current grouping action (mode + target ``opnum``).
+    now:
+        Current simulated time (frozen into the group's ``pw``).
+    allow_undersized:
+        When True, a group smaller than ``opnum`` may be formed (used
+        when processors are idle or the backlog has aged); when False,
+        only full groups are released.
+
+    Returns
+    -------
+    The merged group, or ``None`` if no admissible group exists.
+    """
+    if len(backlog) == 0:
+        return None
+
+    if action.mode == GroupingMode.MIXED:
+        candidates = backlog.peek_edf(action.opnum)
+    else:
+        candidates = []
+        for priority in Priority:  # HIGH first — most urgent class first
+            klass = backlog.by_priority(priority)
+            if klass:
+                candidates = klass[: action.opnum]
+                break
+
+    if not candidates:
+        return None
+    if len(candidates) < action.opnum and not allow_undersized:
+        return None
+
+    backlog.take(candidates)
+    return TaskGroup(candidates, created_at=now, mode=action.mode)

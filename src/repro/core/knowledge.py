@@ -1,0 +1,147 @@
+"""Cross-run knowledge transfer for Adaptive-RL.
+
+The paper's learning story is long-lived: "the agent improves its action
+… from other agents' experiences.  The amount of time taken for learning
+reduces as the system evolves" (§IV.B).  Within one simulation that is
+the shared memory; across simulations this module serializes the learned
+state — every site agent's Q-table plus the shared-learning memory — to
+a JSON-compatible payload so a later run can start warm.
+
+Only the tabular value model is serializable; the neural variant raises
+(its weights are run-local by design of the A6 ablation).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+from .actions import GroupingAction
+from .shared_memory import Experience
+from .value_models import TabularValueModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .adaptive_rl import AdaptiveRLScheduler
+
+__all__ = [
+    "export_knowledge",
+    "import_knowledge",
+    "save_knowledge",
+    "load_knowledge",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _action_to_list(action: GroupingAction) -> list:
+    return [action.mode, action.opnum]
+
+
+def _action_from_list(payload: list) -> GroupingAction:
+    return GroupingAction(mode=payload[0], opnum=int(payload[1]))
+
+
+def export_knowledge(scheduler: "AdaptiveRLScheduler") -> dict:
+    """Serialize the scheduler's learned state to plain JSON types."""
+    if scheduler.env is None:
+        raise RuntimeError("scheduler is not attached; nothing to export")
+    agents_payload = {}
+    for site_id, agent in scheduler.agents.items():
+        model = agent.value_model
+        if not isinstance(model, TabularValueModel):
+            raise NotImplementedError(
+                "only the tabular value model is exportable"
+            )
+        entries = [
+            [list(state), _action_to_list(action), value]
+            for (state, action), value in model.table.snapshot().items()
+        ]
+        agents_payload[site_id] = {
+            "q": entries,
+            "epsilon": agent.exploration.epsilon,
+        }
+    memory_payload = []
+    if scheduler.memory is not None:
+        for exp in scheduler.memory:
+            memory_payload.append(
+                {
+                    "agent_id": exp.agent_id,
+                    "cycle": exp.cycle,
+                    "state": list(exp.state),
+                    "action": _action_to_list(exp.action),
+                    "l_val": exp.l_val,
+                    "reward": exp.reward,
+                    "error": exp.error,
+                    "time": exp.time,
+                }
+            )
+    return {
+        "version": _FORMAT_VERSION,
+        "agents": agents_payload,
+        "memory": memory_payload,
+    }
+
+
+def import_knowledge(scheduler: "AdaptiveRLScheduler", payload: dict) -> None:
+    """Load previously exported knowledge into an attached scheduler.
+
+    Sites are matched by id; payload entries for unknown sites are
+    ignored (platforms may differ between runs), as are actions outside
+    a site's current action space.
+    """
+    if scheduler.env is None:
+        raise RuntimeError("attach the scheduler before importing knowledge")
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported knowledge format version {version!r}")
+
+    for site_id, agent_payload in payload.get("agents", {}).items():
+        agent = scheduler.agents.get(site_id)
+        if agent is None:
+            continue
+        model = agent.value_model
+        if not isinstance(model, TabularValueModel):
+            raise NotImplementedError(
+                "only the tabular value model can import knowledge"
+            )
+        for state_list, action_list, value in agent_payload.get("q", []):
+            action = _action_from_list(action_list)
+            if action not in agent.actions:
+                continue
+            state = tuple(state_list)
+            model.table._q[(state, action)] = float(value)
+        epsilon = agent_payload.get("epsilon")
+        if epsilon is not None:
+            agent.exploration.epsilon = max(
+                agent.exploration.min_epsilon, float(epsilon)
+            )
+
+    if scheduler.memory is not None:
+        for entry in payload.get("memory", []):
+            scheduler.memory.record(
+                Experience(
+                    agent_id=entry["agent_id"],
+                    cycle=int(entry["cycle"]),
+                    state=tuple(entry["state"]),
+                    action=_action_from_list(entry["action"]),
+                    l_val=float(entry["l_val"]),
+                    reward=int(entry["reward"]),
+                    error=float(entry["error"]),
+                    time=float(entry["time"]),
+                )
+            )
+
+
+def save_knowledge(
+    scheduler: "AdaptiveRLScheduler", path: Union[str, Path]
+) -> None:
+    """Write exported knowledge as JSON to *path*."""
+    Path(path).write_text(json.dumps(export_knowledge(scheduler), indent=1))
+
+
+def load_knowledge(
+    scheduler: "AdaptiveRLScheduler", path: Union[str, Path]
+) -> None:
+    """Import knowledge previously written by :func:`save_knowledge`."""
+    import_knowledge(scheduler, json.loads(Path(path).read_text()))

@@ -1,0 +1,102 @@
+"""The shared-learning memory (paper §III.B, §IV.C).
+
+"In each resource site, an agent resides and agents … share a long-term
+memory (shared-learning memory).  Each agent is limited to keep and update
+15 cycles of its learning experiences."
+
+The memory stores one :class:`Experience` per completed action per agent
+in a 15-slot ring; any agent can query the best (maximum learning value,
+Eq. 7) experience — optionally restricted to a matching discrete state —
+which is exactly what §IV.C prescribes on reward regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from ..rl.replay import ReplayRing
+from .actions import GroupingAction
+from .state import DiscreteState
+
+__all__ = ["Experience", "SharedLearningMemory", "AGENT_MEMORY_CYCLES"]
+
+#: Per-agent experience budget, fixed by the paper (§III.B).
+AGENT_MEMORY_CYCLES = 15
+
+
+@dataclass(frozen=True)
+class Experience:
+    """One learning experience: an action and its evaluated feedback."""
+
+    agent_id: str
+    cycle: int
+    state: DiscreteState
+    action: GroupingAction
+    l_val: float
+    reward: int
+    error: float
+    time: float
+
+
+class SharedLearningMemory:
+    """Cross-agent experience store with per-agent ring eviction."""
+
+    def __init__(self, cycles_per_agent: int = AGENT_MEMORY_CYCLES) -> None:
+        if cycles_per_agent <= 0:
+            raise ValueError("cycles_per_agent must be positive")
+        self.cycles_per_agent = cycles_per_agent
+        self._rings: Dict[str, ReplayRing[Experience]] = {}
+        self.total_records = 0
+
+    def record(self, experience: Experience) -> None:
+        """Store *experience* in its agent's ring (evicting the oldest)."""
+        ring = self._rings.get(experience.agent_id)
+        if ring is None:
+            ring = ReplayRing(self.cycles_per_agent)
+            self._rings[experience.agent_id] = ring
+        ring.append(experience)
+        self.total_records += 1
+
+    def __len__(self) -> int:
+        return sum(len(r) for r in self._rings.values())
+
+    def __iter__(self) -> Iterator[Experience]:
+        for ring in self._rings.values():
+            yield from ring
+
+    @property
+    def agents(self) -> list[str]:
+        return sorted(self._rings)
+
+    def experiences_for(self, agent_id: str) -> list[Experience]:
+        """This agent's stored experiences, oldest first."""
+        ring = self._rings.get(agent_id)
+        return list(ring) if ring is not None else []
+
+    def best_action(
+        self, state: Optional[DiscreteState] = None
+    ) -> Optional[GroupingAction]:
+        """Action of the maximum-``l_val`` experience across all agents.
+
+        With *state* given, prefer experiences recorded in that exact
+        discrete state and fall back to the global best when none match
+        (the paper's fallback "considering the action with the maximum
+        learning value", §IV.C).
+        """
+        best = self.best_experience(state)
+        return best.action if best is not None else None
+
+    def best_experience(
+        self, state: Optional[DiscreteState] = None
+    ) -> Optional[Experience]:
+        """The maximum-``l_val`` experience (state-matching preferred)."""
+        best_match: Optional[Experience] = None
+        best_any: Optional[Experience] = None
+        for exp in self:
+            if best_any is None or exp.l_val > best_any.l_val:
+                best_any = exp
+            if state is not None and exp.state == state:
+                if best_match is None or exp.l_val > best_match.l_val:
+                    best_match = exp
+        return best_match if best_match is not None else best_any

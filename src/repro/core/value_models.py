@@ -1,0 +1,123 @@
+"""Action-value models behind the Adaptive-RL agent (DESIGN.md A6).
+
+The paper's learner is "designed based on a neural network presented in
+[10]" but gives no architecture; this module provides two interchangeable
+value models sharing one interface:
+
+- :class:`TabularValueModel` (default) — Q-table over the discretized
+  site state; deterministic and fast at this problem scale;
+- :class:`NeuralValueModel` — the NumPy MLP from :mod:`repro.rl.neural`
+  over continuous state features plus a one-hot action encoding.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..rl.neural import MLP
+from ..rl.qlearning import QTable
+from .actions import GroupingAction
+from .state import DiscreteState, SiteObservation
+
+__all__ = ["ValueModel", "TabularValueModel", "NeuralValueModel"]
+
+
+class ValueModel(abc.ABC):
+    """Interface the agent uses to rank and learn grouping actions."""
+
+    @abc.abstractmethod
+    def values(
+        self,
+        state: DiscreteState,
+        obs: SiteObservation,
+        actions: Sequence[GroupingAction],
+    ) -> list[float]:
+        """Estimated value of each action in the observed state."""
+
+    @abc.abstractmethod
+    def update(
+        self,
+        state: DiscreteState,
+        obs: SiteObservation,
+        action: GroupingAction,
+        reward: float,
+        next_state: Optional[DiscreteState],
+        next_obs: Optional[SiteObservation],
+        actions: Sequence[GroupingAction],
+    ) -> None:
+        """Learn from an observed transition."""
+
+    @abc.abstractmethod
+    def knows(self, state: DiscreteState, actions: Sequence[GroupingAction]) -> bool:
+        """True if the model has any learned signal for *state*."""
+
+
+class TabularValueModel(ValueModel):
+    """Q-table over the discrete ternary site state."""
+
+    def __init__(self, alpha: float = 0.2, gamma: float = 0.6) -> None:
+        self.table = QTable(alpha=alpha, gamma=gamma)
+
+    def values(self, state, obs, actions):
+        return self.table.values(state, actions)
+
+    def update(self, state, obs, action, reward, next_state, next_obs, actions):
+        self.table.update(
+            state,
+            action,
+            reward,
+            next_state=next_state,
+            next_actions=actions if next_state is not None else (),
+        )
+
+    def knows(self, state, actions):
+        return any((state, a) in self.table for a in actions)
+
+
+class NeuralValueModel(ValueModel):
+    """MLP over continuous site features + one-hot action encoding."""
+
+    def __init__(
+        self,
+        actions: Sequence[GroupingAction],
+        rng: np.random.Generator,
+        hidden: int = 16,
+        learning_rate: float = 5e-3,
+        gamma: float = 0.6,
+    ) -> None:
+        if not actions:
+            raise ValueError("need at least one action")
+        self._action_index = {a: i for i, a in enumerate(actions)}
+        n_features = 4  # SiteObservation.features() width
+        self.gamma = gamma
+        self.net = MLP(
+            [n_features + len(actions), hidden, 1],
+            rng=rng,
+            learning_rate=learning_rate,
+        )
+        self._updates = 0
+
+    def _encode(self, obs: SiteObservation, action: GroupingAction) -> np.ndarray:
+        onehot = np.zeros(len(self._action_index))
+        onehot[self._action_index[action]] = 1.0
+        return np.concatenate([obs.features(), onehot])
+
+    def values(self, state, obs, actions):
+        x = np.stack([self._encode(obs, a) for a in actions])
+        return [float(v) for v in self.net.predict(x)[:, 0]]
+
+    def update(self, state, obs, action, reward, next_state, next_obs, actions):
+        target = reward
+        if next_obs is not None and actions:
+            target += self.gamma * max(self.values(next_state, next_obs, actions))
+        x = self._encode(obs, action)[None, :]
+        y = np.array([[target]])
+        self.net.train_batch(x, y)
+        self._updates += 1
+
+    def knows(self, state, actions):
+        # The network generalizes from the first update onward.
+        return self._updates > 0

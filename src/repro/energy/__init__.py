@@ -1,0 +1,38 @@
+"""Energy model substrate (paper §III.C).
+
+Per-processor power states and exact event-driven energy integration
+(Eq. 5), node aggregation (Eq. 6), the system metric ``ECS``, and derived
+efficiency figures of merit.
+"""
+
+from .accounting import NodeEnergy, SystemEnergy, node_energy, system_energy
+from .efficiency import EfficiencyReport, efficiency_report
+from .meter import EnergyBreakdown, ProcState, ProcessorEnergyMeter
+from .power_model import (
+    DEFAULT_PMAX_W,
+    DEFAULT_PMIN_W,
+    DEFAULT_SLEEP_FRACTION,
+    PEAK_POWER_RANGE_W,
+    PowerProfile,
+    constant_power_profile,
+    proportional_power_profile,
+)
+
+__all__ = [
+    "PowerProfile",
+    "constant_power_profile",
+    "proportional_power_profile",
+    "PEAK_POWER_RANGE_W",
+    "DEFAULT_PMAX_W",
+    "DEFAULT_PMIN_W",
+    "DEFAULT_SLEEP_FRACTION",
+    "ProcState",
+    "ProcessorEnergyMeter",
+    "EnergyBreakdown",
+    "NodeEnergy",
+    "SystemEnergy",
+    "node_energy",
+    "system_energy",
+    "EfficiencyReport",
+    "efficiency_report",
+]

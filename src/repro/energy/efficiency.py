@@ -1,0 +1,67 @@
+"""Derived energy-efficiency metrics.
+
+These are not defined in the paper but are standard figures of merit used
+by the ablation benches to interpret results: energy per completed task,
+energy-delay product, and the idle-waste fraction the paper's introduction
+motivates ("the majority of the electricity that passes through them is
+wasted").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .accounting import SystemEnergy
+
+__all__ = ["EfficiencyReport", "efficiency_report"]
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """Energy-efficiency figures of merit for one simulation run."""
+
+    energy_per_task: float
+    energy_delay_product: float
+    idle_waste_fraction: float
+    utilization: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"energy/task={self.energy_per_task:.1f}  "
+            f"EDP={self.energy_delay_product:.1f}  "
+            f"idle-waste={self.idle_waste_fraction:.1%}  "
+            f"util={self.utilization:.1%}"
+        )
+
+
+def efficiency_report(
+    energy: SystemEnergy, completed_tasks: int, mean_response_time: float
+) -> EfficiencyReport:
+    """Build an :class:`EfficiencyReport` from run-level aggregates.
+
+    Parameters
+    ----------
+    energy:
+        System energy aggregate for the run.
+    completed_tasks:
+        Number of tasks that finished within the observation window.
+    mean_response_time:
+        ``AveRT`` for the run.
+    """
+    if completed_tasks < 0:
+        raise ValueError("completed_tasks must be non-negative")
+    if mean_response_time < 0:
+        raise ValueError("mean_response_time must be non-negative")
+    per_task = energy.total_energy / completed_tasks if completed_tasks else float("inf")
+    # Idle waste: share of total energy burned while idle-but-available.
+    # Computed from times weighted by the respective state powers is not
+    # recoverable from SystemEnergy alone, so approximate with time share
+    # of powered-on time, which is exact when all profiles are identical.
+    powered_time = energy.busy_time + energy.idle_time
+    idle_fraction = energy.idle_time / powered_time if powered_time > 0 else 0.0
+    return EfficiencyReport(
+        energy_per_task=per_task,
+        energy_delay_product=per_task * mean_response_time,
+        idle_waste_fraction=idle_fraction,
+        utilization=energy.utilization,
+    )

@@ -1,0 +1,148 @@
+"""Event-driven energy integration per processor (Eq. 5 and extensions).
+
+A :class:`ProcessorEnergyMeter` records state transitions (busy / idle /
+sleep) with timestamps and integrates ``power × time`` exactly — no
+sampling error.  The paper's per-processor energy
+
+    ``PPj = pmax · Σ ETi + pmin · t_idle``            (Eq. 5)
+
+is the special case with no sleep time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from .power_model import PowerProfile
+
+__all__ = ["ProcState", "ProcessorEnergyMeter", "EnergyBreakdown"]
+
+
+class ProcState(enum.Enum):
+    """Power states a processor can occupy."""
+
+    BUSY = "busy"
+    IDLE = "idle"
+    SLEEP = "sleep"
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-state time and energy totals for one processor."""
+
+    busy_time: float
+    idle_time: float
+    sleep_time: float
+    busy_energy: float
+    idle_energy: float
+    sleep_energy: float
+
+    @property
+    def total_time(self) -> float:
+        return self.busy_time + self.idle_time + self.sleep_time
+
+    @property
+    def total_energy(self) -> float:
+        """``PPj`` — total energy consumed by the processor."""
+        return self.busy_energy + self.idle_energy + self.sleep_energy
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of non-sleep wall time spent busy.
+
+        The paper defines utilization as "the percentage of time the
+        processor was busy servicing tasks" (§V, Experiment 2); we measure
+        it against powered-on time (busy + idle).  When the processor
+        never powered on, utilization is 0.
+        """
+        powered = self.busy_time + self.idle_time
+        return self.busy_time / powered if powered > 0 else 0.0
+
+
+class ProcessorEnergyMeter:
+    """Integrates a single processor's energy across state transitions."""
+
+    def __init__(self, profile: PowerProfile, start_time: float = 0.0) -> None:
+        self.profile = profile
+        self._state = ProcState.IDLE
+        self._since = float(start_time)
+        self._time = {s: 0.0 for s in ProcState}
+        self._energy = {s: 0.0 for s in ProcState}
+        self._finalized_at: float | None = None
+        self._power_override: Optional[float] = None
+
+    @property
+    def state(self) -> ProcState:
+        """The processor's current power state."""
+        return self._state
+
+    @property
+    def last_transition(self) -> float:
+        """Time of the most recent state change."""
+        return self._since
+
+    def set_state(
+        self, state: ProcState, now: float, power_w: Optional[float] = None
+    ) -> None:
+        """Transition to *state* at time *now*, charging the elapsed span.
+
+        ``power_w`` overrides the profile's draw for the *new* state —
+        used by DVFS, where busy power depends on the frequency the task
+        runs at rather than on the state alone.
+        """
+        if self._finalized_at is not None:
+            raise RuntimeError("meter already finalized")
+        if not isinstance(state, ProcState):
+            raise TypeError(f"state must be a ProcState, got {state!r}")
+        if power_w is not None and power_w < 0:
+            raise ValueError("power_w must be non-negative")
+        self._charge(now)
+        self._state = state
+        self._power_override = power_w
+
+    def _current_power(self) -> float:
+        if self._power_override is not None:
+            return self._power_override
+        return self.profile.power_at(self._state.value)
+
+    def _charge(self, now: float) -> None:
+        if now < self._since:
+            raise ValueError(
+                f"time moved backwards: {now} < last transition {self._since}"
+            )
+        span = now - self._since
+        if span > 0:
+            self._time[self._state] += span
+            self._energy[self._state] += span * self._current_power()
+        self._since = now
+
+    def finalize(self, now: float) -> EnergyBreakdown:
+        """Charge the final span and freeze the meter."""
+        self._charge(now)
+        self._finalized_at = now
+        return self.snapshot()
+
+    def snapshot(self, now: float | None = None) -> EnergyBreakdown:
+        """Breakdown as of the last transition (or *now* if given).
+
+        Passing *now* includes the currently accruing span without
+        mutating the meter.
+        """
+        time = dict(self._time)
+        energy = dict(self._energy)
+        if now is not None and self._finalized_at is None:
+            if now < self._since:
+                raise ValueError("snapshot time precedes last transition")
+            span = now - self._since
+            time[self._state] += span
+            energy[self._state] += span * self._current_power()
+        return EnergyBreakdown(
+            busy_time=time[ProcState.BUSY],
+            idle_time=time[ProcState.IDLE],
+            sleep_time=time[ProcState.SLEEP],
+            busy_energy=energy[ProcState.BUSY],
+            idle_energy=energy[ProcState.IDLE],
+            sleep_energy=energy[ProcState.SLEEP],
+        )

@@ -1,0 +1,114 @@
+"""Processor power model (paper §III.C, Eq. 5).
+
+Each processor draws ``pmax`` watts while executing a task and ``pmin``
+watts while idle-but-available (the paper cites idle power at roughly 50 %
+of peak).  The paper's experiments fix ``pmax = 95`` and ``pmin = 48``; the
+model alternatively derives per-processor peak power proportionally to
+processing capacity within the cited 80–95 W band ("the peak power is
+proportional to its processing capacity", §III.C).
+
+Substitution A7 (see DESIGN.md): nodes may power-gate into a sleep state
+drawing ``p_sleep`` watts, which makes the energy comparison between
+schedulers non-degenerate while preserving the paper's utilization↔energy
+mechanism.  Setting ``sleep_fraction`` so that ``p_sleep == pmin`` (or
+disabling sleep at the node level) recovers Eq. 5 literally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PowerProfile",
+    "constant_power_profile",
+    "proportional_power_profile",
+    "PEAK_POWER_RANGE_W",
+    "DEFAULT_PMAX_W",
+    "DEFAULT_PMIN_W",
+    "DEFAULT_SLEEP_FRACTION",
+]
+
+#: Peak-power band for HPC processors cited by the paper (§I, §III.B).
+PEAK_POWER_RANGE_W = (80.0, 95.0)
+#: Experiment settings from §V.A.
+DEFAULT_PMAX_W = 95.0
+DEFAULT_PMIN_W = 48.0
+#: Sleep power as a fraction of idle power (substitution A7).
+DEFAULT_SLEEP_FRACTION = 0.10
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Static power characteristics of one processor.
+
+    Attributes
+    ----------
+    p_max_w:
+        Power draw at 100 % utilization (busy), watts.
+    p_min_w:
+        Power draw while idle but available, watts.
+    p_sleep_w:
+        Power draw while power-gated (sleeping), watts.
+    """
+
+    p_max_w: float = DEFAULT_PMAX_W
+    p_min_w: float = DEFAULT_PMIN_W
+    p_sleep_w: float = DEFAULT_PMIN_W * DEFAULT_SLEEP_FRACTION
+
+    def __post_init__(self) -> None:
+        if self.p_max_w <= 0:
+            raise ValueError("p_max_w must be positive")
+        if not 0 <= self.p_min_w <= self.p_max_w:
+            raise ValueError("p_min_w must lie in [0, p_max_w]")
+        if not 0 <= self.p_sleep_w <= self.p_min_w:
+            raise ValueError("p_sleep_w must lie in [0, p_min_w]")
+
+    def power_at(self, state: str) -> float:
+        """Power draw (watts) for a state name: busy / idle / sleep."""
+        if state == "busy":
+            return self.p_max_w
+        if state == "idle":
+            return self.p_min_w
+        if state == "sleep":
+            return self.p_sleep_w
+        raise ValueError(f"unknown processor state {state!r}")
+
+
+def constant_power_profile(
+    p_max_w: float = DEFAULT_PMAX_W,
+    p_min_w: float = DEFAULT_PMIN_W,
+    sleep_fraction: float = DEFAULT_SLEEP_FRACTION,
+) -> PowerProfile:
+    """The paper's experiment profile: fixed pmax/pmin for every processor."""
+    return PowerProfile(
+        p_max_w=p_max_w, p_min_w=p_min_w, p_sleep_w=p_min_w * sleep_fraction
+    )
+
+
+def proportional_power_profile(
+    speed_mips: float,
+    speed_range_mips: tuple[float, float] = (500.0, 1000.0),
+    power_range_w: tuple[float, float] = PEAK_POWER_RANGE_W,
+    idle_fraction: float = 0.5,
+    sleep_fraction: float = DEFAULT_SLEEP_FRACTION,
+) -> PowerProfile:
+    """Peak power proportional to processing capacity (§III.C).
+
+    A processor at the bottom of *speed_range_mips* draws the low end of
+    *power_range_w* at peak; the fastest draws the high end.  Idle power is
+    ``idle_fraction`` of peak (paper cites ≈50 % [8]).
+    """
+    lo_s, hi_s = speed_range_mips
+    lo_p, hi_p = power_range_w
+    if not 0 < lo_s <= hi_s:
+        raise ValueError(f"invalid speed range {speed_range_mips}")
+    if not 0 < lo_p <= hi_p:
+        raise ValueError(f"invalid power range {power_range_w}")
+    if not 0 < idle_fraction <= 1:
+        raise ValueError("idle_fraction must lie in (0, 1]")
+    # Clamp speeds outside the nominal range (heterogeneity sweeps may
+    # synthesize them) to the band edges.
+    frac = (min(max(speed_mips, lo_s), hi_s) - lo_s) / (hi_s - lo_s) if hi_s > lo_s else 0.0
+    p_max = lo_p + frac * (hi_p - lo_p)
+    p_min = idle_fraction * p_max
+    return PowerProfile(p_max_w=p_max, p_min_w=p_min, p_sleep_w=p_min * sleep_fraction)

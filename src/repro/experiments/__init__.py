@@ -1,0 +1,70 @@
+"""Experiment harness: configs, runner, figure regenerators, reporting."""
+
+from .campaign import Campaign, CampaignResult, grid
+from .config import ExperimentConfig, default_platform
+from .figures import (
+    ALL_FIGURES,
+    FigureData,
+    HETEROGENEITY_LEVELS,
+    PAPER_TASK_COUNTS,
+    comparison_sweep,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+)
+from .persistence import (
+    figure_from_dict,
+    figure_to_dict,
+    load_figure,
+    metrics_to_dict,
+    save_figure,
+)
+from .reporting import ShapeCheck, render_figure, shape_checks
+from .runner import RunResult, SimulationStalled, run_experiment
+from .schedulers import (
+    PAPER_COMPARISON,
+    SCHEDULER_NAMES,
+    make_scheduler,
+    register_scheduler,
+)
+from .sweeps import SweepPoint, ablation_table, sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "default_platform",
+    "RunResult",
+    "run_experiment",
+    "SimulationStalled",
+    "make_scheduler",
+    "register_scheduler",
+    "SCHEDULER_NAMES",
+    "PAPER_COMPARISON",
+    "FigureData",
+    "comparison_sweep",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "ALL_FIGURES",
+    "PAPER_TASK_COUNTS",
+    "HETEROGENEITY_LEVELS",
+    "render_figure",
+    "shape_checks",
+    "ShapeCheck",
+    "sweep",
+    "SweepPoint",
+    "ablation_table",
+    "save_figure",
+    "load_figure",
+    "figure_to_dict",
+    "figure_from_dict",
+    "metrics_to_dict",
+    "Campaign",
+    "CampaignResult",
+    "grid",
+]

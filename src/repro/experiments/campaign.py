@@ -1,0 +1,134 @@
+"""Campaign runner: grids of experiments with persisted artifacts.
+
+A campaign is a named grid (scheduler × task count × seed, or any list
+of configs), executed sequentially with per-run JSON records and an
+aggregated markdown report — the plumbing for larger studies than the
+six paper figures.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from ..metrics.stats import mean_ci
+from .config import ExperimentConfig
+from .persistence import metrics_to_dict
+from .runner import run_experiment
+
+__all__ = ["Campaign", "CampaignResult", "grid"]
+
+
+def grid(
+    schedulers: Sequence[str],
+    task_counts: Sequence[int],
+    seeds: Sequence[int],
+    **common,
+) -> list[ExperimentConfig]:
+    """Build the full scheduler × N × seed config grid."""
+    if not schedulers or not task_counts or not seeds:
+        raise ValueError("grid axes must be non-empty")
+    return [
+        ExperimentConfig(scheduler=s, num_tasks=n, seed=seed, **common)
+        for s in schedulers
+        for n in task_counts
+        for seed in seeds
+    ]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced."""
+
+    name: str
+    records: list[dict] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def by(self, **filters) -> list[dict]:
+        """Records matching all (key, value) filters."""
+        out = []
+        for r in self.records:
+            if all(r.get(k) == v for k, v in filters.items()):
+                out.append(r)
+        return out
+
+    def aggregate(self, metric: str, **filters) -> Optional[dict]:
+        """Mean/CI of *metric* over matching records (None if empty)."""
+        values = [r[metric] for r in self.by(**filters) if metric in r]
+        if not values:
+            return None
+        ci = mean_ci(values)
+        return {"mean": ci.mean, "half_width": ci.half_width, "n": ci.n}
+
+    def to_markdown(self) -> str:
+        """Aggregated scheduler × N table (AveRT / ECS / success)."""
+        schedulers = sorted({r["scheduler"] for r in self.records})
+        counts = sorted({r["num_tasks"] for r in self.records})
+        lines = [f"# Campaign: {self.name}", ""]
+        lines.append(
+            f"{len(self.records)} runs in {self.wall_seconds:.1f}s wall time."
+        )
+        for metric, label, scale in (
+            ("avert", "AveRT (t units)", 1.0),
+            ("ecs", "ECS (millions)", 1e-6),
+            ("success_rate", "Success rate", 1.0),
+        ):
+            lines.append("")
+            lines.append(f"## {label}")
+            lines.append("")
+            header = "| scheduler | " + " | ".join(f"N={n}" for n in counts) + " |"
+            lines.append(header)
+            lines.append("|" + "---|" * (len(counts) + 1))
+            for s in schedulers:
+                cells = []
+                for n in counts:
+                    agg = self.aggregate(metric, scheduler=s, num_tasks=n)
+                    if agg is None:
+                        cells.append("—")
+                    elif agg["n"] > 1:
+                        cells.append(
+                            f"{agg['mean'] * scale:.3g} ± {agg['half_width'] * scale:.2g}"
+                        )
+                    else:
+                        cells.append(f"{agg['mean'] * scale:.3g}")
+                lines.append(f"| {s} | " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+
+class Campaign:
+    """Runs a list of configs and persists artifacts to a directory."""
+
+    def __init__(
+        self, name: str, output_dir: Optional[Union[str, Path]] = None
+    ) -> None:
+        if not name:
+            raise ValueError("campaign name must be non-empty")
+        self.name = name
+        self.output_dir = Path(output_dir) if output_dir else None
+
+    def run(self, configs: Iterable[ExperimentConfig]) -> CampaignResult:
+        """Execute every config; returns (and optionally writes) results."""
+        result = CampaignResult(name=self.name)
+        started = time.monotonic()
+        for i, config in enumerate(configs):
+            run = run_experiment(config)
+            record = metrics_to_dict(run.metrics)
+            record["seed"] = config.seed
+            record["config_scheduler"] = config.scheduler
+            result.records.append(record)
+        result.wall_seconds = time.monotonic() - started
+
+        if self.output_dir is not None:
+            self.output_dir.mkdir(parents=True, exist_ok=True)
+            (self.output_dir / f"{self.name}.json").write_text(
+                json.dumps(
+                    {"name": self.name, "records": result.records}, indent=1
+                )
+            )
+            (self.output_dir / f"{self.name}.md").write_text(
+                result.to_markdown()
+            )
+        return result

@@ -1,0 +1,108 @@
+"""Command-line figure regeneration.
+
+Usage::
+
+    python -m repro.experiments.cli                 # all figures, full scale
+    python -m repro.experiments.cli fig7 fig8       # selected figures
+    python -m repro.experiments.cli --quick         # reduced scale (CI)
+    python -m repro.experiments.cli --seeds 1 2 3   # multi-seed CIs
+
+Prints each figure as an ASCII table followed by its paper-shape checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .figures import (
+    ALL_FIGURES,
+    HEAVY_TASKS,
+    LIGHT_TASKS,
+    PAPER_TASK_COUNTS,
+    comparison_sweep,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+)
+from .reporting import render_figure, shape_checks
+
+QUICK_TASK_COUNTS = (500, 1500, 3000)
+QUICK_HEAVY = 2000
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        default=[],
+        help=f"figure ids to regenerate (default: all of {', '.join(ALL_FIGURES)})",
+    )
+    parser.add_argument("--quick", action="store_true", help="reduced scale")
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[1], help="seeds to average"
+    )
+    parser.add_argument(
+        "--save-dir",
+        default=None,
+        help="directory to write each figure's data as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = args.figures or list(ALL_FIGURES)
+    unknown = [f for f in wanted if f not in ALL_FIGURES]
+    if unknown:
+        parser.error(f"unknown figures: {', '.join(unknown)}")
+
+    task_counts = QUICK_TASK_COUNTS if args.quick else PAPER_TASK_COUNTS
+    heavy = QUICK_HEAVY if args.quick else HEAVY_TASKS
+    seeds = tuple(args.seeds)
+
+    figs = []
+    shared_sweep = None
+    for fid in wanted:
+        t0 = time.time()
+        if fid in ("fig7", "fig8"):
+            if shared_sweep is None:
+                shared_sweep = comparison_sweep(task_counts, seeds)
+            fig = (figure7 if fid == "fig7" else figure8)(
+                task_counts, seeds, sweep=shared_sweep
+            )
+        elif fid == "fig9":
+            fig = figure9(num_tasks=heavy, seed=seeds[0])
+        elif fid == "fig10":
+            fig = figure10(num_tasks=LIGHT_TASKS, seed=seeds[0])
+        elif fid == "fig11":
+            fig = figure11(seeds=seeds, heavy_tasks=heavy)
+        else:
+            fig = figure12(seeds=seeds, heavy_tasks=heavy)
+        elapsed = time.time() - t0
+        figs.append(fig)
+        if args.save_dir is not None:
+            from pathlib import Path
+
+            from .persistence import save_figure
+
+            out = Path(args.save_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            save_figure(fig, out / f"{fid}.json")
+        print(render_figure(fig))
+        print(f"(regenerated in {elapsed:.1f}s)")
+        for check in shape_checks(fig):
+            print(str(check))
+        print()
+
+    failed = [
+        c for fig in figs for c in shape_checks(fig) if not c.passed
+    ]
+    print(f"shape checks: {sum(len(shape_checks(f)) for f in figs) - len(failed)} passed, {len(failed)} failed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Experiment configuration (paper §V.A).
+
+Defaults mirror the paper's setting: Poisson arrivals with mean
+inter-arrival 5, task sizes U(600, 7200) MI, platform of 5–10 sites with
+5–20 nodes of 4–6 processors, ``pmax = 95 W`` / ``pmin = 48 W``.  The
+default platform realization is kept at the small end of the paper's
+ranges so a full figure sweep runs in seconds on a laptop; every range is
+overridable per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..cluster.system import PlatformSpec
+from ..workload.generator import DEFAULT_PRIORITY_MIX
+
+__all__ = ["ExperimentConfig", "default_platform"]
+
+
+def default_platform(**overrides: Any) -> PlatformSpec:
+    """The evaluation platform (small end of the paper's §V.A ranges)."""
+    params: dict[str, Any] = dict(
+        num_sites=5,
+        nodes_per_site=(5, 10),
+        procs_per_node=(4, 6),
+    )
+    params.update(overrides)
+    return PlatformSpec(**params)
+
+
+#: Arrival window so that N=500 reproduces the paper's stated mean
+#: inter-arrival time of 5 time units (DESIGN.md A12): the task-count
+#: sweep of Figures 7–8 varies *load* — N tasks arrive within a fixed
+#: observation period, so heavier N means a higher arrival rate.
+DEFAULT_ARRIVAL_PERIOD = 2500.0
+
+#: Task-size calibration (DESIGN.md A12): the paper's literal size range
+#: (600–7200 MI on 500–1000 MIPS processors) cannot load its stated
+#: platform at any of its stated arrival rates, yet its response-time
+#: curves show saturation.  Scaling sizes ×24 puts the N=3000 point at
+#: ≈0.8–0.95 offered utilization on the default platform, reproducing
+#: the light→heavy regime the evaluation sweeps.
+DEFAULT_SIZE_RANGE_MI = (600.0 * 24, 7200.0 * 24)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to reproduce one simulation run."""
+
+    scheduler: str = "adaptive-rl"
+    scheduler_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 1
+    num_tasks: int = 1000
+    #: Fixed observation window: mean inter-arrival = period / num_tasks.
+    #: Set to None to use ``mean_interarrival`` directly instead.
+    arrival_period: float | None = DEFAULT_ARRIVAL_PERIOD
+    mean_interarrival: float = 5.0
+    size_range_mi: tuple[float, float] = DEFAULT_SIZE_RANGE_MI
+    #: Speed of the "referred (the slowest) resource" used to compute
+    #: ``ACT`` and hence deadlines (§III.A).  The paper's platform has a
+    #: nominal slowest of 500 MIPS; ``None`` derives it from the realized
+    #: platform instead (degenerate under high-CV heterogeneity synthesis,
+    #: where the sampled minimum can be arbitrarily slow).
+    reference_speed_mips: float | None = 500.0
+    priority_mix: tuple[float, float, float] = DEFAULT_PRIORITY_MIX
+    #: Extra WorkloadSpec keyword overrides (e.g. arrival_process="mmpp",
+    #: size_distribution="bounded-pareto") for robustness studies.
+    workload_overrides: Mapping[str, Any] = field(default_factory=dict)
+    platform: PlatformSpec = field(default_factory=default_platform)
+    #: Crash-stop failure injection (None = no failures): mean time
+    #: between failures per node, exponentially distributed.
+    failure_mtbf: float | None = None
+    #: Mean time to repair per node (used when failure_mtbf is set).
+    failure_mttr: float = 50.0
+    #: Hard wall on simulated time, as a multiple of the arrival span —
+    #: a run that cannot drain within it raises instead of hanging.
+    sim_time_factor: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.num_tasks <= 0:
+            raise ValueError("num_tasks must be positive")
+        if self.mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+        if self.arrival_period is not None and self.arrival_period <= 0:
+            raise ValueError("arrival_period must be positive")
+        lo, hi = self.size_range_mi
+        if not 0 < lo <= hi:
+            raise ValueError(f"invalid size range {self.size_range_mi}")
+        if self.reference_speed_mips is not None and self.reference_speed_mips <= 0:
+            raise ValueError("reference_speed_mips must be positive")
+        if self.failure_mtbf is not None and self.failure_mtbf <= 0:
+            raise ValueError("failure_mtbf must be positive")
+        if self.failure_mttr <= 0:
+            raise ValueError("failure_mttr must be positive")
+        if self.sim_time_factor <= 1:
+            raise ValueError("sim_time_factor must exceed 1")
+
+    @property
+    def effective_mean_interarrival(self) -> float:
+        """Mean inter-arrival time this config induces."""
+        if self.arrival_period is not None:
+            return self.arrival_period / self.num_tasks
+        return self.mean_interarrival
+
+    def with_overrides(self, **changes: Any) -> "ExperimentConfig":
+        """Functional update helper."""
+        from dataclasses import replace
+
+        return replace(self, **changes)

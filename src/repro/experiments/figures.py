@@ -1,0 +1,308 @@
+"""Regenerators for every result figure in the paper (Figures 7–12).
+
+Each ``figureN`` function runs the simulations behind one paper figure
+and returns a :class:`FigureData` with the same x-axis and series the
+paper plots.  Figures 7 and 8 come from one shared sweep
+(:func:`comparison_sweep`); pass its result to both to avoid running the
+simulations twice.
+
+Scale knobs (``task_counts``, ``seeds``) default to the paper's full
+settings; benches and tests pass reduced values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..metrics.stats import mean_ci
+from .config import ExperimentConfig, default_platform
+from .runner import run_experiment
+from .schedulers import PAPER_COMPARISON
+
+__all__ = [
+    "FigureData",
+    "comparison_sweep",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "ALL_FIGURES",
+    "PAPER_TASK_COUNTS",
+    "HETEROGENEITY_LEVELS",
+    "LIGHT_TASKS",
+    "HEAVY_TASKS",
+    "SCHEDULER_LABELS",
+]
+
+#: The paper's Figure 7/8 x-axis.
+PAPER_TASK_COUNTS = (500, 1000, 1500, 2000, 2500, 3000)
+#: The paper's Figure 11/12 x-axis.
+HETEROGENEITY_LEVELS = (0.1, 0.3, 0.5, 0.7, 0.9)
+#: §V Experiment 2: "500 tasks and 3,000 tasks for lightly loaded and
+#: heavily loaded, respectively".
+LIGHT_TASKS = 500
+HEAVY_TASKS = 3000
+
+#: Legend labels exactly as the paper prints them.
+SCHEDULER_LABELS = {
+    "adaptive-rl": "Adaptive RL",
+    "online-rl": "Online RL",
+    "qplus": "Q+ learning",
+    "prediction": "Prediction-based learning",
+}
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """One reproduced figure: x-axis, named series, and provenance."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    x_values: tuple
+    #: series name → y value per x (means over seeds).
+    series: Mapping[str, tuple]
+    #: series name → 95 % CI half-width per x (zeros for single seeds).
+    errors: Mapping[str, tuple] = field(default_factory=dict)
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, ys in self.series.items():
+            if len(ys) != len(self.x_values):
+                raise ValueError(
+                    f"series {name!r} length {len(ys)} != x length "
+                    f"{len(self.x_values)}"
+                )
+
+
+def _aggregate(values_by_seed: Sequence[float]) -> tuple[float, float]:
+    ci = mean_ci(list(values_by_seed))
+    return ci.mean, ci.half_width
+
+
+def comparison_sweep(
+    task_counts: Sequence[int] = PAPER_TASK_COUNTS,
+    seeds: Sequence[int] = (1,),
+    schedulers: Sequence[str] = PAPER_COMPARISON,
+) -> dict:
+    """Run the Experiment 1 sweep once; powers Figures 7 and 8.
+
+    Returns ``{scheduler: {n: [RunMetrics per seed]}}``.
+    """
+    results: dict = {}
+    for name in schedulers:
+        per_n: dict = {}
+        for n in task_counts:
+            runs = []
+            for seed in seeds:
+                cfg = ExperimentConfig(scheduler=name, num_tasks=n, seed=seed)
+                runs.append(run_experiment(cfg).metrics)
+            per_n[n] = runs
+        results[name] = per_n
+    return results
+
+
+def figure7(
+    task_counts: Sequence[int] = PAPER_TASK_COUNTS,
+    seeds: Sequence[int] = (1,),
+    sweep: Optional[dict] = None,
+) -> FigureData:
+    """Figure 7: average response time vs number of tasks (4 schedulers)."""
+    sweep = sweep if sweep is not None else comparison_sweep(task_counts, seeds)
+    series, errors = {}, {}
+    for name, per_n in sweep.items():
+        label = SCHEDULER_LABELS.get(name, name)
+        means, hws = [], []
+        for n in task_counts:
+            mean, hw = _aggregate([m.avert for m in per_n[n]])
+            means.append(mean)
+            hws.append(hw)
+        series[label] = tuple(means)
+        errors[label] = tuple(hws)
+    return FigureData(
+        figure_id="fig7",
+        title="Average response time with different learning approaches",
+        x_label="Number of tasks",
+        y_label="average response time (t unit)",
+        x_values=tuple(task_counts),
+        series=series,
+        errors=errors,
+        meta={"seeds": tuple(seeds)},
+    )
+
+
+def figure8(
+    task_counts: Sequence[int] = PAPER_TASK_COUNTS,
+    seeds: Sequence[int] = (1,),
+    sweep: Optional[dict] = None,
+) -> FigureData:
+    """Figure 8: system energy consumption vs number of tasks."""
+    sweep = sweep if sweep is not None else comparison_sweep(task_counts, seeds)
+    series, errors = {}, {}
+    for name, per_n in sweep.items():
+        label = SCHEDULER_LABELS.get(name, name)
+        means, hws = [], []
+        for n in task_counts:
+            mean, hw = _aggregate([m.ecs / 1e6 for m in per_n[n]])
+            means.append(mean)
+            hws.append(hw)
+        series[label] = tuple(means)
+        errors[label] = tuple(hws)
+    return FigureData(
+        figure_id="fig8",
+        title="Average energy consumption with different learning approaches",
+        x_label="Number of tasks",
+        y_label="energy consumption (in millions)",
+        x_values=tuple(task_counts),
+        series=series,
+        errors=errors,
+        meta={"seeds": tuple(seeds)},
+    )
+
+
+def _utilization_figure(
+    figure_id: str, num_tasks: int, load_label: str, seed: int
+) -> FigureData:
+    series = {}
+    x_values: tuple = ()
+    for name in ("adaptive-rl", "online-rl"):
+        cfg = ExperimentConfig(scheduler=name, num_tasks=num_tasks, seed=seed)
+        metrics = run_experiment(cfg).metrics
+        points = metrics.utilization_series
+        x_values = tuple(p.percent_cycles for p in points)
+        label = f"{SCHEDULER_LABELS[name]} ({load_label})"
+        series[label] = tuple(p.cumulative_utilization for p in points)
+    return FigureData(
+        figure_id=figure_id,
+        title=(
+            f"Utilisation rate between Adaptive-RL and Online RL in "
+            f"{load_label} state"
+        ),
+        x_label="% learning cycles",
+        y_label="utilisation rate",
+        x_values=x_values,
+        series=series,
+        meta={"num_tasks": num_tasks, "seed": seed},
+    )
+
+
+def figure9(num_tasks: int = HEAVY_TASKS, seed: int = 1) -> FigureData:
+    """Figure 9: utilization vs % learning cycles, heavily loaded."""
+    return _utilization_figure("fig9", num_tasks, "heavily-loaded", seed)
+
+
+def figure10(num_tasks: int = LIGHT_TASKS, seed: int = 1) -> FigureData:
+    """Figure 10: utilization vs % learning cycles, lightly loaded."""
+    return _utilization_figure("fig10", num_tasks, "lightly-loaded", seed)
+
+
+def _heterogeneity_sweep(
+    levels: Sequence[float],
+    seeds: Sequence[int],
+    light_tasks: int,
+    heavy_tasks: int,
+) -> dict:
+    """{load_label: {h: [RunMetrics per seed]}} for Adaptive-RL."""
+    results: dict = {}
+    for label, n in (("Heavily-loaded", heavy_tasks), ("Lightly-loaded", light_tasks)):
+        per_h: dict = {}
+        for h in levels:
+            runs = []
+            for seed in seeds:
+                platform = default_platform(heterogeneity_cv=h)
+                cfg = ExperimentConfig(
+                    scheduler="adaptive-rl",
+                    num_tasks=n,
+                    seed=seed,
+                    platform=platform,
+                )
+                runs.append(run_experiment(cfg).metrics)
+            per_h[h] = runs
+        results[label] = per_h
+    return results
+
+
+def figure11(
+    levels: Sequence[float] = HETEROGENEITY_LEVELS,
+    seeds: Sequence[int] = (1,),
+    light_tasks: int = LIGHT_TASKS,
+    heavy_tasks: int = HEAVY_TASKS,
+    sweep: Optional[dict] = None,
+) -> FigureData:
+    """Figure 11: Adaptive-RL success rate vs resource heterogeneity."""
+    sweep = (
+        sweep
+        if sweep is not None
+        else _heterogeneity_sweep(levels, seeds, light_tasks, heavy_tasks)
+    )
+    series, errors = {}, {}
+    for label, per_h in sweep.items():
+        means, hws = [], []
+        for h in levels:
+            mean, hw = _aggregate([m.success_rate for m in per_h[h]])
+            means.append(mean)
+            hws.append(hw)
+        series[label] = tuple(means)
+        errors[label] = tuple(hws)
+    return FigureData(
+        figure_id="fig11",
+        title="Successful rate of Adaptive-RL in lightly- and heavily-loaded states",
+        x_label="Heterogeneity of resources",
+        y_label="successful rate",
+        x_values=tuple(levels),
+        series=series,
+        errors=errors,
+        meta={"seeds": tuple(seeds)},
+    )
+
+
+def figure12(
+    levels: Sequence[float] = HETEROGENEITY_LEVELS,
+    seeds: Sequence[int] = (1,),
+    light_tasks: int = LIGHT_TASKS,
+    heavy_tasks: int = HEAVY_TASKS,
+    sweep: Optional[dict] = None,
+) -> FigureData:
+    """Figure 12: Adaptive-RL energy consumption vs resource heterogeneity."""
+    sweep = (
+        sweep
+        if sweep is not None
+        else _heterogeneity_sweep(levels, seeds, light_tasks, heavy_tasks)
+    )
+    series, errors = {}, {}
+    for label, per_h in sweep.items():
+        means, hws = [], []
+        for h in levels:
+            mean, hw = _aggregate([m.ecs / 1e6 for m in per_h[h]])
+            means.append(mean)
+            hws.append(hw)
+        series[label] = tuple(means)
+        errors[label] = tuple(hws)
+    return FigureData(
+        figure_id="fig12",
+        title=(
+            "Average energy consumption of Adaptive-RL in lightly- and "
+            "heavily-loaded states"
+        ),
+        x_label="Heterogeneity of resources",
+        y_label="energy consumption (in millions)",
+        x_values=tuple(levels),
+        series=series,
+        errors=errors,
+        meta={"seeds": tuple(seeds)},
+    )
+
+
+#: Registry used by the reporting CLI: id → regenerator.
+ALL_FIGURES = {
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+    "fig10": figure10,
+    "fig11": figure11,
+    "fig12": figure12,
+}

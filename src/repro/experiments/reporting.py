@@ -1,0 +1,230 @@
+"""ASCII rendering and paper-shape validation of reproduced figures.
+
+:func:`render_figure` prints the same rows/series a paper figure
+reports; :func:`shape_checks` codifies each figure's qualitative claims
+("who wins, by roughly what factor") as pass/fail checks used by the
+integration tests and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .figures import FigureData
+
+__all__ = ["render_figure", "ShapeCheck", "shape_checks"]
+
+
+def render_figure(fig: FigureData, width: int = 10) -> str:
+    """Render a :class:`FigureData` as an aligned ASCII table."""
+    names = list(fig.series)
+    header = f"{fig.figure_id.upper()}: {fig.title}\n"
+    header += f"x = {fig.x_label}; y = {fig.y_label}\n"
+    name_w = max(len(fig.x_label), *(len(n) for n in names)) + 2
+    lines = [header]
+    row = fig.x_label.ljust(name_w) + "".join(
+        f"{x!s:>{width}}" for x in fig.x_values
+    )
+    lines.append(row)
+    lines.append("-" * len(row))
+    for name in names:
+        ys = fig.series[name]
+        cells = "".join(f"{y:>{width}.3f}" for y in ys)
+        lines.append(name.ljust(name_w) + cells)
+        errs = fig.errors.get(name) if fig.errors else None
+        if errs is not None and any(e > 0 for e in errs):
+            cells = "".join(f"±{e:>{width - 1}.3f}" for e in errs)
+            lines.append(("  (95% CI)").ljust(name_w) + cells)
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim from the paper, evaluated on our data."""
+
+    figure_id: str
+    claim: str
+    passed: bool
+    details: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.figure_id}: {self.claim} — {self.details}"
+
+
+def _series_by_prefix(fig: FigureData, prefix: str) -> Sequence[float]:
+    for name, ys in fig.series.items():
+        if name.startswith(prefix):
+            return ys
+    raise KeyError(f"{fig.figure_id}: no series starting with {prefix!r}")
+
+
+def _check(figure_id: str, claim: str, passed: bool, details: str) -> ShapeCheck:
+    return ShapeCheck(figure_id=figure_id, claim=claim, passed=bool(passed), details=details)
+
+
+def _checks_fig7(fig: FigureData) -> list[ShapeCheck]:
+    adaptive = _series_by_prefix(fig, "Adaptive")
+    others = {n: ys for n, ys in fig.series.items() if not n.startswith("Adaptive")}
+    checks = []
+    wins = sum(
+        1
+        for i in range(len(fig.x_values))
+        if all(adaptive[i] <= ys[i] * 1.02 for ys in others.values())
+    )
+    checks.append(
+        _check(
+            "fig7",
+            "Adaptive-RL has the lowest AveRT at (almost) every task count",
+            wins >= len(fig.x_values) - 1,
+            f"lowest (within 2%) at {wins}/{len(fig.x_values)} points",
+        )
+    )
+    # The gap widens with load: relative gap at max N > gap at min N.
+    def rel_gap(i: int) -> float:
+        best_other = min(ys[i] for ys in others.values())
+        return (best_other - adaptive[i]) / adaptive[i]
+
+    checks.append(
+        _check(
+            "fig7",
+            "Adaptive-RL's margin grows as the number of tasks increases",
+            rel_gap(len(fig.x_values) - 1) > rel_gap(0),
+            f"margin {rel_gap(0):+.1%} at N={fig.x_values[0]} → "
+            f"{rel_gap(len(fig.x_values) - 1):+.1%} at N={fig.x_values[-1]}",
+        )
+    )
+    return checks
+
+
+def _checks_fig8(fig: FigureData) -> list[ShapeCheck]:
+    adaptive = _series_by_prefix(fig, "Adaptive")
+    online = _series_by_prefix(fig, "Online")
+    others = {
+        n: ys
+        for n, ys in fig.series.items()
+        if not (n.startswith("Adaptive") or n.startswith("Online"))
+    }
+    checks = []
+    diffs = [abs(o - a) / a for a, o in zip(adaptive, online)]
+    checks.append(
+        _check(
+            "fig8",
+            "Online RL's energy is comparable to Adaptive-RL's (≈5% differences)",
+            max(diffs) <= 0.15,
+            f"max |Online − Adaptive| / Adaptive = {max(diffs):.1%}",
+        )
+    )
+    last = len(fig.x_values) - 1
+    checks.append(
+        _check(
+            "fig8",
+            "Adaptive-RL's energy is at or below every baseline's at heavy load",
+            all(adaptive[last] <= ys[last] * 1.02 for ys in fig.series.values()),
+            f"ECS at N={fig.x_values[last]}: adaptive={adaptive[last]:.2f}M, "
+            + ", ".join(f"{n}={ys[last]:.2f}M" for n, ys in fig.series.items()),
+        )
+    )
+    checks.append(
+        _check(
+            "fig8",
+            "Energy grows with the number of tasks for every approach",
+            all(ys[-1] > ys[0] for ys in fig.series.values()),
+            "monotone first-to-last increase in every series",
+        )
+    )
+    return checks
+
+
+def _checks_utilization(fig: FigureData) -> list[ShapeCheck]:
+    checks = []
+    for name, ys in fig.series.items():
+        checks.append(
+            _check(
+                fig.figure_id,
+                f"{name}: utilization rises over the learning cycles",
+                ys[-1] > ys[0],
+                f"{ys[0]:.2f} at {fig.x_values[0]}% → {ys[-1]:.2f} at 100%",
+            )
+        )
+        checks.append(
+            _check(
+                fig.figure_id,
+                f"{name}: utilization reaches ≥0.6 by 100% of cycles",
+                ys[-1] >= 0.6,
+                f"final utilization {ys[-1]:.2f}",
+            )
+        )
+    return checks
+
+
+def _checks_fig11(fig: FigureData) -> list[ShapeCheck]:
+    light = _series_by_prefix(fig, "Lightly")
+    heavy = _series_by_prefix(fig, "Heavily")
+    n = len(fig.x_values)
+    mean_overall = (sum(light) + sum(heavy)) / (2 * n)
+    checks = [
+        _check(
+            "fig11",
+            "More than 70% of tasks meet their deadline on average",
+            mean_overall > 0.70,
+            f"mean success rate {mean_overall:.2f}",
+        ),
+        _check(
+            "fig11",
+            "Success rate is higher when heterogeneity is low",
+            light[0] >= light[-1] and heavy[0] >= heavy[-1],
+            f"light {light[0]:.2f}→{light[-1]:.2f}, heavy {heavy[0]:.2f}→{heavy[-1]:.2f}",
+        ),
+        _check(
+            "fig11",
+            "Lightly loaded success ≥ heavily loaded success",
+            sum(light) / n >= sum(heavy) / n - 0.02
+            and all(l >= h - 0.05 for l, h in zip(light, heavy)),
+            "on average (2% tolerance) and pointwise (5% tolerance)",
+        ),
+    ]
+    return checks
+
+
+def _checks_fig12(fig: FigureData) -> list[ShapeCheck]:
+    light = _series_by_prefix(fig, "Lightly")
+    heavy = _series_by_prefix(fig, "Heavily")
+    def spread(ys: Sequence[float]) -> float:
+        return (max(ys) - min(ys)) / (sum(ys) / len(ys))
+
+    checks = [
+        _check(
+            "fig12",
+            "Heterogeneity does not significantly hamper energy efficiency",
+            spread(light) < 0.35 and spread(heavy) < 0.35,
+            f"relative spread: light {spread(light):.1%}, heavy {spread(heavy):.1%}",
+        ),
+        _check(
+            "fig12",
+            "Heavily loaded consumes several times the lightly loaded energy",
+            all(h > 2.0 * l for l, h in zip(light, heavy)),
+            f"ratio range {min(h / l for l, h in zip(light, heavy)):.1f}–"
+            f"{max(h / l for l, h in zip(light, heavy)):.1f}×",
+        ),
+    ]
+    return checks
+
+
+_CHECKERS: dict[str, Callable[[FigureData], list[ShapeCheck]]] = {
+    "fig7": _checks_fig7,
+    "fig8": _checks_fig8,
+    "fig9": _checks_utilization,
+    "fig10": _checks_utilization,
+    "fig11": _checks_fig11,
+    "fig12": _checks_fig12,
+}
+
+
+def shape_checks(fig: FigureData) -> list[ShapeCheck]:
+    """Evaluate the paper's qualitative claims for *fig*."""
+    checker = _CHECKERS.get(fig.figure_id)
+    if checker is None:
+        raise ValueError(f"no shape checks registered for {fig.figure_id!r}")
+    return checker(fig)

@@ -1,0 +1,65 @@
+"""Scheduler registry: experiment-config names → scheduler instances."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from ..baselines import (
+    EDFScheduler,
+    FCFSScheduler,
+    OnlineRLScheduler,
+    PredictionBasedScheduler,
+    QPlusLearningScheduler,
+    RandomScheduler,
+)
+from ..core.adaptive_rl import AdaptiveRLConfig, AdaptiveRLScheduler
+from ..core.base import Scheduler
+
+__all__ = ["SCHEDULER_NAMES", "make_scheduler", "register_scheduler"]
+
+
+def _make_adaptive(**kwargs: Any) -> AdaptiveRLScheduler:
+    return AdaptiveRLScheduler(AdaptiveRLConfig(**kwargs))
+
+
+_FACTORIES: Dict[str, Callable[..., Scheduler]] = {
+    "adaptive-rl": _make_adaptive,
+    "online-rl": OnlineRLScheduler,
+    "qplus": QPlusLearningScheduler,
+    "prediction": PredictionBasedScheduler,
+    "fcfs": FCFSScheduler,
+    "edf": EDFScheduler,
+    "random": RandomScheduler,
+}
+
+#: Names accepted by :func:`make_scheduler`.
+SCHEDULER_NAMES = tuple(sorted(_FACTORIES))
+
+#: The paper's Experiment 1 comparison set, in figure-legend order.
+PAPER_COMPARISON = ("adaptive-rl", "online-rl", "qplus", "prediction")
+
+
+def make_scheduler(name: str, **kwargs: Any) -> Scheduler:
+    """Instantiate a scheduler by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; known: {', '.join(SCHEDULER_NAMES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_scheduler(name: str, factory: Callable[..., Scheduler]) -> None:
+    """Register a custom scheduler under *name* (plugin hook).
+
+    Used by downstream code (see ``examples/custom_scheduler_plugin.py``)
+    to run its own policies through the experiment harness.
+    """
+    if not name:
+        raise ValueError("name must be non-empty")
+    if name in _FACTORIES:
+        raise ValueError(f"scheduler {name!r} is already registered")
+    _FACTORIES[name] = factory
+    global SCHEDULER_NAMES
+    SCHEDULER_NAMES = tuple(sorted(_FACTORIES))

@@ -1,0 +1,84 @@
+"""Run-level metric assembly.
+
+Gathers everything a single simulation run produces — AveRT (Eq. 4), the
+system energy ``ECS``, deadline success, utilization-by-cycles series,
+and the efficiency report — into one :class:`RunMetrics` value object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..cluster.system import System
+from ..core.base import Scheduler
+from ..energy.accounting import SystemEnergy
+from ..energy.efficiency import EfficiencyReport, efficiency_report
+from ..workload.task import Task
+from .response_time import ResponseTimeSummary, summarize_response_times
+from .success_rate import SuccessSummary, summarize_success
+from .utilization import UtilizationPoint, utilization_by_cycles
+
+__all__ = ["RunMetrics", "collect_metrics"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """All headline metrics for one completed simulation run."""
+
+    scheduler: str
+    num_tasks: int
+    makespan: float
+    response: ResponseTimeSummary
+    success: SuccessSummary
+    energy: SystemEnergy
+    efficiency: EfficiencyReport
+    utilization_series: Sequence[UtilizationPoint]
+    learning_cycles: int
+
+    @property
+    def avert(self) -> float:
+        """``AveRT`` (Eq. 4)."""
+        return self.response.mean
+
+    @property
+    def ecs(self) -> float:
+        """System energy ``ECS`` (Σ Ec)."""
+        return self.energy.ecs
+
+    @property
+    def success_rate(self) -> float:
+        """``rew_val / N`` over submitted tasks."""
+        return self.success.rate
+
+    @property
+    def utilization(self) -> float:
+        """Whole-run busy fraction of powered processor time."""
+        return self.energy.utilization
+
+
+def collect_metrics(
+    scheduler: Scheduler, system: System, tasks: Sequence[Task]
+) -> RunMetrics:
+    """Assemble :class:`RunMetrics` at the end of a run.
+
+    Call after the simulation has drained (every expected completion
+    delivered); uses the environment's current time as the observation
+    boundary.
+    """
+    completed = scheduler.completed
+    response = summarize_response_times(completed)
+    success = summarize_success(completed, submitted=len(tasks))
+    energy = system.energy()
+    makespan = max((t.finish_time for t in completed if t.completed), default=0.0)
+    return RunMetrics(
+        scheduler=scheduler.name,
+        num_tasks=len(tasks),
+        makespan=makespan,
+        response=response,
+        success=success,
+        energy=energy,
+        efficiency=efficiency_report(energy, response.count, response.mean),
+        utilization_series=utilization_by_cycles(scheduler.cycle_log),
+        learning_cycles=scheduler.learning_cycles,
+    )

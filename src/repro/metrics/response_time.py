@@ -1,0 +1,62 @@
+"""Response-time metrics (paper Eq. 4).
+
+``AveRT = (1/N) Σ (ET + wait_t)`` over the tasks submitted and completed
+within the observation period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..workload.task import Task
+
+__all__ = ["ResponseTimeSummary", "average_response_time", "summarize_response_times"]
+
+
+@dataclass(frozen=True)
+class ResponseTimeSummary:
+    """Distributional summary of task response times."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+    mean_wait: float
+    mean_execution: float
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+
+
+def average_response_time(tasks: Iterable[Task]) -> float:
+    """Eq. 4 over completed *tasks*; 0 for an empty set."""
+    total = 0.0
+    n = 0
+    for t in tasks:
+        if t.completed:
+            total += t.response_time
+            n += 1
+    return total / n if n else 0.0
+
+
+def summarize_response_times(tasks: Sequence[Task]) -> ResponseTimeSummary:
+    """Full response-time summary over completed *tasks*."""
+    done = [t for t in tasks if t.completed]
+    if not done:
+        return ResponseTimeSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    rts = np.array([t.response_time for t in done])
+    waits = np.array([t.waiting_time for t in done])
+    return ResponseTimeSummary(
+        count=len(done),
+        mean=float(rts.mean()),
+        median=float(np.median(rts)),
+        p95=float(np.percentile(rts, 95)),
+        maximum=float(rts.max()),
+        mean_wait=float(waits.mean()),
+        mean_execution=float((rts - waits).mean()),
+    )

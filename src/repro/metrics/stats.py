@@ -1,0 +1,61 @@
+"""Small statistics helpers for multi-seed experiment aggregation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["MeanCI", "mean_ci", "relative_difference"]
+
+#: Two-sided 95 % t critical values by degrees of freedom (1–30), then ~z.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+    19: 2.093, 20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064,
+    25: 2.060, 26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """Sample mean with a 95 % confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3g} ± {self.half_width:.2g}"
+
+
+def mean_ci(values: Sequence[float]) -> MeanCI:
+    """95 % t-confidence interval for the mean of *values*."""
+    if len(values) == 0:
+        raise ValueError("empty sample")
+    arr = np.asarray(values, dtype=float)
+    n = len(arr)
+    mean = float(arr.mean())
+    if n == 1:
+        return MeanCI(mean=mean, half_width=0.0, n=1)
+    sem = float(arr.std(ddof=1)) / math.sqrt(n)
+    t = _T95.get(n - 1, 1.96)
+    return MeanCI(mean=mean, half_width=t * sem, n=n)
+
+
+def relative_difference(a: float, b: float) -> float:
+    """``(a − b) / b`` — signed relative difference of *a* versus *b*."""
+    if b == 0:
+        raise ValueError("reference value is zero")
+    return (a - b) / b

@@ -1,0 +1,71 @@
+"""Deadline-success metrics (paper §V, Experiment 3).
+
+"successful rate (i.e., rew_val / N)" — the fraction of submitted tasks
+that completed at or before their deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..workload.priorities import Priority
+from ..workload.task import Task
+
+__all__ = ["SuccessSummary", "success_rate", "summarize_success"]
+
+
+@dataclass(frozen=True)
+class SuccessSummary:
+    """Deadline outcomes, overall and per priority class."""
+
+    submitted: int
+    completed: int
+    hits: int
+    per_priority: Mapping[Priority, tuple[int, int]]  # (hits, completed)
+
+    @property
+    def rate(self) -> float:
+        """``rew_val / N`` over submitted tasks."""
+        return self.hits / self.submitted if self.submitted else 0.0
+
+    @property
+    def completed_rate(self) -> float:
+        """Hit fraction among completed tasks only."""
+        return self.hits / self.completed if self.completed else 0.0
+
+    def priority_rate(self, priority: Priority) -> float:
+        hits, completed = self.per_priority.get(priority, (0, 0))
+        return hits / completed if completed else 0.0
+
+
+def success_rate(tasks: Iterable[Task], submitted: int | None = None) -> float:
+    """Fraction of tasks meeting their deadline.
+
+    With *submitted* given, the denominator is the submission count
+    (the paper's definition); otherwise the completed count.
+    """
+    tasks = list(tasks)
+    hits = sum(1 for t in tasks if t.completed and t.met_deadline)
+    denom = submitted if submitted is not None else sum(1 for t in tasks if t.completed)
+    if submitted is not None and submitted < 0:
+        raise ValueError("submitted must be non-negative")
+    return hits / denom if denom else 0.0
+
+
+def summarize_success(
+    tasks: Sequence[Task], submitted: int | None = None
+) -> SuccessSummary:
+    """Full success summary (overall + per priority class)."""
+    done = [t for t in tasks if t.completed]
+    hits = sum(1 for t in done if t.met_deadline)
+    per: dict[Priority, tuple[int, int]] = {}
+    for prio in Priority:
+        klass = [t for t in done if t.priority == prio]
+        per[prio] = (sum(1 for t in klass if t.met_deadline), len(klass))
+    return SuccessSummary(
+        submitted=submitted if submitted is not None else len(done),
+        completed=len(done),
+        hits=hits,
+        per_priority=per,
+    )

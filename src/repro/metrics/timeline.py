@@ -1,0 +1,122 @@
+"""Periodic time-series recording of system state.
+
+A :class:`TimelineRecorder` samples the platform at a fixed simulated
+interval — instantaneous power draw, busy/sleeping processor counts,
+pending work — producing the time series behind power-over-time plots
+and post-hoc analysis that the cumulative energy meters cannot provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster.system import System
+from ..core.base import Scheduler
+from ..energy.meter import ProcState
+from ..sim.core import Environment
+
+__all__ = ["TimelineSample", "TimelineRecorder"]
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One snapshot of platform state."""
+
+    time: float
+    power_w: float
+    busy_processors: int
+    idle_processors: int
+    sleeping_processors: int
+    pending_tasks: int
+    completed_tasks: int
+
+    @property
+    def total_processors(self) -> int:
+        return (
+            self.busy_processors
+            + self.idle_processors
+            + self.sleeping_processors
+        )
+
+
+class TimelineRecorder:
+    """Samples the system every *interval* simulated time units."""
+
+    def __init__(
+        self,
+        env: Environment,
+        system: System,
+        interval: float = 10.0,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.system = system
+        self.interval = interval
+        self.scheduler = scheduler
+        self.samples: list[TimelineSample] = []
+        env.process(self._loop())
+
+    def sample_now(self) -> TimelineSample:
+        """Take one snapshot at the current simulated time."""
+        counts = {s: 0 for s in ProcState}
+        power = 0.0
+        for proc in self.system.processors:
+            counts[proc.state] += 1
+            power += proc.current_power_w
+        sample = TimelineSample(
+            time=self.env.now,
+            power_w=power,
+            busy_processors=counts[ProcState.BUSY],
+            idle_processors=counts[ProcState.IDLE],
+            sleeping_processors=counts[ProcState.SLEEP],
+            pending_tasks=sum(n.pending_tasks for n in self.system.nodes),
+            completed_tasks=(
+                len(self.scheduler.completed) if self.scheduler else 0
+            ),
+        )
+        self.samples.append(sample)
+        return sample
+
+    def _loop(self):
+        while True:
+            self.sample_now()
+            yield self.env.timeout(self.interval)
+
+    # -- analysis helpers ---------------------------------------------------
+    def peak_power_w(self) -> float:
+        """Highest sampled instantaneous draw."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        return max(s.power_w for s in self.samples)
+
+    def mean_power_w(self) -> float:
+        """Mean sampled draw (uniform sampling → time average)."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        return sum(s.power_w for s in self.samples) / len(self.samples)
+
+    def ascii_power_plot(self, width: int = 60, height: int = 10) -> str:
+        """Render the power series as a small ASCII chart."""
+        if len(self.samples) < 2:
+            return "(insufficient samples)"
+        powers = [s.power_w for s in self.samples]
+        lo, hi = min(powers), max(powers)
+        span = hi - lo or 1.0
+        # Downsample/bucket to the requested width.
+        step = max(1, len(powers) // width)
+        cols = [
+            sum(powers[i : i + step]) / len(powers[i : i + step])
+            for i in range(0, len(powers), step)
+        ][:width]
+        rows = []
+        for level in range(height, 0, -1):
+            threshold = lo + span * (level - 0.5) / height
+            rows.append(
+                "".join("#" if c >= threshold else " " for c in cols)
+            )
+        rows.append("-" * len(cols))
+        rows.append(f"power: {lo:.0f}–{hi:.0f} W over t=[0, {self.samples[-1].time:.0f}]")
+        return "\n".join(rows)

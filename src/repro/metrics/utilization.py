@@ -1,0 +1,74 @@
+"""Utilization-versus-learning-cycle series (paper Figures 9–10).
+
+The paper plots "utilisation rate" against "% learning cycles".  Each
+scheduler logs a :class:`~repro.core.base.CycleSample` (cumulative busy
+and powered processor-time) at the end of every learning cycle; this
+module converts that log into windowed utilization at percentage-of-
+cycles checkpoints: the utilization at the 30 % checkpoint is the busy
+fraction *within* the window between the 20 % and 30 % checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.base import CycleSample
+
+__all__ = ["UtilizationPoint", "utilization_by_cycles"]
+
+#: The paper's x-axis checkpoints.
+DEFAULT_CHECKPOINTS = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+
+@dataclass(frozen=True)
+class UtilizationPoint:
+    """Windowed utilization at one %-of-learning-cycles checkpoint."""
+
+    percent_cycles: int
+    time: float
+    utilization: float
+    cumulative_utilization: float
+
+
+def utilization_by_cycles(
+    samples: Sequence[CycleSample],
+    checkpoints: Sequence[int] = DEFAULT_CHECKPOINTS,
+) -> list[UtilizationPoint]:
+    """Windowed utilization at each checkpoint of the cycle log.
+
+    Utilization in a window is Δbusy / Δpowered processor-time between
+    consecutive checkpoints (exact, integrated by the energy meters); a
+    window with no powered time reports 0.
+    """
+    if not samples:
+        return []
+    if any(not 0 < c <= 100 for c in checkpoints):
+        raise ValueError("checkpoints must lie in (0, 100]")
+    checkpoints = sorted(checkpoints)
+    n = len(samples)
+    points: list[UtilizationPoint] = []
+    prev_busy = 0.0
+    prev_powered = 0.0
+    for pct in checkpoints:
+        idx = max(0, min(n - 1, round(pct / 100 * n) - 1))
+        sample = samples[idx]
+        d_busy = sample.busy_time - prev_busy
+        d_powered = sample.powered_time - prev_powered
+        window_util = d_busy / d_powered if d_powered > 0 else 0.0
+        cumulative = (
+            sample.busy_time / sample.powered_time
+            if sample.powered_time > 0
+            else 0.0
+        )
+        points.append(
+            UtilizationPoint(
+                percent_cycles=pct,
+                time=sample.time,
+                utilization=window_util,
+                cumulative_utilization=cumulative,
+            )
+        )
+        prev_busy = sample.busy_time
+        prev_powered = sample.powered_time
+    return points

@@ -1,0 +1,22 @@
+"""Reinforcement-learning substrate.
+
+Generic learners and exploration policies shared by the Adaptive-RL core
+and the learning baselines: tabular Q-learning (with the Q+ multi-rate
+variant), ε-greedy / softmax / random-walk exploration, a small NumPy MLP
+value approximator, and a replay ring buffer.
+"""
+
+from .exploration import EpsilonGreedy, RandomWalk, SoftmaxExploration
+from .neural import MLP
+from .qlearning import MultiRateQTable, QTable
+from .replay import ReplayRing
+
+__all__ = [
+    "QTable",
+    "MultiRateQTable",
+    "EpsilonGreedy",
+    "SoftmaxExploration",
+    "RandomWalk",
+    "MLP",
+    "ReplayRing",
+]

@@ -1,0 +1,126 @@
+"""Exploration policies for the learning schedulers.
+
+- :class:`EpsilonGreedy` — decaying ε-greedy used by Adaptive-RL and the
+  Q+ baseline ("trial-and-error interactions", §I).
+- :class:`SoftmaxExploration` — Boltzmann alternative for ablations.
+- :class:`RandomWalk` — the bounded random-walk policy the Online RL
+  baseline uses to set its powercap ("the simple random walk policy is
+  used for setting the powercap", §II).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["EpsilonGreedy", "SoftmaxExploration", "RandomWalk"]
+
+A = TypeVar("A")
+
+
+class EpsilonGreedy:
+    """ε-greedy selection with multiplicative ε decay."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        epsilon: float = 0.3,
+        min_epsilon: float = 0.02,
+        decay: float = 0.995,
+    ) -> None:
+        if not 0 <= epsilon <= 1:
+            raise ValueError("epsilon must lie in [0, 1]")
+        if not 0 <= min_epsilon <= epsilon:
+            raise ValueError("min_epsilon must lie in [0, epsilon]")
+        if not 0 < decay <= 1:
+            raise ValueError("decay must lie in (0, 1]")
+        self._rng = rng
+        self.epsilon = epsilon
+        self.min_epsilon = min_epsilon
+        self.decay = decay
+
+    def explore(self) -> bool:
+        """True if this step should take a random action."""
+        return bool(self._rng.random() < self.epsilon)
+
+    def random_index(self, n: int) -> int:
+        """Uniform index into an *n*-element choice set."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return int(self._rng.integers(n))
+
+    def select(self, actions: Sequence[A], values: Sequence[float]) -> A:
+        """Pick an action: random w.p. ε, else argmax of *values*."""
+        if len(actions) == 0:
+            raise ValueError("no actions to select from")
+        if len(actions) != len(values):
+            raise ValueError("actions and values must have equal length")
+        if self.explore():
+            return actions[int(self._rng.integers(len(actions)))]
+        return actions[int(np.argmax(values))]
+
+    def step(self) -> None:
+        """Decay ε toward its floor (call once per learning cycle)."""
+        self.epsilon = max(self.min_epsilon, self.epsilon * self.decay)
+
+
+class SoftmaxExploration:
+    """Boltzmann exploration with temperature τ."""
+
+    def __init__(self, rng: np.random.Generator, temperature: float = 1.0) -> None:
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self._rng = rng
+        self.temperature = temperature
+
+    def select(self, actions: Sequence[A], values: Sequence[float]) -> A:
+        if len(actions) == 0:
+            raise ValueError("no actions to select from")
+        if len(actions) != len(values):
+            raise ValueError("actions and values must have equal length")
+        v = np.asarray(values, dtype=float) / self.temperature
+        v -= v.max()  # numerical stability
+        probs = np.exp(v)
+        probs /= probs.sum()
+        return actions[int(self._rng.choice(len(actions), p=probs))]
+
+
+class RandomWalk:
+    """A bounded random walk over a scalar control value.
+
+    Each :meth:`step` perturbs the value by ±``step_size`` (uniform sign)
+    and reflects at the bounds.  The Online RL baseline walks its powercap
+    with this policy.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        initial: float,
+        bounds: tuple[float, float],
+        step_size: float,
+    ) -> None:
+        lo, hi = bounds
+        if not lo < hi:
+            raise ValueError(f"invalid bounds {bounds}")
+        if not lo <= initial <= hi:
+            raise ValueError("initial value must lie inside bounds")
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self._rng = rng
+        self.value = float(initial)
+        self.bounds = (float(lo), float(hi))
+        self.step_size = float(step_size)
+
+    def step(self) -> float:
+        """Advance the walk one step and return the new value."""
+        lo, hi = self.bounds
+        delta = self.step_size if self._rng.random() < 0.5 else -self.step_size
+        nxt = self.value + delta
+        if nxt > hi:
+            nxt = hi - (nxt - hi)
+        elif nxt < lo:
+            nxt = lo + (lo - nxt)
+        self.value = float(min(max(nxt, lo), hi))
+        return self.value

@@ -1,0 +1,131 @@
+"""Minimal NumPy multi-layer perceptron for value approximation.
+
+The paper bases its RL structure "on a neural network presented in [10]"
+(Zomaya et al., 1998).  This module provides a small, dependency-free MLP
+(feature vector → scalar/vector value) trained by mini-batch SGD with MSE
+loss, used by the neural variant of Adaptive-RL and available for
+ablations against the tabular default (DESIGN.md A6).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["MLP"]
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _relu_grad(x: np.ndarray) -> np.ndarray:
+    return (x > 0).astype(x.dtype)
+
+
+class MLP:
+    """Fully connected network with ReLU hidden layers and linear output.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[in, hidden..., out]`` — at least input and output sizes.
+    rng:
+        Generator for weight initialization (He-scaled).
+    learning_rate:
+        SGD step size.
+    l2:
+        Optional L2 weight penalty.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        rng: np.random.Generator,
+        learning_rate: float = 1e-3,
+        l2: float = 0.0,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output layer sizes")
+        if any(s <= 0 for s in layer_sizes):
+            raise ValueError("layer sizes must be positive")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.layer_sizes = list(layer_sizes)
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self.train_steps = 0
+
+    @property
+    def input_size(self) -> int:
+        return self.layer_sizes[0]
+
+    @property
+    def output_size(self) -> int:
+        return self.layer_sizes[-1]
+
+    def _forward(self, x: np.ndarray) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Return (pre-activations, activations) per layer."""
+        pre: list[np.ndarray] = []
+        act: list[np.ndarray] = [x]
+        h = x
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ w + b
+            pre.append(z)
+            h = z if i == last else _relu(z)
+            act.append(h)
+        return pre, act
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; accepts a single sample or a batch."""
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        if x.shape[1] != self.input_size:
+            raise ValueError(
+                f"expected {self.input_size} features, got {x.shape[1]}"
+            )
+        _, act = self._forward(x)
+        out = act[-1]
+        return out[0] if single else out
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One SGD step on (x, y); returns the batch MSE before the step."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.atleast_2d(np.asarray(y, dtype=float))
+        if y.shape[0] != x.shape[0]:
+            raise ValueError("x and y batch sizes differ")
+        if y.shape[1] != self.output_size:
+            raise ValueError(
+                f"expected {self.output_size} outputs, got {y.shape[1]}"
+            )
+        n = x.shape[0]
+        pre, act = self._forward(x)
+        out = act[-1]
+        err = out - y
+        loss = float(np.mean(err**2))
+
+        # Backprop (linear output layer).
+        grad = (2.0 / n) * err
+        last = len(self.weights) - 1
+        for i in range(last, -1, -1):
+            a_prev = act[i]
+            gw = a_prev.T @ grad + self.l2 * self.weights[i]
+            gb = grad.sum(axis=0)
+            if i > 0:
+                grad = (grad @ self.weights[i].T) * _relu_grad(pre[i - 1])
+            self.weights[i] -= self.learning_rate * gw
+            self.biases[i] -= self.learning_rate * gb
+        self.train_steps += 1
+        return loss

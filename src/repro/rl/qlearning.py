@@ -1,0 +1,142 @@
+"""Tabular Q-learning with optional multi-rate updates.
+
+The plain learner backs Adaptive-RL's action values; the multi-rate
+variant implements the Q+ baseline's "strategy of updating multiple
+Q-values in each cycle at the various learning rates that speed up the
+learning process" [12].
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, Optional, Sequence, Tuple
+
+__all__ = ["QTable", "MultiRateQTable"]
+
+State = Hashable
+Action = Hashable
+
+
+class QTable:
+    """Dictionary-backed Q(s, a) table with standard TD(0) updates."""
+
+    def __init__(
+        self,
+        alpha: float = 0.1,
+        gamma: float = 0.9,
+        initial_q: float = 0.0,
+    ) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must lie in (0, 1]")
+        if not 0 <= gamma < 1:
+            raise ValueError("gamma must lie in [0, 1)")
+        self.alpha = alpha
+        self.gamma = gamma
+        self.initial_q = initial_q
+        self._q: Dict[Tuple[State, Action], float] = {}
+        self.updates = 0
+
+    def q(self, state: State, action: Action) -> float:
+        """Current value estimate for (state, action)."""
+        return self._q.get((state, action), self.initial_q)
+
+    def values(self, state: State, actions: Sequence[Action]) -> list[float]:
+        """Value estimates for *actions* in *state* (generator-safe)."""
+        return [self.q(state, a) for a in actions]
+
+    def best_action(self, state: State, actions: Sequence[Action]) -> Action:
+        """Greedy action for *state* among *actions* (ties → first)."""
+        if not actions:
+            raise ValueError("no actions")
+        vals = self.values(state, actions)
+        return actions[max(range(len(actions)), key=vals.__getitem__)]
+
+    def best_value(self, state: State, actions: Sequence[Action]) -> float:
+        """max_a Q(state, a) over *actions* (0 target for empty action set)."""
+        if not actions:
+            return 0.0
+        return max(self.values(state, actions))
+
+    def update(
+        self,
+        state: State,
+        action: Action,
+        reward: float,
+        next_state: Optional[State] = None,
+        next_actions: Sequence[Action] = (),
+        alpha: Optional[float] = None,
+    ) -> float:
+        """TD(0) update; returns the new Q(state, action).
+
+        With no *next_state* the update is a contraction toward the
+        immediate reward (a bandit-style update), which suits decision
+        epochs whose successor state is unobservable at update time.
+        """
+        a = self.alpha if alpha is None else alpha
+        if not 0 < a <= 1:
+            raise ValueError("alpha must lie in (0, 1]")
+        target = reward
+        if next_state is not None:
+            target += self.gamma * self.best_value(next_state, next_actions)
+        key = (state, action)
+        old = self._q.get(key, self.initial_q)
+        new = old + a * (target - old)
+        self._q[key] = new
+        self.updates += 1
+        return new
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __contains__(self, key: Tuple[State, Action]) -> bool:
+        return key in self._q
+
+    def snapshot(self) -> Dict[Tuple[State, Action], float]:
+        """Copy of the raw table (for inspection/tests)."""
+        return dict(self._q)
+
+
+class MultiRateQTable(QTable):
+    """Q-table that also refreshes *related* entries at reduced rates.
+
+    On each update the entry itself learns at ``alpha``; every other
+    action recorded for the same state learns toward the same target at
+    ``alpha × neighbor_rate``, propagating information faster in slowly
+    revisited state spaces (the Q+ baseline's speed-up trick [12]).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.1,
+        gamma: float = 0.9,
+        initial_q: float = 0.0,
+        neighbor_rate: float = 0.25,
+    ) -> None:
+        super().__init__(alpha=alpha, gamma=gamma, initial_q=initial_q)
+        if not 0 <= neighbor_rate <= 1:
+            raise ValueError("neighbor_rate must lie in [0, 1]")
+        self.neighbor_rate = neighbor_rate
+        self._actions_seen: Dict[State, set] = defaultdict(set)
+
+    def update(
+        self,
+        state: State,
+        action: Action,
+        reward: float,
+        next_state: Optional[State] = None,
+        next_actions: Sequence[Action] = (),
+        alpha: Optional[float] = None,
+    ) -> float:
+        result = super().update(
+            state, action, reward, next_state, next_actions, alpha
+        )
+        base_alpha = self.alpha if alpha is None else alpha
+        side_alpha = base_alpha * self.neighbor_rate
+        if side_alpha > 0:
+            for other in self._actions_seen[state]:
+                if other != action:
+                    super().update(
+                        state, other, reward, next_state, next_actions, side_alpha
+                    )
+        self._actions_seen[state].add(action)
+        return result

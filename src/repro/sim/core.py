@@ -1,0 +1,171 @@
+"""The simulation environment: event heap, clock, and run loop."""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from typing import Optional, Union
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .exceptions import EmptySchedule, SimulationError, StopSimulation
+from .process import Process, ProcessGenerator
+
+__all__ = ["Environment", "URGENT", "NORMAL"]
+
+#: Scheduling priority for urgent events (interrupts, process init).
+URGENT = 0
+#: Scheduling priority for ordinary events.
+NORMAL = 1
+
+
+class Environment:
+    """Execution environment for an event-driven simulation.
+
+    Time advances by stepping through scheduled events in (time, priority,
+    insertion-order) order.  Processes are generators registered through
+    :meth:`process`.
+
+    Parameters
+    ----------
+    initial_time:
+        Simulated time at which the clock starts.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now: float = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+
+    # -- clock & introspection ------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between events)."""
+        return self._active_proc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    @property
+    def queue_size(self) -> int:
+        """Number of events currently scheduled."""
+        return len(self._queue)
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create a :class:`Timeout` that fires after *delay*."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Register *generator* as a new simulated :class:`Process`."""
+        return Process(self, generator)
+
+    def any_of(self, events) -> AnyOf:
+        """Event triggering when any of *events* triggers."""
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        """Event triggering when all of *events* have triggered."""
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(
+        self, event: Event, priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Queue *event* to be processed after *delay* time units."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events left") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it to the caller of run/step.
+            exc = event._value
+            assert isinstance(exc, BaseException)
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> object:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the event queue is exhausted;
+            a number — run until simulated time reaches it;
+            an :class:`Event` — run until that event is processed and
+            return its value.
+        """
+        at_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    # Already processed.
+                    return until.value
+                until.callbacks.append(_stop_simulation)
+                at_event = until
+            else:
+                at = float(until)
+                if at <= self._now:
+                    raise ValueError(
+                        f"until ({at}) must be greater than the current time "
+                        f"({self._now})"
+                    )
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                stop.callbacks.append(_stop_simulation)
+                # Highest urgency so the clock stops exactly at `at` before
+                # processing same-time events.
+                heappush(self._queue, (at, URGENT - 1, next(self._eid), stop))
+
+        try:
+            while True:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    if at_event is not None:
+                        raise SimulationError(
+                            f"no scheduled events left but {at_event!r} was "
+                            "never triggered"
+                        ) from None
+                    return None
+        except StopSimulation as stop:
+            return stop.value
+
+
+def _stop_simulation(event: Event) -> None:
+    """Callback that halts :meth:`Environment.run`."""
+    if not event._ok:
+        event._defused = True
+        exc = event._value
+        assert isinstance(exc, BaseException)
+        raise exc
+    raise StopSimulation(event._value)

@@ -1,0 +1,154 @@
+"""Generator-based simulated processes.
+
+A :class:`Process` drives a Python generator: every value the generator
+yields must be an :class:`~repro.sim.events.Event`; the process suspends
+until that event is processed, then resumes with the event's value (or the
+event's exception thrown into it for failed events).
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+from typing import TYPE_CHECKING, Generator, Optional
+
+from .events import Event, PENDING
+from .exceptions import Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core import Environment
+
+__all__ = ["Process", "ProcessGenerator"]
+
+ProcessGenerator = Generator[Event, object, object]
+
+
+class _InterruptEvent(Event):
+    """Internal urgent event used to deliver an interrupt to a process."""
+
+    def __init__(self, process: "Process", cause: object) -> None:
+        super().__init__(process.env)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.process = process
+        process.env.schedule(self, priority=0)
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator.
+
+    The process is itself an event that triggers when the generator
+    terminates: its value is the generator's return value, or the
+    unhandled exception for crashed processes.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
+        if not isinstance(generator, GeneratorType):
+            raise ValueError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None while the
+        #: process is being resumed or after it terminated).
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the generator at time env.now via an
+        # initialization event.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)  # type: ignore[union-attr]
+        env.schedule(init, priority=0)
+        self._target = init
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process waits on (None if resuming/ended)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the wrapped generator has terminated."""
+        return self._value is PENDING
+
+    @property
+    def name(self) -> str:
+        """The name of the wrapped generator function."""
+        return self._generator.__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Process({self.name}) at {id(self):#x}>"
+
+    # -- control -------------------------------------------------------
+    def interrupt(self, cause: object = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        The interrupt is delivered as an urgent event, so the process
+        resumes (with the exception) before any other event scheduled at
+        the current time.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        # Unsubscribe from the event we were waiting on — it must not
+        # resume us a second time after the interrupt is delivered.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        event = _InterruptEvent(self, cause)
+        event.callbacks = [self._resume]
+
+    # -- engine callback -------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with *event*'s outcome (kernel callback)."""
+        env = self.env
+        env._active_proc = self
+        self._target = None
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed: throw its exception into the
+                    # generator and mark it defused.
+                    event._defused = True
+                    exc = event._value
+                    assert isinstance(exc, BaseException)
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                # Process finished.
+                event = None  # type: ignore[assignment]
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except BaseException as exc:
+                # Process crashed: fail the process event.  If nobody
+                # waits on it, the kernel will re-raise at step().
+                event = None  # type: ignore[assignment]
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                self._generator.throw(
+                    RuntimeError(
+                        f"process {self.name} yielded a non-event: {next_event!r}"
+                    )
+                )
+                continue
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: subscribe and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: loop and resume immediately with
+            # its outcome.
+            event = next_event
+
+        env._active_proc = None

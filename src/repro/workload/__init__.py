@@ -1,0 +1,42 @@
+"""Application (workload) model: tasks, priorities, generators, traces.
+
+Implements the paper's §III.A application model: independent compute-bound
+tasks ``Ti = {si, di}`` with Poisson arrivals, uniform MI sizes, and
+deadline-derived three-level priorities.
+"""
+
+from .distributions import MMPP2, bounded_pareto, mmpp2_interarrivals
+from .generator import DEFAULT_PRIORITY_MIX, WorkloadGenerator, WorkloadSpec
+from .priorities import (
+    HIGH_SLACK_MAX,
+    LOW_SLACK_MIN,
+    MAX_SLACK,
+    Priority,
+    classify_slack,
+    slack_band,
+)
+from .stats import WorkloadStats, summarize
+from .task import Task
+from .traces import load_trace, records_to_tasks, save_trace, trace_to_records
+
+__all__ = [
+    "Task",
+    "Priority",
+    "classify_slack",
+    "slack_band",
+    "HIGH_SLACK_MAX",
+    "LOW_SLACK_MIN",
+    "MAX_SLACK",
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "DEFAULT_PRIORITY_MIX",
+    "MMPP2",
+    "mmpp2_interarrivals",
+    "bounded_pareto",
+    "WorkloadStats",
+    "summarize",
+    "save_trace",
+    "load_trace",
+    "trace_to_records",
+    "records_to_tasks",
+]

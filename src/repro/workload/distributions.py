@@ -1,0 +1,137 @@
+"""Alternative workload distributions (robustness extensions).
+
+The paper's workload is Poisson/uniform (§V.A).  Real grid and cloud
+traces are burstier and heavier-tailed, so the generator also supports:
+
+- **MMPP(2) arrivals** — a two-state Markov-modulated Poisson process
+  alternating between a calm and a bursty phase, the standard minimal
+  model of arrival burstiness;
+- **bounded-Pareto sizes** — heavy-tailed computational sizes truncated
+  to a band, the standard model of compute-job size skew.
+
+Both are exercised by the robustness bench
+(``benchmarks/bench_robustness.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MMPP2", "bounded_pareto", "mmpp2_interarrivals"]
+
+
+@dataclass(frozen=True)
+class MMPP2:
+    """Two-state Markov-modulated Poisson process parameters.
+
+    The process spends exponential sojourns (means ``mean_calm_sojourn``
+    / ``mean_burst_sojourn``) in each state; arrivals within a state are
+    Poisson with the state's rate.  ``rate_burst > rate_calm`` makes the
+    burst phase denser.
+    """
+
+    rate_calm: float
+    rate_burst: float
+    mean_calm_sojourn: float
+    mean_burst_sojourn: float
+
+    def __post_init__(self) -> None:
+        if self.rate_calm <= 0 or self.rate_burst <= 0:
+            raise ValueError("rates must be positive")
+        if self.mean_calm_sojourn <= 0 or self.mean_burst_sojourn <= 0:
+            raise ValueError("sojourn means must be positive")
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run arrival rate (sojourn-weighted)."""
+        total = self.mean_calm_sojourn + self.mean_burst_sojourn
+        return (
+            self.rate_calm * self.mean_calm_sojourn
+            + self.rate_burst * self.mean_burst_sojourn
+        ) / total
+
+    @classmethod
+    def with_mean_interarrival(
+        cls,
+        mean_interarrival: float,
+        burstiness: float = 4.0,
+        burst_fraction: float = 0.2,
+        cycle_length: float = 200.0,
+    ) -> "MMPP2":
+        """Construct an MMPP(2) with a target long-run mean iat.
+
+        ``burstiness`` is the burst-to-calm rate ratio; ``burst_fraction``
+        the long-run fraction of time spent bursting; ``cycle_length``
+        the mean calm+burst cycle duration.
+        """
+        if mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+        if burstiness <= 1:
+            raise ValueError("burstiness must exceed 1")
+        if not 0 < burst_fraction < 1:
+            raise ValueError("burst_fraction must lie in (0, 1)")
+        if cycle_length <= 0:
+            raise ValueError("cycle_length must be positive")
+        mean_rate = 1.0 / mean_interarrival
+        # mean_rate = rc(1−f) + rb·f with rb = B·rc
+        rate_calm = mean_rate / (1 - burst_fraction + burstiness * burst_fraction)
+        return cls(
+            rate_calm=rate_calm,
+            rate_burst=burstiness * rate_calm,
+            mean_calm_sojourn=cycle_length * (1 - burst_fraction),
+            mean_burst_sojourn=cycle_length * burst_fraction,
+        )
+
+
+def mmpp2_interarrivals(
+    n: int, params: MMPP2, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw *n* inter-arrival times from an MMPP(2)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    iats = np.empty(n)
+    in_burst = False
+    # Time remaining in the current state sojourn.
+    sojourn = float(rng.exponential(params.mean_calm_sojourn))
+    for i in range(n):
+        gap = 0.0
+        while True:
+            rate = params.rate_burst if in_burst else params.rate_calm
+            candidate = float(rng.exponential(1.0 / rate))
+            if candidate <= sojourn:
+                sojourn -= candidate
+                gap += candidate
+                break
+            # State switches before the next arrival: advance past the
+            # sojourn boundary and redraw in the new state.
+            gap += sojourn
+            in_burst = not in_burst
+            mean = (
+                params.mean_burst_sojourn
+                if in_burst
+                else params.mean_calm_sojourn
+            )
+            sojourn = float(rng.exponential(mean))
+        iats[i] = gap
+    return iats
+
+
+def bounded_pareto(
+    n: int,
+    lo: float,
+    hi: float,
+    alpha: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw *n* bounded-Pareto(α) samples on [lo, hi] (inverse CDF)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 < lo < hi:
+        raise ValueError("need 0 < lo < hi")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    u = rng.uniform(0.0, 1.0, size=n)
+    c = 1.0 - (lo / hi) ** alpha
+    return lo * (1.0 - u * c) ** (-1.0 / alpha)

@@ -1,0 +1,159 @@
+"""Synthetic workload generation (paper §V.A).
+
+The paper specifies the full workload distribution, so the private traces
+the authors used are substituted with a seeded synthetic generator:
+
+- Poisson arrival process, mean inter-arrival time 5 time units;
+- computational size ``si ~ U(600, 7200)`` MI;
+- deadline ``di = ACTi + add_t`` with ``add_t ∈ [0, 150 %]·ACTi``, where the
+  slack band is chosen per-task from a configurable priority mix so that
+  "the probabilities of three different task priorities are varied in
+  different experiments" (§V.A) is directly controllable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..sim.rng import RandomStreams
+from .priorities import Priority, slack_band
+from .task import Task
+
+__all__ = ["WorkloadSpec", "WorkloadGenerator", "DEFAULT_PRIORITY_MIX"]
+
+#: Equal thirds by default; experiments override this mix.
+DEFAULT_PRIORITY_MIX = (1 / 3, 1 / 3, 1 / 3)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Distribution parameters for a synthetic workload.
+
+    Attributes
+    ----------
+    num_tasks:
+        Number of tasks to emit (paper sweeps 500–3000).
+    mean_interarrival:
+        Mean of the exponential inter-arrival distribution (paper: 5).
+    size_range_mi:
+        Uniform range of computational sizes in MI (paper: 600–7200).
+    priority_mix:
+        Probabilities of (high, medium, low) priority classes.
+    reference_speed_mips:
+        Speed of the slowest reference resource used to compute ``ACT``
+        (paper: slowest processor, 500 MIPS by default).
+    first_arrival:
+        Simulated time of the first possible arrival.
+    """
+
+    num_tasks: int = 1000
+    mean_interarrival: float = 5.0
+    size_range_mi: tuple[float, float] = (600.0, 7200.0)
+    priority_mix: tuple[float, float, float] = DEFAULT_PRIORITY_MIX
+    reference_speed_mips: float = 500.0
+    first_arrival: float = 0.0
+    #: "poisson" (paper §V.A) or "mmpp" (bursty robustness extension).
+    arrival_process: str = "poisson"
+    #: Burst-to-calm rate ratio for the MMPP arrival process.
+    mmpp_burstiness: float = 4.0
+    #: "uniform" (paper §V.A) or "bounded-pareto" (heavy-tail extension).
+    size_distribution: str = "uniform"
+    #: Tail index for bounded-Pareto sizes (smaller = heavier tail).
+    pareto_alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.num_tasks <= 0:
+            raise ValueError("num_tasks must be positive")
+        if self.mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+        lo, hi = self.size_range_mi
+        if not 0 < lo <= hi:
+            raise ValueError(f"invalid size range {self.size_range_mi}")
+        if len(self.priority_mix) != 3:
+            raise ValueError("priority_mix must have 3 entries (high, med, low)")
+        if any(p < 0 for p in self.priority_mix):
+            raise ValueError("priority probabilities must be non-negative")
+        total = sum(self.priority_mix)
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise ValueError(f"priority_mix must sum to 1, got {total}")
+        if self.reference_speed_mips <= 0:
+            raise ValueError("reference_speed_mips must be positive")
+        if self.arrival_process not in ("poisson", "mmpp"):
+            raise ValueError(f"unknown arrival process {self.arrival_process!r}")
+        if self.mmpp_burstiness <= 1:
+            raise ValueError("mmpp_burstiness must exceed 1")
+        if self.size_distribution not in ("uniform", "bounded-pareto"):
+            raise ValueError(
+                f"unknown size distribution {self.size_distribution!r}"
+            )
+        if self.pareto_alpha <= 0:
+            raise ValueError("pareto_alpha must be positive")
+
+
+class WorkloadGenerator:
+    """Seeded generator of :class:`Task` streams from a :class:`WorkloadSpec`.
+
+    Three independent RNG streams (arrivals, sizes, priorities/slack) keep
+    the workload stable when any single aspect of generation changes.
+    """
+
+    def __init__(self, spec: WorkloadSpec, streams: RandomStreams) -> None:
+        self.spec = spec
+        self._arrivals = streams["workload.arrivals"]
+        self._sizes = streams["workload.sizes"]
+        self._slack = streams["workload.slack"]
+
+    def generate(self) -> list[Task]:
+        """Generate the full task list, sorted by arrival time."""
+        spec = self.spec
+        n = spec.num_tasks
+        if spec.arrival_process == "poisson":
+            iats = self._arrivals.exponential(spec.mean_interarrival, size=n)
+        else:
+            from .distributions import MMPP2, mmpp2_interarrivals
+
+            params = MMPP2.with_mean_interarrival(
+                spec.mean_interarrival, burstiness=spec.mmpp_burstiness
+            )
+            iats = mmpp2_interarrivals(n, params, self._arrivals)
+        arrivals = spec.first_arrival + np.cumsum(iats)
+        if spec.size_distribution == "uniform":
+            sizes = self._sizes.uniform(*spec.size_range_mi, size=n)
+        else:
+            from .distributions import bounded_pareto
+
+            sizes = bounded_pareto(
+                n,
+                spec.size_range_mi[0],
+                spec.size_range_mi[1],
+                spec.pareto_alpha,
+                self._sizes,
+            )
+        prio_idx = self._slack.choice(3, size=n, p=list(spec.priority_mix))
+        slack_u = self._slack.uniform(0.0, 1.0, size=n)
+
+        priorities = (Priority.HIGH, Priority.MEDIUM, Priority.LOW)
+        tasks: list[Task] = []
+        for i in range(n):
+            prio = priorities[int(prio_idx[i])]
+            lo, hi = slack_band(prio)
+            slack_fraction = lo + (hi - lo) * float(slack_u[i])
+            act = float(sizes[i]) / spec.reference_speed_mips
+            arrival = float(arrivals[i])
+            deadline = arrival + act * (1.0 + slack_fraction)
+            tasks.append(
+                Task(
+                    tid=i,
+                    size_mi=float(sizes[i]),
+                    arrival_time=arrival,
+                    act=act,
+                    deadline=deadline,
+                )
+            )
+        return tasks
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.generate())

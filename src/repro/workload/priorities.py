@@ -1,0 +1,84 @@
+"""Task priority model (paper §III.A).
+
+A task's priority derives from the slack its deadline allows over the
+expected execution time ``ACT`` on the *slowest* reference resource:
+
+- **high**   — deadline at most 20 % later than ``ACT``;
+- **low**    — deadline 80 % or more later than ``ACT``;
+- **medium** — otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+__all__ = [
+    "Priority",
+    "HIGH_SLACK_MAX",
+    "LOW_SLACK_MIN",
+    "classify_slack",
+    "slack_band",
+]
+
+#: Slack fraction at or below which a task is high priority (paper: 20 %).
+HIGH_SLACK_MAX = 0.20
+#: Slack fraction at or above which a task is low priority (paper: 80 %).
+LOW_SLACK_MIN = 0.80
+#: Largest slack fraction the generator produces (paper: add_t ≤ 150 % ACT).
+MAX_SLACK = 1.50
+
+
+class Priority(enum.IntEnum):
+    """Task priority levels; lower numeric value = more urgent."""
+
+    HIGH = 0
+    MEDIUM = 1
+    LOW = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+def classify_slack(slack_fraction: float) -> Priority:
+    """Map a slack fraction ``add_t / ACT`` to a :class:`Priority`.
+
+    Parameters
+    ----------
+    slack_fraction:
+        ``(deadline - ACT) / ACT`` — how much later than the expected
+        execution time the deadline falls, as a fraction of ``ACT``.
+    """
+    if slack_fraction < 0:
+        # Deadlines are synthesized as arrival + ACT·(1 + slack); the
+        # round-trip back to a slack fraction can undershoot zero by a
+        # few ulps.  Tolerate that; reject genuinely negative slack.
+        if slack_fraction > -1e-9:
+            slack_fraction = 0.0
+        else:
+            raise ValueError(
+                f"slack fraction must be non-negative, got {slack_fraction}"
+            )
+    if slack_fraction <= HIGH_SLACK_MAX:
+        return Priority.HIGH
+    if slack_fraction >= LOW_SLACK_MIN:
+        return Priority.LOW
+    return Priority.MEDIUM
+
+
+def slack_band(priority: Priority) -> Tuple[float, float]:
+    """Half-open slack-fraction interval that maps to *priority*.
+
+    The generator samples ``add_t`` uniformly inside the band of the
+    priority class it wants to emit, so the emitted class matches
+    :func:`classify_slack` by construction.
+    """
+    if priority is Priority.HIGH:
+        return (0.0, HIGH_SLACK_MAX)
+    if priority is Priority.MEDIUM:
+        # Strictly inside the open interval so that a sample at either
+        # endpoint cannot be reclassified as high/low.
+        eps = 1e-9
+        return (HIGH_SLACK_MAX + eps, LOW_SLACK_MIN - eps)
+    return (LOW_SLACK_MIN, MAX_SLACK)

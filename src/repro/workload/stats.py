@@ -1,0 +1,71 @@
+"""Descriptive statistics over workloads (generation-time sanity checks)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from .priorities import Priority
+from .task import Task
+
+__all__ = ["WorkloadStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Summary of a workload's static properties."""
+
+    num_tasks: int
+    mean_size_mi: float
+    min_size_mi: float
+    max_size_mi: float
+    mean_interarrival: float
+    makespan_lower_bound: float
+    priority_counts: Mapping[Priority, int]
+    mean_slack_fraction: float
+
+    @property
+    def priority_fractions(self) -> dict[Priority, float]:
+        """Fraction of tasks per priority class."""
+        if self.num_tasks == 0:
+            return {p: 0.0 for p in Priority}
+        return {
+            p: self.priority_counts.get(p, 0) / self.num_tasks for p in Priority
+        }
+
+
+def summarize(tasks: Iterable[Task]) -> WorkloadStats:
+    """Compute :class:`WorkloadStats` for *tasks*."""
+    tasks = sorted(tasks, key=lambda t: t.arrival_time)
+    if not tasks:
+        return WorkloadStats(
+            num_tasks=0,
+            mean_size_mi=0.0,
+            min_size_mi=0.0,
+            max_size_mi=0.0,
+            mean_interarrival=0.0,
+            makespan_lower_bound=0.0,
+            priority_counts={p: 0 for p in Priority},
+            mean_slack_fraction=0.0,
+        )
+
+    sizes = np.array([t.size_mi for t in tasks])
+    arrivals = np.array([t.arrival_time for t in tasks])
+    slacks = np.array([t.slack_fraction for t in tasks])
+    iats = np.diff(arrivals)
+    counts = {p: 0 for p in Priority}
+    for t in tasks:
+        counts[t.priority] += 1
+
+    return WorkloadStats(
+        num_tasks=len(tasks),
+        mean_size_mi=float(sizes.mean()),
+        min_size_mi=float(sizes.min()),
+        max_size_mi=float(sizes.max()),
+        mean_interarrival=float(iats.mean()) if len(iats) else 0.0,
+        makespan_lower_bound=float(arrivals.max()),
+        priority_counts=counts,
+        mean_slack_fraction=float(slacks.mean()),
+    )

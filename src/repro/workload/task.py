@@ -1,0 +1,142 @@
+"""The task model ``Ti = {si, di}`` (paper §III.A, Eq. 1).
+
+A :class:`Task` carries its immutable specification (size, arrival time,
+deadline, priority) plus a mutable execution record filled in by the
+simulator (start/finish times, the processor that ran it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .priorities import Priority, classify_slack
+
+__all__ = ["Task"]
+
+
+@dataclass
+class Task:
+    """A single independent, compute-intensive task.
+
+    Parameters
+    ----------
+    tid:
+        Unique task id.
+    size_mi:
+        Computational size ``si`` in millions of instructions (MI).
+    arrival_time:
+        Simulated time at which the task enters the system.
+    act:
+        Expected execution time on the reference (slowest) resource:
+        ``ACTi = si / sp_slowest``.
+    deadline:
+        Absolute completion deadline ``arrival_time + ACTi + add_t``.
+    """
+
+    tid: int
+    size_mi: float
+    arrival_time: float
+    act: float
+    deadline: float
+    priority: Priority = field(default=None)  # type: ignore[assignment]
+
+    # -- execution record (filled by the simulator) ---------------------
+    start_time: Optional[float] = field(default=None, compare=False)
+    finish_time: Optional[float] = field(default=None, compare=False)
+    processor_id: Optional[str] = field(default=None, compare=False)
+    site_id: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size_mi <= 0:
+            raise ValueError(f"task {self.tid}: size must be positive")
+        if self.act <= 0:
+            raise ValueError(f"task {self.tid}: ACT must be positive")
+        if self.deadline < self.arrival_time:
+            raise ValueError(f"task {self.tid}: deadline precedes arrival")
+        if self.priority is None:
+            self.priority = classify_slack(self.slack_fraction)
+
+    # -- derived spec properties ----------------------------------------
+    @property
+    def relative_deadline(self) -> float:
+        """Time from arrival to deadline (``ACT + add_t``)."""
+        return self.deadline - self.arrival_time
+
+    @property
+    def slack_fraction(self) -> float:
+        """``add_t / ACT`` — deadline slack as a fraction of ``ACT``."""
+        return (self.relative_deadline - self.act) / self.act
+
+    def execution_time_on(self, speed_mips: float) -> float:
+        """Execution time ``ET(i, c) = si / spj`` on a processor (Eq. 3)."""
+        if speed_mips <= 0:
+            raise ValueError("processor speed must be positive")
+        return self.size_mi / speed_mips
+
+    # -- execution-record properties --------------------------------------
+    @property
+    def completed(self) -> bool:
+        """True once the task has finished executing."""
+        return self.finish_time is not None
+
+    @property
+    def waiting_time(self) -> float:
+        """Queueing delay from arrival to execution start."""
+        if self.start_time is None:
+            raise ValueError(f"task {self.tid} has not started")
+        return self.start_time - self.arrival_time
+
+    @property
+    def response_time(self) -> float:
+        """Total time in system: waiting time plus execution time."""
+        if self.finish_time is None:
+            raise ValueError(f"task {self.tid} has not finished")
+        return self.finish_time - self.arrival_time
+
+    @property
+    def met_deadline(self) -> bool:
+        """True if the task finished at or before its deadline (Eq. 8)."""
+        if self.finish_time is None:
+            raise ValueError(f"task {self.tid} has not finished")
+        return self.finish_time <= self.deadline
+
+    def mark_started(self, time: float, processor_id: str, site_id: str) -> None:
+        """Record execution start (simulator hook)."""
+        if self.start_time is not None:
+            raise RuntimeError(f"task {self.tid} started twice")
+        if time < self.arrival_time:
+            raise ValueError(f"task {self.tid} started before arrival")
+        self.start_time = time
+        self.processor_id = processor_id
+        self.site_id = site_id
+
+    def reset_execution(self) -> None:
+        """Clear the execution record so the task can run again.
+
+        Used by failure injection: a node crash abandons its in-flight
+        tasks, which are then resubmitted.  A completed task cannot be
+        reset.  Idempotent on never-started tasks.
+        """
+        if self.finish_time is not None:
+            raise RuntimeError(f"task {self.tid} already completed")
+        self.start_time = None
+        self.processor_id = None
+        self.site_id = None
+
+    def mark_finished(self, time: float) -> None:
+        """Record execution completion (simulator hook)."""
+        if self.start_time is None:
+            raise RuntimeError(f"task {self.tid} finished without starting")
+        if self.finish_time is not None:
+            raise RuntimeError(f"task {self.tid} finished twice")
+        if time < self.start_time:
+            raise ValueError(f"task {self.tid} finished before it started")
+        self.finish_time = time
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Task(tid={self.tid}, size={self.size_mi:.0f}MI, "
+            f"arr={self.arrival_time:.2f}, dl={self.deadline:.2f}, "
+            f"prio={self.priority.label})"
+        )

@@ -1,0 +1,73 @@
+"""Workload trace record/replay.
+
+The paper assumes "the task's profile is available and can be provided by
+the user using job profiling, analytical models or historical information"
+(§III.A).  Traces make experiments byte-reproducible: a generated workload
+can be frozen to JSON and replayed against any scheduler.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from .priorities import Priority
+from .task import Task
+
+__all__ = ["trace_to_records", "records_to_tasks", "save_trace", "load_trace"]
+
+_TRACE_VERSION = 1
+
+
+def trace_to_records(tasks: Iterable[Task]) -> list[dict]:
+    """Serialize task *specifications* (not execution records) to dicts."""
+    records = []
+    for t in tasks:
+        records.append(
+            {
+                "tid": t.tid,
+                "size_mi": t.size_mi,
+                "arrival_time": t.arrival_time,
+                "act": t.act,
+                "deadline": t.deadline,
+                "priority": t.priority.label,
+            }
+        )
+    return records
+
+
+def records_to_tasks(records: Sequence[dict]) -> list[Task]:
+    """Reconstruct fresh (unexecuted) tasks from serialized records."""
+    tasks = []
+    for r in records:
+        task = Task(
+            tid=int(r["tid"]),
+            size_mi=float(r["size_mi"]),
+            arrival_time=float(r["arrival_time"]),
+            act=float(r["act"]),
+            deadline=float(r["deadline"]),
+        )
+        expected = r.get("priority")
+        if expected is not None and task.priority.label != expected:
+            raise ValueError(
+                f"trace task {task.tid}: stored priority {expected!r} does not "
+                f"match derived priority {task.priority.label!r}"
+            )
+        tasks.append(task)
+    return tasks
+
+
+def save_trace(tasks: Iterable[Task], path: Union[str, Path]) -> None:
+    """Write a workload trace as JSON to *path*."""
+    payload = {"version": _TRACE_VERSION, "tasks": trace_to_records(tasks)}
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_trace(path: Union[str, Path]) -> list[Task]:
+    """Load a workload trace previously written by :func:`save_trace`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != _TRACE_VERSION:
+        raise ValueError(f"unsupported trace version {version!r}")
+    return records_to_tasks(payload["tasks"])

@@ -1,0 +1,107 @@
+"""Unit tests for the Online RL baseline [11]."""
+
+import pytest
+
+from repro.baselines import OnlineRLScheduler
+from repro.baselines.online_rl import CAP_LEVELS
+from repro.sim import RandomStreams
+from repro.workload import Task
+
+
+def make_task(tid, arrival=0.0, size=1000.0):
+    return Task(
+        tid=tid,
+        size_mi=size,
+        arrival_time=arrival,
+        act=1.0,
+        deadline=arrival + 200.0,
+    )
+
+
+@pytest.fixture
+def attached(env, small_system):
+    sched = OnlineRLScheduler(decision_interval=5.0)
+    sched.attach(env, small_system, RandomStreams(seed=3))
+    return sched
+
+
+class TestPowercap:
+    def test_initial_cap_is_full(self, attached):
+        assert attached.cap == 1.0
+        assert len(attached._eligible) == len(attached.system.nodes)
+
+    def test_apply_cap_shrinks_eligible_set(self, attached):
+        attached._apply_cap(0.3)
+        expected = max(1, -(-len(attached.system.nodes) * 3 // 10))
+        assert len(attached._eligible) == expected
+
+    def test_nearest_cap_snaps_to_levels(self):
+        assert OnlineRLScheduler._nearest_cap(0.34) == 0.3
+        assert OnlineRLScheduler._nearest_cap(0.99) == 1.0
+
+    def test_cap_history_records(self, attached, env):
+        env.run(until=20.0)
+        assert len(attached.cap_history) >= 3
+        assert all(c in CAP_LEVELS or c == 1.0 for _, c in attached.cap_history)
+
+    def test_ineligible_nodes_gate(self, attached, env):
+        from repro.energy import ProcState
+
+        attached._apply_cap(0.3)
+        env.run(until=5.0)
+        gated = [
+            n
+            for n in attached.system.nodes
+            if n not in attached._eligible
+        ]
+        assert gated
+        assert all(
+            p.state is ProcState.SLEEP for n in gated for p in n.processors
+        )
+
+
+class TestScheduling:
+    def test_completes_workload(self, env, small_system):
+        sched = OnlineRLScheduler(decision_interval=5.0)
+        sched.attach(env, small_system, RandomStreams(seed=3))
+        tasks = [make_task(i, arrival=i * 0.2) for i in range(30)]
+        done = sched.expect(len(tasks))
+
+        def arrivals():
+            for t in tasks:
+                if env.now < t.arrival_time:
+                    yield env.timeout(t.arrival_time - env.now)
+                sched.submit(t)
+
+        env.process(arrivals())
+        env.run(until=done)
+        assert len(sched.completed) == 30
+
+    def test_assignment_restricted_to_eligible(self, attached, env):
+        attached._apply_cap(0.3)
+        eligible_ids = {n.node_id for n in attached._eligible}
+        t = make_task(0)
+        attached.submit(t)
+        env.run(until=1.0)
+        node_of = t.processor_id.rsplit(".p", 1)[0]
+        assert node_of in eligible_ids
+
+    def test_rt_ref_tracks_submissions(self, attached):
+        assert attached._rt_ref == 1.0
+        attached.submit(make_task(0, size=5000.0))
+        assert attached._rt_ref > 1.0
+
+    def test_overload_guard_raises_cap(self, env, small_system):
+        sched = OnlineRLScheduler(decision_interval=2.0)
+        sched.attach(env, small_system, RandomStreams(seed=3))
+        sched._apply_cap(0.3)
+        sched._walk.value = 0.3
+        # Flood far beyond 1.5 × processors.
+        for i in range(100):
+            sched.submit(make_task(i, size=50000.0))
+        env.run(until=10.0)
+        assert sched.cap > 0.3
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            OnlineRLScheduler(decision_interval=0)

@@ -1,0 +1,27 @@
+"""Behavioral test: Online RL's powercap actually learns at light load."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+
+class TestCapLearning:
+    @pytest.fixture(scope="class")
+    def light_run(self):
+        cfg = ExperimentConfig(scheduler="online-rl", num_tasks=400, seed=3)
+        return run_experiment(cfg)
+
+    def test_cap_decreases_over_the_run(self, light_run):
+        """At light load the controller should learn lower caps: the
+        mean cap of the final third must sit below the first third's."""
+        caps = [c for _, c in light_run.scheduler.cap_history]
+        third = max(1, len(caps) // 3)
+        early = sum(caps[:third]) / third
+        late = sum(caps[-third:]) / third
+        assert late < early
+
+    def test_q_table_learned_something(self, light_run):
+        assert len(light_run.scheduler.table) > 0
+
+    def test_epsilon_decayed(self, light_run):
+        assert light_run.scheduler.epsilon < 0.35

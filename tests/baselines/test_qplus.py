@@ -1,0 +1,101 @@
+"""Unit tests for the Q+ learning baseline [12]."""
+
+import pytest
+
+from repro.baselines import QPlusLearningScheduler
+from repro.sim import RandomStreams
+from repro.workload import Task
+
+
+def make_task(tid, arrival=0.0, size=1000.0, slack=100.0):
+    return Task(
+        tid=tid,
+        size_mi=size,
+        arrival_time=arrival,
+        act=1.0,
+        deadline=arrival + 1.0 * (1 + slack),
+    )
+
+
+@pytest.fixture
+def attached(env, small_system):
+    sched = QPlusLearningScheduler(decision_interval=5.0)
+    sched.attach(env, small_system, RandomStreams(seed=4))
+    return sched
+
+
+class TestNodeAgents:
+    def test_one_agent_per_node(self, attached):
+        assert set(attached.node_agents) == {
+            n.node_id for n in attached.system.nodes
+        }
+
+    def test_all_start_active(self, attached):
+        assert attached.active_nodes == len(attached.system.nodes)
+
+    def test_go_sleep_gates_node(self, attached, env):
+        from repro.energy import ProcState
+
+        agent = next(iter(attached.node_agents.values()))
+        agent._set_active(False)
+        env.run(until=1.0)
+        assert all(p.state is ProcState.SLEEP for p in agent.node.processors)
+
+    def test_go_active_restores_policy(self, attached, env):
+        agent = next(iter(attached.node_agents.values()))
+        original = agent.node.sleep_policy
+        agent._set_active(False)
+        agent._set_active(True)
+        assert agent.node.sleep_policy is agent._active_policy
+
+    def test_sleeping_nodes_receive_no_assignments(self, attached, env):
+        # Put every node but one to sleep.
+        agents = list(attached.node_agents.values())
+        for a in agents[1:]:
+            a._set_active(False)
+        t = make_task(0)
+        attached.submit(t)
+        env.run(until=2.0)
+        assert t.processor_id.startswith(agents[0].node.node_id)
+
+    def test_safety_net_keeps_one_node_awake(self, env, small_system):
+        sched = QPlusLearningScheduler(decision_interval=1.0, epsilon=0.0)
+        sched.attach(env, small_system, RandomStreams(seed=4))
+        for a in sched.node_agents.values():
+            a._set_active(False)
+        sched.submit(make_task(0))
+        env.run(until=1.5)  # one decision epoch
+        assert sched.active_nodes >= 1
+
+    def test_decision_loop_updates_q(self, attached, env):
+        env.run(until=30.0)
+        assert any(
+            len(a.table) > 0 for a in attached.node_agents.values()
+        )
+
+
+class TestScheduling:
+    def test_completes_workload_edf(self, env, small_system):
+        sched = QPlusLearningScheduler(decision_interval=5.0)
+        sched.attach(env, small_system, RandomStreams(seed=4))
+        tasks = [make_task(i, arrival=i * 0.2) for i in range(25)]
+        done = sched.expect(len(tasks))
+
+        def arrivals():
+            for t in tasks:
+                if env.now < t.arrival_time:
+                    yield env.timeout(t.arrival_time - env.now)
+                sched.submit(t)
+
+        env.process(arrivals())
+        env.run(until=done)
+        assert len(sched.completed) == 25
+
+    def test_backlog_edf_ordered(self, attached):
+        attached.backlog = [make_task(1, slack=100.0), make_task(2, slack=1.0)]
+        attached._order_backlog()
+        assert [t.tid for t in attached.backlog] == [2, 1]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            QPlusLearningScheduler(decision_interval=-1)

@@ -1,0 +1,83 @@
+"""Unit tests for the non-learning reference schedulers."""
+
+import pytest
+
+from repro.baselines import EDFScheduler, FCFSScheduler, RandomScheduler
+from repro.sim import RandomStreams
+from repro.workload import Task
+
+
+def make_task(tid, arrival=0.0, size=1000.0, slack=50.0, act=1.0):
+    return Task(
+        tid=tid,
+        size_mi=size,
+        arrival_time=arrival,
+        act=act,
+        deadline=arrival + act * (1 + slack),
+    )
+
+
+def drive(env, system, sched, tasks):
+    sched.attach(env, system, RandomStreams(seed=2))
+    done = sched.expect(len(tasks))
+
+    def arrivals():
+        for t in tasks:
+            if env.now < t.arrival_time:
+                yield env.timeout(t.arrival_time - env.now)
+            sched.submit(t)
+
+    env.process(arrivals())
+    env.run(until=done)
+    return sched
+
+
+class TestFCFS:
+    def test_completes_everything(self, env, small_system):
+        tasks = [make_task(i, arrival=i * 0.1) for i in range(20)]
+        sched = drive(env, small_system, FCFSScheduler(), tasks)
+        assert len(sched.completed) == 20
+
+    def test_rotates_across_nodes(self, env, small_system):
+        tasks = [make_task(i) for i in range(len(small_system.nodes))]
+        drive(env, small_system, FCFSScheduler(), tasks)
+        used = {t.processor_id.rsplit(".p", 1)[0] for t in tasks}
+        assert len(used) == len(small_system.nodes)
+
+
+class TestEDF:
+    def test_completes_everything(self, env, small_system):
+        tasks = [make_task(i, arrival=i * 0.1) for i in range(20)]
+        sched = drive(env, small_system, EDFScheduler(), tasks)
+        assert len(sched.completed) == 20
+
+    def test_backlog_sorted_by_deadline(self, env, small_system):
+        sched = EDFScheduler()
+        sched.backlog = [make_task(1, slack=90.0), make_task(2, slack=1.0)]
+        sched._order_backlog()
+        assert [t.tid for t in sched.backlog] == [2, 1]
+
+    def test_urgent_task_gets_faster_completion_estimate(
+        self, env, small_system
+    ):
+        sched = EDFScheduler()
+        sched.attach(env, small_system, RandomStreams(seed=2))
+        node = sched._pick_node(make_task(0))
+        assert node is not None
+        # The chosen node minimizes the completion estimate.
+        speed = lambda n: n.total_speed_mips / n.num_processors
+        est = lambda n: (n.pending_size_mi + 1000.0) / speed(n)
+        assert est(node) == min(est(n) for n in small_system.nodes)
+
+
+class TestRandom:
+    def test_completes_everything(self, env, small_system):
+        tasks = [make_task(i, arrival=i * 0.1) for i in range(20)]
+        sched = drive(env, small_system, RandomScheduler(), tasks)
+        assert len(sched.completed) == 20
+
+    def test_spreads_over_nodes(self, env, small_system):
+        tasks = [make_task(i) for i in range(40)]
+        drive(env, small_system, RandomScheduler(), tasks)
+        used = {t.processor_id.rsplit(".p", 1)[0] for t in tasks}
+        assert len(used) >= 2

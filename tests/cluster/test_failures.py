@@ -1,0 +1,193 @@
+"""Unit tests for crash-stop failure injection."""
+
+import pytest
+
+from repro.cluster import (
+    ComputeNode,
+    FailureInjector,
+    FailureModel,
+    Processor,
+    SleepPolicy,
+    TaskGroup,
+)
+from repro.energy import ProcState, constant_power_profile
+from repro.workload import Task
+
+
+def make_node(env, n_procs=2):
+    procs = [
+        Processor(f"p{i}", 1000.0, constant_power_profile())
+        for i in range(n_procs)
+    ]
+    return ComputeNode(
+        env, "n0", "s0", procs, sleep_policy=SleepPolicy(allow_sleep=False)
+    )
+
+
+def make_task(tid, size=2000.0, arrival=0.0):
+    return Task(
+        tid=tid, size_mi=size, arrival_time=arrival, act=1.0, deadline=arrival + 500.0
+    )
+
+
+class TestFailureModel:
+    def test_availability(self):
+        m = FailureModel(90.0, 10.0)
+        assert m.availability == pytest.approx(0.9)
+
+    @pytest.mark.parametrize("mtbf,mttr", [(0, 1), (1, 0), (-1, 1)])
+    def test_invalid(self, mtbf, mttr):
+        with pytest.raises(ValueError):
+            FailureModel(mtbf, mttr)
+
+
+class TestNodeFailure:
+    def test_fail_orphans_running_and_queued_tasks(self, env):
+        node = make_node(env, n_procs=1)
+        orphans = []
+        node.on_tasks_orphaned(lambda ts, n: orphans.extend(ts))
+        running = make_task(1, size=10000.0)  # 10 s
+        queued = make_task(2)
+        node.submit(TaskGroup([running], created_at=0.0))
+        node.submit(TaskGroup([queued], created_at=0.0))
+        env.run(until=1.0)  # running has started
+        assert running.start_time is not None
+        node.fail()
+        assert node.failed
+        assert {t.tid for t in orphans} == {1, 2}
+        # The running task's execution record was reset.
+        assert running.start_time is None
+        assert node.pending_tasks == 0
+
+    def test_failed_node_rejects_submissions(self, env):
+        node = make_node(env)
+        node.fail()
+        assert not node.available
+        assert not node.try_submit(TaskGroup([make_task(1)], created_at=0.0))
+
+    def test_processors_power_off_on_failure(self, env):
+        node = make_node(env)
+        node.submit(TaskGroup([make_task(1, size=10000.0)], created_at=0.0))
+        env.run(until=1.0)
+        node.fail()
+        env.run(until=1.5)
+        assert all(p.state is ProcState.SLEEP for p in node.processors)
+
+    def test_completed_tasks_not_orphaned(self, env):
+        node = make_node(env)
+        orphans = []
+        node.on_tasks_orphaned(lambda ts, n: orphans.extend(ts))
+        done = make_task(1, size=500.0)  # 0.5 s
+        node.submit(TaskGroup([done], created_at=0.0))
+        env.run(until=2.0)
+        assert done.completed
+        node.fail()
+        assert orphans == []
+
+    def test_double_fail_is_noop(self, env):
+        node = make_node(env)
+        node.fail()
+        node.fail()
+        assert node.failures == 1
+
+    def test_repair_restores_service(self, env):
+        node = make_node(env)
+        node.submit(TaskGroup([make_task(1, size=10000.0)], created_at=0.0))
+        env.run(until=1.0)
+        node.fail()
+        env.run(until=2.0)
+        node.repair()
+        assert node.available
+        t = make_task(2, size=1000.0, arrival=2.0)
+        assert node.try_submit(TaskGroup([t], created_at=2.0))
+        env.run(until=10.0)
+        assert t.completed
+
+    def test_repair_without_failure_is_noop(self, env):
+        node = make_node(env)
+        node.repair()
+        assert not node.failed
+
+    def test_cancelled_group_never_completes(self, env):
+        node = make_node(env, n_procs=1)
+        fired = []
+        g = TaskGroup([make_task(1, size=10000.0)], created_at=0.0)
+        node.submit(g)
+        g.on_complete(fired.append)
+        env.run(until=1.0)
+        node.fail()
+        env.run(until=2.0)
+        assert g.cancelled
+        assert fired == []
+
+
+class TestInjector:
+    def test_lifecycle_produces_failures_and_repairs(self, env, streams):
+        nodes = [make_node(env)]
+        model = FailureModel(5.0, 1.0)
+        inj = FailureInjector(env, nodes, model, streams["failures"])
+        env.run(until=100.0)
+        assert inj.failures_injected > 5
+        assert inj.repairs_completed >= inj.failures_injected - 1
+        kinds = {kind for _, _, kind in inj.log}
+        assert kinds == {"fail", "repair"}
+
+    def test_start_after_delays_first_failure(self, env, streams):
+        nodes = [make_node(env)]
+        inj = FailureInjector(
+            env, nodes, FailureModel(1.0, 1.0), streams["failures"], start_after=50.0
+        )
+        env.run(until=49.0)
+        assert inj.failures_injected == 0
+
+    def test_validation(self, env, streams):
+        with pytest.raises(ValueError):
+            FailureInjector(env, [], FailureModel(1, 1), streams["failures"])
+        with pytest.raises(ValueError):
+            FailureInjector(
+                env,
+                [make_node(env)],
+                FailureModel(1, 1),
+                streams["failures"],
+                start_after=-1,
+            )
+
+
+class TestSchedulerResilience:
+    def test_all_tasks_complete_under_failures(self, env, streams):
+        """End-to-end: every task completes exactly once despite crashes."""
+        from repro.cluster import PlatformSpec, build_system
+        from repro.core import AdaptiveRLScheduler
+        from repro.workload import WorkloadGenerator, WorkloadSpec
+
+        system = build_system(
+            env,
+            PlatformSpec(num_sites=2, nodes_per_site=(3, 3), procs_per_node=(4, 4)),
+            streams,
+        )
+        tasks = WorkloadGenerator(
+            WorkloadSpec(
+                num_tasks=80,
+                mean_interarrival=2.0,
+                size_range_mi=(600.0 * 24, 7200.0 * 24),
+            ),
+            streams,
+        ).generate()
+        sched = AdaptiveRLScheduler()
+        sched.attach(env, system, streams)
+        done = sched.expect(len(tasks))
+        FailureInjector(
+            env, system.nodes, FailureModel(200.0, 40.0), streams["failures"]
+        )
+
+        def arrivals():
+            for t in tasks:
+                if env.now < t.arrival_time:
+                    yield env.timeout(t.arrival_time - env.now)
+                sched.submit(t)
+
+        env.process(arrivals())
+        env.run(until=done)
+        assert len(sched.completed) == 80
+        assert len({t.tid for t in sched.completed}) == 80
+        assert all(t.completed for t in tasks)

@@ -1,0 +1,67 @@
+"""Unit tests for heterogeneity-controlled speed synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    SPEED_CLIP_MIPS,
+    coefficient_of_variation,
+    speeds_with_cv,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestSpeedsWithCV:
+    @pytest.mark.parametrize("target", [0.1, 0.3, 0.5, 0.7, 0.9])
+    def test_hits_target_cv(self, rng, target):
+        speeds = speeds_with_cv(500, target, rng)
+        assert coefficient_of_variation(speeds) == pytest.approx(target, abs=0.05)
+
+    def test_mean_preserved(self, rng):
+        speeds = speeds_with_cv(500, 0.5, rng, mean_mips=750.0)
+        assert speeds.mean() == pytest.approx(750.0, rel=0.05)
+
+    def test_zero_cv_uniform(self, rng):
+        speeds = speeds_with_cv(10, 0.0, rng)
+        assert np.all(speeds == speeds[0])
+
+    def test_all_positive_and_clipped(self, rng):
+        speeds = speeds_with_cv(1000, 0.9, rng)
+        lo, hi = SPEED_CLIP_MIPS
+        assert np.all(speeds >= lo)
+        assert np.all(speeds <= hi)
+
+    def test_small_sample_still_positive(self, rng):
+        speeds = speeds_with_cv(3, 0.9, rng)
+        assert len(speeds) == 3
+        assert np.all(speeds > 0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n=0, target_cv=0.5),
+            dict(n=10, target_cv=-0.1),
+            dict(n=10, target_cv=2.5),
+            dict(n=10, target_cv=0.5, mean_mips=0),
+        ],
+    )
+    def test_invalid_args(self, rng, kwargs):
+        with pytest.raises(ValueError):
+            speeds_with_cv(rng=rng, **kwargs)
+
+
+class TestCoefficientOfVariation:
+    def test_known_value(self):
+        assert coefficient_of_variation(np.array([1.0, 1.0])) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation(np.array([]))
+
+    def test_nonpositive_mean_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation(np.array([-1.0, 1.0]))

@@ -1,0 +1,34 @@
+"""Unit tests for the Processor model."""
+
+import pytest
+
+from repro.cluster import Processor
+from repro.energy import ProcState, constant_power_profile
+
+
+@pytest.fixture
+def proc():
+    return Processor("p0", 800.0, constant_power_profile())
+
+
+class TestProcessor:
+    def test_execution_time_eq3(self, proc):
+        assert proc.execution_time(4000.0) == pytest.approx(5.0)
+
+    def test_invalid_size(self, proc):
+        with pytest.raises(ValueError):
+            proc.execution_time(0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            Processor("p0", 0, constant_power_profile())
+
+    def test_initial_state_idle(self, proc):
+        assert proc.state is ProcState.IDLE
+
+    def test_current_power_tracks_state(self, proc):
+        assert proc.current_power_w == pytest.approx(48.0)
+        proc.meter.set_state(ProcState.BUSY, 1.0)
+        assert proc.current_power_w == pytest.approx(95.0)
+        proc.meter.set_state(ProcState.SLEEP, 2.0)
+        assert proc.current_power_w == pytest.approx(4.8)

@@ -1,0 +1,81 @@
+"""Unit tests for resource sites."""
+
+import pytest
+
+from repro.cluster import ComputeNode, Processor, ResourceSite, SleepPolicy, TaskGroup
+from repro.energy import constant_power_profile
+from repro.workload import Task
+
+
+def make_site(env, n_nodes=2, n_procs=2):
+    nodes = []
+    for i in range(n_nodes):
+        procs = [
+            Processor(f"n{i}.p{j}", 1000.0, constant_power_profile())
+            for j in range(n_procs)
+        ]
+        nodes.append(
+            ComputeNode(
+                env,
+                f"n{i}",
+                "s0",
+                procs,
+                sleep_policy=SleepPolicy(allow_sleep=False),
+            )
+        )
+    return ResourceSite("s0", nodes)
+
+
+def make_task(tid):
+    return Task(tid=tid, size_mi=1000.0, arrival_time=0.0, act=1.0, deadline=100.0)
+
+
+class TestSite:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            ResourceSite("s0", [])
+
+    def test_duplicate_node_ids_rejected(self, env):
+        procs = lambda i: [Processor(f"x{i}", 1000.0, constant_power_profile())]
+        n1 = ComputeNode(env, "same", "s0", procs(0))
+        n2 = ComputeNode(env, "same", "s0", procs(1))
+        with pytest.raises(ValueError):
+            ResourceSite("s0", [n1, n2])
+
+    def test_aggregates(self, env):
+        site = make_site(env, n_nodes=2, n_procs=3)
+        assert len(site) == 2
+        assert site.num_processors == 6
+        assert site.total_speed_mips == pytest.approx(6000.0)
+        assert site.max_group_size == 3
+        assert site.total_free_slots == 2 * 4  # default queue slots
+
+    def test_node_lookup(self, env):
+        site = make_site(env)
+        assert site.node("n0").node_id == "n0"
+        with pytest.raises(KeyError):
+            site.node("missing")
+
+    def test_states_one_per_node(self, env):
+        site = make_site(env)
+        states = site.states()
+        assert [s.node_id for s in states] == ["n0", "n1"]
+
+    def test_callback_fanout(self, env):
+        site = make_site(env)
+        done = []
+        site.on_task_complete(lambda t, n: done.append((t.tid, n.node_id)))
+        t0, t1 = make_task(0), make_task(1)
+        site.node("n0").submit(TaskGroup([t0], created_at=0.0))
+        site.node("n1").submit(TaskGroup([t1], created_at=0.0))
+        env.run()
+        assert sorted(done) == [(0, "n0"), (1, "n1")]
+
+    def test_load_and_pending(self, env):
+        site = make_site(env)
+        g = TaskGroup([make_task(0)], created_at=0.0)
+        site.node("n0").submit(g)
+        assert site.pending_tasks == 1
+        assert site.total_load == pytest.approx(g.pw)
+        env.run()
+        assert site.pending_tasks == 0

@@ -1,0 +1,105 @@
+"""Unit tests for topology synthesis."""
+
+import pytest
+
+from repro.cluster import PlatformSpec, build_system
+from repro.sim import Environment, RandomStreams
+
+
+class TestPlatformSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_sites=0),
+            dict(nodes_per_site=(0, 5)),
+            dict(nodes_per_site=(5, 2)),
+            dict(procs_per_node=(0, 4)),
+            dict(speed_range_mips=(0, 100)),
+            dict(heterogeneity_cv=2.5),
+            dict(queue_slots=0),
+            dict(power_model="warp"),
+        ],
+    )
+    def test_invalid_specs(self, kwargs):
+        with pytest.raises(ValueError):
+            PlatformSpec(**kwargs)
+
+
+class TestBuildSystem:
+    def test_topology_respects_ranges(self, env, streams):
+        spec = PlatformSpec(
+            num_sites=3, nodes_per_site=(2, 4), procs_per_node=(4, 6)
+        )
+        system = build_system(env, spec, streams)
+        assert len(system) == 3
+        for site in system:
+            assert 2 <= len(site) <= 4
+            for node in site:
+                assert 4 <= node.num_processors <= 6
+
+    def test_speeds_in_range(self, env, streams):
+        spec = PlatformSpec(num_sites=2, speed_range_mips=(500.0, 1000.0))
+        system = build_system(env, spec, streams)
+        for p in system.processors:
+            assert 500 <= p.speed_mips <= 1000
+
+    def test_deterministic_given_seed(self):
+        def build(seed):
+            env = Environment()
+            system = build_system(
+                env, PlatformSpec(num_sites=2), RandomStreams(seed=seed)
+            )
+            return [(p.pid, p.speed_mips) for p in system.processors]
+
+        assert build(5) == build(5)
+        assert build(5) != build(6)
+
+    def test_heterogeneity_controls_speed_cv(self, env, streams):
+        import numpy as np
+
+        spec = PlatformSpec(
+            num_sites=4,
+            nodes_per_site=(8, 8),
+            procs_per_node=(5, 5),
+            heterogeneity_cv=0.5,
+        )
+        system = build_system(env, spec, streams)
+        speeds = np.array([p.speed_mips for p in system.processors])
+        cv = speeds.std() / speeds.mean()
+        assert cv == pytest.approx(0.5, abs=0.1)
+
+    def test_constant_power_model(self, env, streams):
+        system = build_system(env, PlatformSpec(num_sites=1), streams)
+        assert all(p.profile.p_max_w == 95.0 for p in system.processors)
+
+    def test_proportional_power_model(self, env, streams):
+        spec = PlatformSpec(num_sites=1, power_model="proportional")
+        system = build_system(env, spec, streams)
+        peaks = {p.profile.p_max_w for p in system.processors}
+        assert len(peaks) > 1
+        assert all(80.0 <= pk <= 95.0 for pk in peaks)
+
+    def test_site_lookup_and_ids(self, env, streams):
+        system = build_system(env, PlatformSpec(num_sites=2), streams)
+        assert system.site("site0").site_id == "site0"
+        assert {s.site_id for s in system} == {"site0", "site1"}
+
+    def test_slowest_speed(self, env, streams):
+        system = build_system(env, PlatformSpec(num_sites=2), streams)
+        assert system.slowest_speed_mips == min(
+            p.speed_mips for p in system.processors
+        )
+
+    def test_energy_aggregates_all_nodes(self, env, streams):
+        system = build_system(env, PlatformSpec(num_sites=2), streams)
+        env.run(until=10.0)
+        e = system.energy()
+        assert e.num_nodes == len(system.nodes)
+        assert e.num_processors == system.num_processors
+        assert e.total_energy > 0
+
+    def test_empty_system_rejected(self, env):
+        from repro.cluster.system import System
+
+        with pytest.raises(ValueError):
+            System(env, [])

@@ -1,0 +1,116 @@
+"""Unit tests for task groups and the Eq. 10 processing weight."""
+
+import pytest
+
+from repro.cluster import TaskGroup, processing_weight
+from repro.workload import Priority, Task
+
+
+def task(tid, size=5000.0, arrival=0.0, act=10.0, slack=0.5):
+    deadline = arrival + act * (1 + slack)
+    return Task(tid=tid, size_mi=size, arrival_time=arrival, act=act, deadline=deadline)
+
+
+class TestProcessingWeight:
+    def test_single_task_rate(self):
+        t = task(1, size=5000.0, act=10.0, slack=0.0)  # deadline at t=10
+        assert processing_weight([t], at_time=0.0) == pytest.approx(500.0)
+
+    def test_weight_scales_with_group_size(self):
+        tasks = [task(i, size=5000.0, act=10.0, slack=0.0) for i in range(4)]
+        single = processing_weight(tasks[:1], at_time=0.0)
+        quad = processing_weight(tasks, at_time=0.0)
+        assert quad == pytest.approx(4 * single)
+
+    def test_tight_deadlines_raise_weight(self):
+        urgent = task(1, slack=0.1)
+        relaxed = task(2, slack=1.4)
+        assert processing_weight([urgent], 0.0) > processing_weight([relaxed], 0.0)
+
+    def test_late_tasks_produce_large_finite_weight(self):
+        t = task(1, act=10.0, slack=0.0)
+        w = processing_weight([t], at_time=50.0)  # past deadline
+        assert w > 0
+        assert w < float("inf")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            processing_weight([], 0.0)
+
+
+class TestTaskGroup:
+    def test_edf_ordering(self):
+        t1 = task(1, slack=1.0)
+        t2 = task(2, slack=0.1)
+        t3 = task(3, slack=0.5)
+        g = TaskGroup([t1, t2, t3], created_at=0.0)
+        assert [t.tid for t in g.edf_order()] == [2, 3, 1]
+
+    def test_group_priority_is_most_urgent(self):
+        g = TaskGroup([task(1, slack=1.0), task(2, slack=0.1)], created_at=0.0)
+        assert g.priority is Priority.HIGH
+
+    def test_identical_priority_detection(self):
+        same = TaskGroup([task(1, slack=0.05), task(2, slack=0.1)], created_at=0.0)
+        mixed = TaskGroup([task(1, slack=0.05), task(2, slack=1.0)], created_at=0.0)
+        assert same.is_identical_priority
+        assert not mixed.is_identical_priority
+
+    def test_size_mi(self):
+        g = TaskGroup([task(1, size=100.0), task(2, size=200.0)], created_at=0.0)
+        assert g.size_mi == pytest.approx(300.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGroup([], created_at=0.0)
+
+    def test_unique_gids(self):
+        g1 = TaskGroup([task(1)], created_at=0.0)
+        g2 = TaskGroup([task(2)], created_at=0.0)
+        assert g1.gid != g2.gid
+
+    def test_completion_tracking(self):
+        g = TaskGroup([task(1), task(2)], created_at=0.0)
+        assert g.remaining == 2
+        g.task_done()
+        assert not g.completed
+        g.task_done()
+        assert g.completed
+        with pytest.raises(RuntimeError):
+            g.task_done()
+
+    def test_completion_callback_fires_once(self):
+        g = TaskGroup([task(1)], created_at=0.0)
+        fired = []
+        g.on_complete(fired.append)
+        g.task_done()
+        assert fired == [g]
+
+    def test_callback_on_already_completed_group(self):
+        g = TaskGroup([task(1)], created_at=0.0)
+        g.task_done()
+        fired = []
+        g.on_complete(fired.append)
+        assert fired == [g]
+
+    def test_reward_counts_deadline_hits(self):
+        t1, t2 = task(1, act=10.0, slack=0.0), task(2, act=10.0, slack=0.0)
+        g = TaskGroup([t1, t2], created_at=0.0)
+        t1.mark_started(0.0, "p", "s")
+        t1.mark_finished(5.0)     # hit (deadline 10)
+        t2.mark_started(0.0, "p", "s")
+        t2.mark_finished(20.0)    # miss
+        g.task_done()
+        g.task_done()
+        assert g.reward() == 1
+
+    def test_reward_before_completion_rejected(self):
+        g = TaskGroup([task(1)], created_at=0.0)
+        with pytest.raises(RuntimeError):
+            g.reward()
+
+    def test_len_and_iter(self):
+        tasks = [task(1), task(2), task(3)]
+        g = TaskGroup(tasks, created_at=0.0)
+        assert len(g) == 3
+        assert set(t.tid for t in g) == {1, 2, 3}

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import PlatformSpec, SleepPolicy, build_system
+from repro.sim import Environment, RandomStreams
+from repro.workload import WorkloadGenerator, WorkloadSpec
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(seed=1234)
+
+
+@pytest.fixture
+def small_platform_spec() -> PlatformSpec:
+    """Tiny deterministic platform: 2 sites × 2–3 nodes × 4 procs."""
+    return PlatformSpec(
+        num_sites=2,
+        nodes_per_site=(2, 3),
+        procs_per_node=(4, 4),
+    )
+
+
+@pytest.fixture
+def small_system(env, streams, small_platform_spec):
+    return build_system(env, small_platform_spec, streams)
+
+
+@pytest.fixture
+def no_sleep_system(env, streams):
+    spec = PlatformSpec(
+        num_sites=2,
+        nodes_per_site=(2, 2),
+        procs_per_node=(4, 4),
+        sleep_policy=SleepPolicy(allow_sleep=False),
+    )
+    return build_system(env, spec, streams)
+
+
+@pytest.fixture
+def small_workload(streams):
+    """Small task list at the paper's literal scale (fast to execute)."""
+    spec = WorkloadSpec(num_tasks=40, mean_interarrival=2.0)
+    return WorkloadGenerator(spec, streams).generate()

@@ -1,0 +1,47 @@
+"""Unit tests for the grouping action space."""
+
+import pytest
+
+from repro.core import GroupingAction, GroupingMode, action_space
+
+
+class TestGroupingAction:
+    def test_valid_action(self):
+        a = GroupingAction(GroupingMode.MIXED, 3)
+        assert a.mode == "mixed"
+        assert a.opnum == 3
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            GroupingAction("chaotic", 1)
+
+    def test_invalid_opnum(self):
+        with pytest.raises(ValueError):
+            GroupingAction(GroupingMode.MIXED, 0)
+
+    def test_hashable_and_comparable(self):
+        a = GroupingAction(GroupingMode.MIXED, 2)
+        b = GroupingAction(GroupingMode.MIXED, 2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestActionSpace:
+    def test_size_is_modes_times_opnums(self):
+        space = action_space(6)
+        assert len(space) == 12
+
+    def test_covers_both_modes_and_all_opnums(self):
+        space = action_space(4)
+        modes = {a.mode for a in space}
+        opnums = {a.opnum for a in space}
+        assert modes == {"mixed", "identical"}
+        assert opnums == {1, 2, 3, 4}
+
+    def test_minimal_space(self):
+        assert len(action_space(1)) == 2
+
+    def test_invalid_max(self):
+        with pytest.raises(ValueError):
+            action_space(0)

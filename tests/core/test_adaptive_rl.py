@@ -1,0 +1,96 @@
+"""Integration-level tests for the AdaptiveRLScheduler."""
+
+import pytest
+
+from repro.core import AdaptiveRLConfig, AdaptiveRLScheduler
+from repro.sim import RandomStreams
+
+
+def run_scheduler(env, system, tasks, config=None, streams=None):
+    sched = AdaptiveRLScheduler(config)
+    sched.attach(env, system, streams or RandomStreams(seed=5))
+    done = sched.expect(len(tasks))
+
+    def arrivals():
+        for t in tasks:
+            if env.now < t.arrival_time:
+                yield env.timeout(t.arrival_time - env.now)
+            sched.submit(t)
+
+    env.process(arrivals())
+    env.run(until=done)
+    return sched
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = AdaptiveRLConfig()
+        assert cfg.value_model == "tabular"
+        assert cfg.grouping_enabled and cfg.shared_memory_enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(value_model="magic"),
+            dict(memory_cycles=0),
+            dict(backlog_patience=-1),
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveRLConfig(**kwargs)
+
+
+class TestScheduler:
+    def test_completes_all_tasks(self, env, small_system, small_workload):
+        sched = run_scheduler(env, small_system, small_workload)
+        assert len(sched.completed) == len(small_workload)
+        assert all(t.completed for t in small_workload)
+
+    def test_one_agent_per_site(self, env, small_system, small_workload):
+        sched = run_scheduler(env, small_system, small_workload)
+        assert set(sched.agents) == {s.site_id for s in small_system.sites}
+
+    def test_shared_memory_populated(self, env, small_system, small_workload):
+        sched = run_scheduler(env, small_system, small_workload)
+        assert sched.memory is not None
+        assert len(sched.memory) > 0
+
+    def test_memory_disabled(self, env, small_system, small_workload):
+        cfg = AdaptiveRLConfig(shared_memory_enabled=False)
+        sched = run_scheduler(env, small_system, small_workload, cfg)
+        assert sched.memory is None
+        assert len(sched.completed) == len(small_workload)
+
+    def test_grouping_disabled_gives_singletons(
+        self, env, small_system, small_workload
+    ):
+        cfg = AdaptiveRLConfig(grouping_enabled=False)
+        sched = run_scheduler(env, small_system, small_workload, cfg)
+        assert sched.groups_dispatched == len(small_workload)
+
+    def test_neural_value_model_runs(self, env, small_system, small_workload):
+        cfg = AdaptiveRLConfig(value_model="neural")
+        sched = run_scheduler(env, small_system, small_workload, cfg)
+        assert len(sched.completed) == len(small_workload)
+
+    def test_routing_variants_run(self, env, small_system, small_workload):
+        cfg = AdaptiveRLConfig(routing="round-robin")
+        sched = run_scheduler(env, small_system, small_workload, cfg)
+        assert len(sched.completed) == len(small_workload)
+
+    def test_cycle_log_grows(self, env, small_system, small_workload):
+        sched = run_scheduler(env, small_system, small_workload)
+        assert sched.learning_cycles > 0
+        assert len(sched.cycle_log) == sched.learning_cycles
+
+    def test_tasks_keep_site_assignment(self, env, small_system, small_workload):
+        run_scheduler(env, small_system, small_workload)
+        site_ids = {s.site_id for s in small_system.sites}
+        assert all(t.site_id in site_ids for t in small_workload)
+
+    def test_double_attach_rejected(self, env, small_system):
+        sched = AdaptiveRLScheduler()
+        sched.attach(env, small_system, RandomStreams(seed=1))
+        with pytest.raises(RuntimeError):
+            sched.attach(env, small_system, RandomStreams(seed=1))

@@ -1,0 +1,86 @@
+"""Tests for the agent's exploratory placement path and score weights."""
+
+import numpy as np
+import pytest
+
+from repro.core import agent as agent_mod
+from repro.core.agent import SiteAgent
+from repro.core.value_models import TabularValueModel
+from repro.rl import EpsilonGreedy
+from tests.core.test_agent import make_site, task
+
+
+class TestPlacementExploration:
+    def test_explore_true_covers_all_open_nodes(self, env):
+        site = make_site(env, n_nodes=3)
+        agent = SiteAgent(
+            site,
+            value_model=TabularValueModel(),
+            exploration=EpsilonGreedy(
+                np.random.default_rng(0), epsilon=1.0, min_epsilon=1.0, decay=1.0
+            ),
+            memory=None,
+        )
+        from repro.cluster import TaskGroup
+
+        seen = set()
+        for i in range(60):
+            g = TaskGroup([task(1000 + i)], created_at=0.0)
+            node = agent._best_node(g, list(site.nodes), now=0.0, explore=True)
+            seen.add(node.node_id)
+        assert seen == {n.node_id for n in site.nodes}
+
+    def test_explore_false_is_deterministic(self, env):
+        site = make_site(env, n_nodes=3)
+        agent = SiteAgent(
+            site,
+            value_model=TabularValueModel(),
+            exploration=EpsilonGreedy(np.random.default_rng(0), epsilon=0.0, min_epsilon=0.0),
+            memory=None,
+        )
+        from repro.cluster import TaskGroup
+
+        g = TaskGroup([task(1)], created_at=0.0)
+        picks = {
+            agent._best_node(g, list(site.nodes), now=0.0).node_id
+            for _ in range(10)
+        }
+        assert len(picks) == 1
+
+
+class TestScoreWeights:
+    def test_weights_are_published_constants(self):
+        """The calibrated weights are part of the public contract — a
+        silent change would shift every figure."""
+        assert agent_mod.W_TIME == pytest.approx(0.6)
+        assert agent_mod.W_ENERGY == pytest.approx(0.8)
+        assert agent_mod.W_ERROR == pytest.approx(0.15)
+        assert agent_mod.W_WAKE == pytest.approx(0.5)
+
+    def test_faster_bigger_node_preferred_all_else_equal(self, env):
+        """The energy term prefers high mean speed and more processors."""
+        from repro.cluster import ComputeNode, Processor, SleepPolicy, TaskGroup
+        from repro.cluster.site import ResourceSite
+        from repro.energy import constant_power_profile
+
+        def node(node_id, speed, m):
+            procs = [
+                Processor(f"{node_id}.p{i}", speed, constant_power_profile())
+                for i in range(m)
+            ]
+            return ComputeNode(
+                env, node_id, "s0", procs,
+                sleep_policy=SleepPolicy(allow_sleep=False),
+            )
+
+        slow_small = node("slow", 500.0, 4)
+        fast_big = node("fast", 1000.0, 6)
+        site = ResourceSite("s0", [slow_small, fast_big])
+        agent = SiteAgent(
+            site,
+            value_model=TabularValueModel(),
+            exploration=EpsilonGreedy(np.random.default_rng(0), epsilon=0.0, min_epsilon=0.0),
+            memory=None,
+        )
+        g = TaskGroup([task(i) for i in range(4)], created_at=0.0)
+        assert agent._best_node(g, site.nodes, now=0.0) is fast_big

@@ -1,0 +1,66 @@
+"""Unit tests for task-to-site routing policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LeastLoadedRouting,
+    RandomRouting,
+    RoundRobinRouting,
+    make_routing,
+)
+from repro.workload import Task
+
+
+def task():
+    return Task(tid=0, size_mi=100.0, arrival_time=0.0, act=1.0, deadline=10.0)
+
+
+class FakeSite:
+    def __init__(self, site_id, pending, speed):
+        self.site_id = site_id
+        self.pending_tasks = pending
+        self.total_speed_mips = speed
+
+
+class TestLeastLoaded:
+    def test_picks_most_headroom(self):
+        sites = [FakeSite("a", 10, 1000.0), FakeSite("b", 1, 1000.0)]
+        assert LeastLoadedRouting().select(sites, task()).site_id == "b"
+
+    def test_speed_weighted(self):
+        sites = [FakeSite("a", 10, 10000.0), FakeSite("b", 2, 1000.0)]
+        # a: 11/10000 ≈ 0.0011 < b: 3/1000 = 0.003
+        assert LeastLoadedRouting().select(sites, task()).site_id == "a"
+
+    def test_empty_sites(self):
+        with pytest.raises(ValueError):
+            LeastLoadedRouting().select([], task())
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        sites = [FakeSite(s, 0, 1.0) for s in "abc"]
+        rr = RoundRobinRouting()
+        picks = [rr.select(sites, task()).site_id for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+
+class TestRandom:
+    def test_covers_all_sites(self):
+        sites = [FakeSite(s, 0, 1.0) for s in "abc"]
+        rnd = RandomRouting(np.random.default_rng(0))
+        picks = {rnd.select(sites, task()).site_id for _ in range(60)}
+        assert picks == {"a", "b", "c"}
+
+
+class TestFactory:
+    def test_known_names(self):
+        rng = np.random.default_rng(0)
+        assert isinstance(make_routing("least-loaded", rng), LeastLoadedRouting)
+        assert isinstance(make_routing("round-robin", rng), RoundRobinRouting)
+        assert isinstance(make_routing("random", rng), RandomRouting)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_routing("teleport", np.random.default_rng(0))

@@ -1,0 +1,143 @@
+"""Unit tests for the DVFS extension (processor scaling + governor)."""
+
+import pytest
+
+from repro.cluster import ComputeNode, Processor, SleepPolicy, TaskGroup
+from repro.cluster.processor import MIN_FREQUENCY_SCALE
+from repro.core.dvfs import DVFSGovernor, energy_optimal_scale
+from repro.energy import constant_power_profile
+from repro.workload import Task
+
+
+def make_task(tid, size=1000.0, arrival=0.0, window=100.0):
+    return Task(
+        tid=tid,
+        size_mi=size,
+        arrival_time=arrival,
+        act=size / 500.0,
+        deadline=arrival + window,
+    )
+
+
+@pytest.fixture
+def proc():
+    return Processor("p", 1000.0, constant_power_profile())
+
+
+class TestProcessorScaling:
+    def test_default_scale_is_nominal(self, proc):
+        assert proc.frequency_scale == 1.0
+        assert proc.effective_speed_mips == 1000.0
+        assert proc.busy_power_w == pytest.approx(95.0)
+
+    def test_scaling_slows_and_saves(self, proc):
+        proc.set_frequency_scale(0.8)
+        assert proc.effective_speed_mips == pytest.approx(800.0)
+        # Cubic model: 48 + 47·0.8³
+        assert proc.busy_power_w == pytest.approx(48 + 47 * 0.512)
+        assert proc.execution_time(800.0) == pytest.approx(1.0)
+
+    def test_scale_clamped(self, proc):
+        proc.set_frequency_scale(0.01)
+        assert proc.frequency_scale == MIN_FREQUENCY_SCALE
+        proc.set_frequency_scale(1.7)
+        assert proc.frequency_scale == 1.0
+
+    def test_invalid_scale(self, proc):
+        with pytest.raises(ValueError):
+            proc.set_frequency_scale(0)
+
+    def test_execution_charges_scaled_power(self, env):
+        proc = Processor("p", 1000.0, constant_power_profile())
+        node = ComputeNode(
+            env, "n", "s", [proc], sleep_policy=SleepPolicy(allow_sleep=False)
+        )
+        proc.set_frequency_scale(0.8)
+        t = make_task(1, size=800.0)
+        node.submit(TaskGroup([t], created_at=0.0))
+        env.run()
+        assert t.finish_time == pytest.approx(1.0)  # 800 MI at 800 MIPS
+        b = proc.meter.snapshot()
+        assert b.busy_energy == pytest.approx((48 + 47 * 0.512) * 1.0)
+
+
+class TestEnergyOptimalScale:
+    def test_paper_profile_optimum(self):
+        # pmin=48, Δ=47 → θ* = (48/94)^(1/3)
+        assert energy_optimal_scale(48.0, 95.0) == pytest.approx(
+            (48.0 / 94.0) ** (1 / 3)
+        )
+
+    def test_zero_static_power_prefers_slowest(self):
+        assert energy_optimal_scale(0.0, 95.0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            energy_optimal_scale(95.0, 48.0)
+
+
+class TestGovernor:
+    def make_node(self, env, n_procs=2, speed=1000.0):
+        procs = [
+            Processor(f"p{i}", speed, constant_power_profile())
+            for i in range(n_procs)
+        ]
+        return ComputeNode(
+            env, "n", "s", procs, sleep_policy=SleepPolicy(allow_sleep=False)
+        )
+
+    def test_idle_node_returns_nominal(self, env):
+        node = self.make_node(env)
+        gov = DVFSGovernor()
+        assert gov.target_scale(node, now=0.0) == 1.0
+
+    def test_slack_rich_work_scales_down(self, env):
+        node = self.make_node(env)
+        # Tiny task, enormous window: demand ≪ capacity.
+        node.submit(TaskGroup([make_task(1, size=100.0, window=1e6)], 0.0))
+        gov = DVFSGovernor()
+        theta = gov.target_scale(node, now=0.0)
+        assert theta < 1.0
+        # Never below the energy-optimal floor.
+        assert theta >= energy_optimal_scale(48.0, 95.0) - 1e-9
+
+    def test_urgent_work_keeps_nominal(self, env):
+        # Slow processors (500 MIPS) and a deadline at the ACT bound:
+        # demanded rate ≈ capacity, so the governor must not slow down.
+        node = self.make_node(env, speed=500.0)
+        node.submit(TaskGroup([make_task(1, size=5000.0, window=10.5)], 0.0))
+        gov = DVFSGovernor()
+        assert gov.target_scale(node, now=0.0) == 1.0
+
+    def test_apply_sets_all_processors(self, env):
+        node = self.make_node(env)
+        node.submit(TaskGroup([make_task(1, size=100.0, window=1e6)], 0.0))
+        gov = DVFSGovernor()
+        gov.apply([node], now=0.0)
+        scales = {p.frequency_scale for p in node.processors}
+        assert len(scales) == 1
+        assert scales.pop() < 1.0
+        assert gov.adjustments == 2
+
+    def test_invalid_safety_factor(self):
+        with pytest.raises(ValueError):
+            DVFSGovernor(safety_factor=0.5)
+
+
+class TestSchedulerIntegration:
+    def test_dvfs_config_validates(self):
+        from repro.core import AdaptiveRLConfig
+
+        with pytest.raises(ValueError):
+            AdaptiveRLConfig(dvfs_safety_factor=0.9)
+
+    def test_dvfs_run_saves_energy_at_light_load(self):
+        from repro.experiments import ExperimentConfig, run_experiment
+
+        base = ExperimentConfig(scheduler="adaptive-rl", num_tasks=150, seed=6)
+        off = run_experiment(base).metrics
+        on = run_experiment(
+            base.with_overrides(scheduler_kwargs={"dvfs_enabled": True})
+        ).metrics
+        assert on.ecs < off.ecs * 1.02  # never meaningfully worse
+        assert on.success_rate > 0.9   # deadlines still safe

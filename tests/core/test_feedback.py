@@ -1,0 +1,96 @@
+"""Unit tests for the feedback signals (Eqs. 7–9)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ERROR_EPSILON,
+    FeedbackRecord,
+    grouping_error,
+    learning_value,
+    scaled_reward,
+)
+
+
+class TestGroupingError:
+    def test_perfect_fit_is_zero(self):
+        assert grouping_error(750.0, 750.0) == pytest.approx(0.0)
+
+    def test_eq9_formula(self):
+        # proc_fitness = 1500/750 = 2 → |1 − 1/2| = 0.5
+        assert grouping_error(1500.0, 750.0) == pytest.approx(0.5)
+
+    def test_underweight_group(self):
+        # proc_fitness = 0.5 → |1 − 2| = 1
+        assert grouping_error(375.0, 750.0) == pytest.approx(1.0)
+
+    def test_symmetric_in_fitness_inverse(self):
+        assert grouping_error(375.0, 750.0) != grouping_error(1500.0, 750.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            grouping_error(0, 750.0)
+        with pytest.raises(ValueError):
+            grouping_error(750.0, 0)
+
+
+class TestLearningValue:
+    def test_eq7_ratio(self):
+        assert learning_value(4.0, 0.5) == pytest.approx(8.0)
+
+    def test_zero_error_uses_epsilon_floor(self):
+        assert learning_value(4.0, 0.0) == pytest.approx(4.0 / ERROR_EPSILON)
+
+    def test_zero_reward_gives_zero(self):
+        assert learning_value(0.0, 0.5) == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            learning_value(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            learning_value(1.0, -0.5)
+
+
+class TestScaledReward:
+    def test_bounded_in_unit_interval(self):
+        for hits in range(5):
+            for err in (0.0, 0.5, 3.0):
+                r = scaled_reward(hits, 4, err)
+                assert 0.0 <= r <= 1.0
+
+    def test_perfect_action_scores_one(self):
+        assert scaled_reward(4, 4, 0.0) == pytest.approx(1.0)
+
+    def test_monotone_in_hits(self):
+        assert scaled_reward(3, 4, 0.5) > scaled_reward(2, 4, 0.5)
+
+    def test_monotone_decreasing_in_error(self):
+        assert scaled_reward(4, 4, 0.1) > scaled_reward(4, 4, 1.0)
+
+    def test_exact_form(self):
+        assert scaled_reward(2, 4, 1.0) == pytest.approx(0.5 * math.exp(-1.0))
+
+    @pytest.mark.parametrize(
+        "hits,size,err", [(5, 4, 0.0), (-1, 4, 0.0), (1, 0, 0.0), (1, 4, -1.0)]
+    )
+    def test_invalid_args(self, hits, size, err):
+        with pytest.raises(ValueError):
+            scaled_reward(hits, size, err)
+
+
+class TestFeedbackRecord:
+    def test_derived_properties(self):
+        r = FeedbackRecord(deadline_hits=3, group_size=4, error=0.5)
+        assert r.reward == 3
+        assert r.hit_fraction == pytest.approx(0.75)
+        assert r.l_val == pytest.approx(6.0)
+        assert r.q_reward == pytest.approx(0.75 * math.exp(-0.5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeedbackRecord(deadline_hits=5, group_size=4, error=0.0)
+        with pytest.raises(ValueError):
+            FeedbackRecord(deadline_hits=1, group_size=0, error=0.0)
+        with pytest.raises(ValueError):
+            FeedbackRecord(deadline_hits=1, group_size=4, error=-1.0)

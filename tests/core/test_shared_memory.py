@@ -1,0 +1,91 @@
+"""Unit tests for the shared-learning memory (§III.B, §IV.C)."""
+
+import pytest
+
+from repro.core import (
+    AGENT_MEMORY_CYCLES,
+    Experience,
+    GroupingAction,
+    GroupingMode,
+    SharedLearningMemory,
+)
+
+
+def exp(agent="a0", cycle=1, state=(0, 0, 0), opnum=2, l_val=1.0, reward=1, error=0.5):
+    return Experience(
+        agent_id=agent,
+        cycle=cycle,
+        state=state,
+        action=GroupingAction(GroupingMode.MIXED, opnum),
+        l_val=l_val,
+        reward=reward,
+        error=error,
+        time=float(cycle),
+    )
+
+
+class TestSharedMemory:
+    def test_paper_capacity_is_15(self):
+        assert AGENT_MEMORY_CYCLES == 15
+
+    def test_record_and_len(self):
+        mem = SharedLearningMemory()
+        mem.record(exp())
+        assert len(mem) == 1
+        assert mem.total_records == 1
+
+    def test_per_agent_ring_eviction(self):
+        mem = SharedLearningMemory(cycles_per_agent=3)
+        for i in range(5):
+            mem.record(exp(agent="a0", cycle=i, l_val=float(i)))
+        assert len(mem) == 3
+        cycles = [e.cycle for e in mem.experiences_for("a0")]
+        assert cycles == [2, 3, 4]
+
+    def test_agents_are_independent_rings(self):
+        mem = SharedLearningMemory(cycles_per_agent=2)
+        mem.record(exp(agent="a0"))
+        mem.record(exp(agent="a1"))
+        mem.record(exp(agent="a1", cycle=2))
+        mem.record(exp(agent="a1", cycle=3))
+        assert len(mem.experiences_for("a0")) == 1
+        assert len(mem.experiences_for("a1")) == 2
+        assert mem.agents == ["a0", "a1"]
+
+    def test_best_action_global_max_lval(self):
+        mem = SharedLearningMemory()
+        mem.record(exp(agent="a0", opnum=1, l_val=1.0))
+        mem.record(exp(agent="a1", opnum=4, l_val=9.0))
+        best = mem.best_action()
+        assert best is not None and best.opnum == 4
+
+    def test_best_action_prefers_matching_state(self):
+        mem = SharedLearningMemory()
+        mem.record(exp(state=(0, 0, 0), opnum=1, l_val=100.0))
+        mem.record(exp(state=(2, 2, 2), opnum=5, l_val=1.0))
+        best = mem.best_action(state=(2, 2, 2))
+        assert best is not None and best.opnum == 5
+
+    def test_best_action_falls_back_to_global(self):
+        mem = SharedLearningMemory()
+        mem.record(exp(state=(0, 0, 0), opnum=3, l_val=7.0))
+        best = mem.best_action(state=(1, 1, 1))
+        assert best is not None and best.opnum == 3
+
+    def test_best_on_empty_memory(self):
+        mem = SharedLearningMemory()
+        assert mem.best_action() is None
+        assert mem.best_experience() is None
+
+    def test_experiences_for_unknown_agent(self):
+        assert SharedLearningMemory().experiences_for("ghost") == []
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SharedLearningMemory(cycles_per_agent=0)
+
+    def test_iteration_covers_all_agents(self):
+        mem = SharedLearningMemory()
+        mem.record(exp(agent="a0"))
+        mem.record(exp(agent="a1"))
+        assert len(list(mem)) == 2

@@ -1,0 +1,72 @@
+"""Unit tests for state observation and discretization (§IV.B)."""
+
+import pytest
+
+from repro.cluster import NodeState
+from repro.core import SiteObservation, discretize, observe_site
+
+
+def node_state(load=0.0, free_slots=4, powers=(48.0,) * 4, capacity=1000.0):
+    return NodeState(
+        node_id="n",
+        load=load,
+        free_slots=free_slots,
+        processor_power_w=tuple(powers),
+        processing_capacity=capacity,
+    )
+
+
+class TestObserveSite:
+    def test_idle_site(self):
+        states = [node_state(), node_state()]
+        obs = observe_site(states, max_power_w=8 * 95.0, total_queue_slots=8)
+        assert obs.load_ratio == 0.0
+        assert obs.free_slot_fraction == 1.0
+        assert obs.power_fraction == pytest.approx((8 * 48) / (8 * 95))
+        assert obs.open_nodes == 2
+
+    def test_loaded_site(self):
+        states = [
+            node_state(load=2000.0, free_slots=0, powers=(95.0,) * 4),
+            node_state(load=0.0, free_slots=4),
+        ]
+        obs = observe_site(states, max_power_w=8 * 95.0, total_queue_slots=8)
+        assert obs.load_ratio == pytest.approx(1.0)
+        assert obs.free_slot_fraction == pytest.approx(0.5)
+        assert obs.open_nodes == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            observe_site([], 100.0, 8)
+        with pytest.raises(ValueError):
+            observe_site([node_state()], 0.0, 8)
+        with pytest.raises(ValueError):
+            observe_site([node_state()], 100.0, 0)
+
+    def test_features_vector_bounded(self):
+        obs = SiteObservation(
+            load_ratio=10.0, free_slot_fraction=0.5, power_fraction=0.9, open_nodes=100
+        )
+        f = obs.features()
+        assert f.shape == (4,)
+        assert all(0 <= v <= 1 for v in f)
+
+
+class TestDiscretize:
+    def test_levels_partition_space(self):
+        lo = SiteObservation(0.1, 0.9, 0.2, 5)
+        mid = SiteObservation(1.0, 0.5, 0.5, 5)
+        hi = SiteObservation(3.0, 0.1, 0.9, 5)
+        assert discretize(lo) == (0, 2, 0)
+        assert discretize(mid) == (1, 1, 1)
+        assert discretize(hi) == (2, 0, 2)
+
+    def test_all_states_reachable(self):
+        seen = set()
+        for load in (0.1, 1.0, 3.0):
+            for slots in (0.1, 0.5, 0.9):
+                for power in (0.2, 0.5, 0.9):
+                    seen.add(
+                        discretize(SiteObservation(load, slots, power, 1))
+                    )
+        assert len(seen) == 27

@@ -1,0 +1,73 @@
+"""Unit tests for the tabular and neural value models."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GroupingAction,
+    GroupingMode,
+    NeuralValueModel,
+    SiteObservation,
+    TabularValueModel,
+    action_space,
+)
+
+ACTIONS = action_space(2)
+STATE = (1, 1, 1)
+OBS = SiteObservation(
+    load_ratio=1.0, free_slot_fraction=0.5, power_fraction=0.5, open_nodes=3
+)
+
+
+class TestTabularValueModel:
+    def test_initially_unknown(self):
+        m = TabularValueModel()
+        assert not m.knows(STATE, ACTIONS)
+        assert m.values(STATE, OBS, ACTIONS) == [0.0] * len(ACTIONS)
+
+    def test_update_raises_value(self):
+        m = TabularValueModel(alpha=1.0)
+        a = ACTIONS[0]
+        m.update(STATE, OBS, a, 1.0, None, None, ACTIONS)
+        assert m.values(STATE, OBS, [a])[0] == pytest.approx(1.0)
+        assert m.knows(STATE, ACTIONS)
+
+    def test_td_bootstrap_from_next_state(self):
+        m = TabularValueModel(alpha=1.0, gamma=0.5)
+        nxt = (2, 2, 2)
+        m.update(nxt, OBS, ACTIONS[1], 10.0, None, None, ACTIONS)
+        m.update(STATE, OBS, ACTIONS[0], 0.0, nxt, OBS, ACTIONS)
+        assert m.values(STATE, OBS, [ACTIONS[0]])[0] == pytest.approx(5.0)
+
+
+class TestNeuralValueModel:
+    def make(self):
+        return NeuralValueModel(ACTIONS, rng=np.random.default_rng(0))
+
+    def test_values_one_per_action(self):
+        m = self.make()
+        vals = m.values(STATE, OBS, ACTIONS)
+        assert len(vals) == len(ACTIONS)
+        assert all(isinstance(v, float) for v in vals)
+
+    def test_knows_after_first_update(self):
+        m = self.make()
+        assert not m.knows(STATE, ACTIONS)
+        m.update(STATE, OBS, ACTIONS[0], 1.0, None, None, ACTIONS)
+        assert m.knows(STATE, ACTIONS)
+
+    def test_learning_moves_prediction_toward_target(self):
+        m = NeuralValueModel(
+            ACTIONS, rng=np.random.default_rng(0), learning_rate=0.05
+        )
+        a = ACTIONS[0]
+        before = m.values(STATE, OBS, [a])[0]
+        for _ in range(300):
+            m.update(STATE, OBS, a, 1.0, None, None, ())
+        after = m.values(STATE, OBS, [a])[0]
+        assert abs(after - 1.0) < abs(before - 1.0)
+        assert after == pytest.approx(1.0, abs=0.2)
+
+    def test_requires_actions(self):
+        with pytest.raises(ValueError):
+            NeuralValueModel((), rng=np.random.default_rng(0))

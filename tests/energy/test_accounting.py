@@ -1,0 +1,82 @@
+"""Unit tests for node/system energy aggregation (Eq. 6, ECS)."""
+
+import pytest
+
+from repro.energy import (
+    EnergyBreakdown,
+    NodeEnergy,
+    node_energy,
+    system_energy,
+)
+
+
+def breakdown(busy_t=10.0, idle_t=5.0, sleep_t=0.0, pmax=100.0, pmin=50.0, psleep=5.0):
+    return EnergyBreakdown(
+        busy_time=busy_t,
+        idle_time=idle_t,
+        sleep_time=sleep_t,
+        busy_energy=busy_t * pmax,
+        idle_energy=idle_t * pmin,
+        sleep_energy=sleep_t * psleep,
+    )
+
+
+class TestNodeEnergy:
+    def test_eq6_mean_over_processors(self):
+        b1 = breakdown(busy_t=10.0, idle_t=0.0)   # 1000 J
+        b2 = breakdown(busy_t=0.0, idle_t=10.0)   # 500 J
+        ne = node_energy("n0", [b1, b2])
+        assert ne.energy == pytest.approx(750.0)
+        assert ne.total_processor_energy == pytest.approx(1500.0)
+        assert ne.num_processors == 2
+
+    def test_times_are_summed(self):
+        ne = node_energy("n0", [breakdown(), breakdown()])
+        assert ne.busy_time == pytest.approx(20.0)
+        assert ne.idle_time == pytest.approx(10.0)
+
+    def test_node_utilization(self):
+        ne = node_energy("n0", [breakdown(busy_t=30, idle_t=10)])
+        assert ne.utilization == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            node_energy("n0", [])
+
+
+class TestSystemEnergy:
+    def test_ecs_sums_node_means(self):
+        n1 = node_energy("n1", [breakdown(busy_t=10, idle_t=0)])
+        n2 = node_energy("n2", [breakdown(busy_t=0, idle_t=10)])
+        se = system_energy([n1, n2])
+        assert se.ecs == pytest.approx(1000.0 + 500.0)
+        assert se.total_energy == pytest.approx(1500.0)
+        assert se.num_nodes == 2
+        assert se.num_processors == 2
+
+    def test_mean_node_energy(self):
+        n1 = node_energy("n1", [breakdown(busy_t=10, idle_t=0)])
+        n2 = node_energy("n2", [breakdown(busy_t=0, idle_t=10)])
+        se = system_energy([n1, n2])
+        assert se.mean_node_energy == pytest.approx(750.0)
+
+    def test_ecs_weighs_small_nodes_more(self):
+        """Eq. 6 normalizes by processor count: the same raw energy on a
+        smaller node contributes more to ECS."""
+        small = node_energy("s", [breakdown(busy_t=10, idle_t=0)])
+        big = node_energy(
+            "b", [breakdown(busy_t=5, idle_t=0), breakdown(busy_t=5, idle_t=0)]
+        )
+        assert small.total_processor_energy == pytest.approx(
+            big.total_processor_energy
+        )
+        assert small.energy > big.energy
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            system_energy([])
+
+    def test_utilization(self):
+        n = node_energy("n", [breakdown(busy_t=10, idle_t=10)])
+        se = system_energy([n])
+        assert se.utilization == pytest.approx(0.5)

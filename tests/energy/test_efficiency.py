@@ -1,0 +1,46 @@
+"""Unit tests for derived efficiency metrics."""
+
+import pytest
+
+from repro.energy import (
+    EnergyBreakdown,
+    efficiency_report,
+    node_energy,
+    system_energy,
+)
+
+
+def sample_system_energy():
+    b = EnergyBreakdown(
+        busy_time=10.0,
+        idle_time=10.0,
+        sleep_time=5.0,
+        busy_energy=1000.0,
+        idle_energy=500.0,
+        sleep_energy=25.0,
+    )
+    return system_energy([node_energy("n", [b])])
+
+
+class TestEfficiencyReport:
+    def test_energy_per_task(self):
+        rep = efficiency_report(sample_system_energy(), 10, 2.0)
+        assert rep.energy_per_task == pytest.approx(152.5)
+
+    def test_energy_delay_product(self):
+        rep = efficiency_report(sample_system_energy(), 10, 2.0)
+        assert rep.energy_delay_product == pytest.approx(305.0)
+
+    def test_idle_waste_fraction(self):
+        rep = efficiency_report(sample_system_energy(), 10, 2.0)
+        assert rep.idle_waste_fraction == pytest.approx(0.5)
+
+    def test_zero_completions_infinite_per_task(self):
+        rep = efficiency_report(sample_system_energy(), 0, 0.0)
+        assert rep.energy_per_task == float("inf")
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            efficiency_report(sample_system_energy(), -1, 1.0)
+        with pytest.raises(ValueError):
+            efficiency_report(sample_system_energy(), 1, -1.0)

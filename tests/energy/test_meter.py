@@ -1,0 +1,95 @@
+"""Unit tests for the processor energy meter (Eq. 5)."""
+
+import pytest
+
+from repro.energy import PowerProfile, ProcState, ProcessorEnergyMeter
+
+
+@pytest.fixture
+def profile():
+    return PowerProfile(p_max_w=100.0, p_min_w=50.0, p_sleep_w=5.0)
+
+
+class TestMeter:
+    def test_starts_idle(self, profile):
+        m = ProcessorEnergyMeter(profile)
+        assert m.state is ProcState.IDLE
+
+    def test_eq5_busy_plus_idle(self, profile):
+        """PPj = pmax·ΣET + pmin·t_idle for a busy/idle trace."""
+        m = ProcessorEnergyMeter(profile)
+        m.set_state(ProcState.BUSY, 10.0)   # idle [0, 10)
+        m.set_state(ProcState.IDLE, 25.0)   # busy [10, 25)
+        b = m.finalize(30.0)                # idle [25, 30)
+        assert b.busy_time == pytest.approx(15.0)
+        assert b.idle_time == pytest.approx(15.0)
+        assert b.total_energy == pytest.approx(100 * 15 + 50 * 15)
+
+    def test_sleep_accounting(self, profile):
+        m = ProcessorEnergyMeter(profile)
+        m.set_state(ProcState.SLEEP, 5.0)
+        b = m.finalize(15.0)
+        assert b.sleep_time == pytest.approx(10.0)
+        assert b.sleep_energy == pytest.approx(50.0)
+
+    def test_zero_duration_transition(self, profile):
+        m = ProcessorEnergyMeter(profile)
+        m.set_state(ProcState.BUSY, 0.0)
+        m.set_state(ProcState.IDLE, 0.0)
+        b = m.finalize(1.0)
+        assert b.busy_time == 0.0
+        assert b.idle_time == pytest.approx(1.0)
+
+    def test_time_cannot_go_backwards(self, profile):
+        m = ProcessorEnergyMeter(profile)
+        m.set_state(ProcState.BUSY, 10.0)
+        with pytest.raises(ValueError):
+            m.set_state(ProcState.IDLE, 5.0)
+
+    def test_finalize_freezes(self, profile):
+        m = ProcessorEnergyMeter(profile)
+        m.finalize(10.0)
+        with pytest.raises(RuntimeError):
+            m.set_state(ProcState.BUSY, 11.0)
+
+    def test_invalid_state_type(self, profile):
+        m = ProcessorEnergyMeter(profile)
+        with pytest.raises(TypeError):
+            m.set_state("busy", 1.0)  # type: ignore[arg-type]
+
+    def test_snapshot_without_mutation(self, profile):
+        m = ProcessorEnergyMeter(profile)
+        m.set_state(ProcState.BUSY, 0.0)
+        snap = m.snapshot(now=10.0)
+        assert snap.busy_time == pytest.approx(10.0)
+        # A later snapshot still accrues from the last real transition.
+        snap2 = m.snapshot(now=20.0)
+        assert snap2.busy_time == pytest.approx(20.0)
+
+    def test_snapshot_time_before_transition_rejected(self, profile):
+        m = ProcessorEnergyMeter(profile)
+        m.set_state(ProcState.BUSY, 10.0)
+        with pytest.raises(ValueError):
+            m.snapshot(now=5.0)
+
+    def test_utilization_excludes_sleep(self, profile):
+        m = ProcessorEnergyMeter(profile)
+        m.set_state(ProcState.BUSY, 0.0)
+        m.set_state(ProcState.SLEEP, 10.0)
+        b = m.finalize(100.0)
+        assert b.utilization == pytest.approx(1.0)
+
+    def test_utilization_zero_when_never_powered(self, profile):
+        m = ProcessorEnergyMeter(profile)
+        m.set_state(ProcState.SLEEP, 0.0)
+        b = m.finalize(50.0)
+        assert b.utilization == 0.0
+
+    def test_total_time_partition(self, profile):
+        m = ProcessorEnergyMeter(profile)
+        m.set_state(ProcState.BUSY, 3.0)
+        m.set_state(ProcState.SLEEP, 7.0)
+        m.set_state(ProcState.IDLE, 9.0)
+        b = m.finalize(12.0)
+        assert b.total_time == pytest.approx(12.0)
+        assert b.busy_time + b.idle_time + b.sleep_time == pytest.approx(12.0)

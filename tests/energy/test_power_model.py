@@ -1,0 +1,73 @@
+"""Unit tests for the power model (Eq. 5 parameters)."""
+
+import pytest
+
+from repro.energy import (
+    DEFAULT_PMAX_W,
+    DEFAULT_PMIN_W,
+    PEAK_POWER_RANGE_W,
+    PowerProfile,
+    constant_power_profile,
+    proportional_power_profile,
+)
+
+
+class TestPowerProfile:
+    def test_paper_defaults(self):
+        p = constant_power_profile()
+        assert p.p_max_w == 95.0
+        assert p.p_min_w == 48.0
+        assert p.p_sleep_w < p.p_min_w
+
+    def test_power_at_states(self):
+        p = PowerProfile(p_max_w=100, p_min_w=50, p_sleep_w=5)
+        assert p.power_at("busy") == 100
+        assert p.power_at("idle") == 50
+        assert p.power_at("sleep") == 5
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            constant_power_profile().power_at("warp")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(p_max_w=0),
+            dict(p_max_w=50, p_min_w=60),
+            dict(p_max_w=50, p_min_w=-1),
+            dict(p_max_w=50, p_min_w=40, p_sleep_w=45),
+        ],
+    )
+    def test_invalid_profiles(self, kwargs):
+        with pytest.raises(ValueError):
+            PowerProfile(**kwargs)
+
+
+class TestProportionalProfile:
+    def test_slowest_gets_low_end(self):
+        p = proportional_power_profile(500.0)
+        assert p.p_max_w == pytest.approx(PEAK_POWER_RANGE_W[0])
+
+    def test_fastest_gets_high_end(self):
+        p = proportional_power_profile(1000.0)
+        assert p.p_max_w == pytest.approx(PEAK_POWER_RANGE_W[1])
+
+    def test_midpoint_interpolates(self):
+        p = proportional_power_profile(750.0)
+        assert p.p_max_w == pytest.approx(87.5)
+
+    def test_idle_fraction(self):
+        p = proportional_power_profile(750.0, idle_fraction=0.5)
+        assert p.p_min_w == pytest.approx(0.5 * p.p_max_w)
+
+    def test_out_of_range_speed_clamped(self):
+        slow = proportional_power_profile(100.0)
+        fast = proportional_power_profile(5000.0)
+        assert slow.p_max_w == pytest.approx(PEAK_POWER_RANGE_W[0])
+        assert fast.p_max_w == pytest.approx(PEAK_POWER_RANGE_W[1])
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            proportional_power_profile(750.0, speed_range_mips=(1000, 500))
+        with pytest.raises(ValueError):
+            proportional_power_profile(750.0, idle_fraction=0)

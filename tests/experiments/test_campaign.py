@@ -1,0 +1,61 @@
+"""Unit tests for the campaign runner."""
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import Campaign, grid
+
+
+class TestGrid:
+    def test_full_cross_product(self):
+        configs = grid(["edf", "fcfs"], [20, 40], [1, 2, 3])
+        assert len(configs) == 12
+        assert {c.scheduler for c in configs} == {"edf", "fcfs"}
+        assert {c.num_tasks for c in configs} == {20, 40}
+
+    def test_common_kwargs_forwarded(self):
+        configs = grid(["edf"], [20], [1], arrival_period=999.0)
+        assert configs[0].arrival_period == 999.0
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            grid([], [20], [1])
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("campaign")
+        campaign = Campaign("unit-test", output_dir=out)
+        res = campaign.run(grid(["edf", "fcfs"], [25], [1, 2]))
+        return res, out
+
+    def test_one_record_per_run(self, result):
+        res, _ = result
+        assert len(res.records) == 4
+        assert res.wall_seconds > 0
+
+    def test_filtering_and_aggregation(self, result):
+        res, _ = result
+        edf = res.by(scheduler="EDF-greedy")
+        assert len(edf) == 2
+        agg = res.aggregate("avert", scheduler="EDF-greedy")
+        assert agg is not None and agg["n"] == 2 and agg["mean"] > 0
+        assert res.aggregate("avert", scheduler="nope") is None
+
+    def test_artifacts_written(self, result):
+        res, out = result
+        payload = json.loads((out / "unit-test.json").read_text())
+        assert len(payload["records"]) == 4
+        markdown = (out / "unit-test.md").read_text()
+        assert "## AveRT" in markdown
+        assert "EDF-greedy" in markdown
+
+    def test_markdown_includes_cis_for_multiseed(self, result):
+        res, _ = result
+        assert "±" in res.to_markdown()
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            Campaign("")

@@ -1,0 +1,45 @@
+"""Unit tests for the figure-regeneration CLI."""
+
+import pytest
+
+from repro.experiments import cli
+
+
+class TestCLI:
+    def test_unknown_figure_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["fig99"])
+
+    def test_quick_single_figure_runs(self, capsys, monkeypatch):
+        # Shrink further for test speed.
+        monkeypatch.setattr(cli, "QUICK_TASK_COUNTS", (40, 80))
+        monkeypatch.setattr(cli, "QUICK_HEAVY", 80)
+        rc = cli.main(["fig9", "--quick"])
+        out = capsys.readouterr().out
+        assert "FIG9" in out
+        assert "shape checks:" in out
+        assert rc in (0, 1)
+
+    def test_save_dir_writes_figure_json(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setattr(cli, "QUICK_HEAVY", 60)
+        cli.main(["fig9", "--quick", "--save-dir", str(tmp_path)])
+        capsys.readouterr()
+        from repro.experiments.persistence import load_figure
+
+        fig = load_figure(tmp_path / "fig9.json")
+        assert fig.figure_id == "fig9"
+
+    def test_fig7_fig8_share_one_sweep(self, capsys, monkeypatch):
+        calls = []
+        real = cli.comparison_sweep
+
+        def counting_sweep(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cli, "QUICK_TASK_COUNTS", (30, 60))
+        monkeypatch.setattr(cli, "comparison_sweep", counting_sweep)
+        cli.main(["fig7", "fig8", "--quick"])
+        out = capsys.readouterr().out
+        assert "FIG7" in out and "FIG8" in out
+        assert len(calls) == 1  # the expensive sweep ran once for both

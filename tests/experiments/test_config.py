@@ -1,0 +1,62 @@
+"""Unit tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, default_platform
+
+
+class TestExperimentConfig:
+    def test_defaults_mirror_paper(self):
+        cfg = ExperimentConfig()
+        assert cfg.scheduler == "adaptive-rl"
+        assert cfg.arrival_period == 2500.0
+        assert cfg.reference_speed_mips == 500.0
+        assert cfg.platform.num_sites == 5
+
+    def test_fixed_period_interarrival_scaling(self):
+        """DESIGN.md A12: N=500 reproduces the stated mean iat of 5."""
+        assert (
+            ExperimentConfig(num_tasks=500).effective_mean_interarrival == 5.0
+        )
+        assert ExperimentConfig(
+            num_tasks=3000
+        ).effective_mean_interarrival == pytest.approx(2500 / 3000)
+
+    def test_direct_interarrival_mode(self):
+        cfg = ExperimentConfig(arrival_period=None, mean_interarrival=7.0)
+        assert cfg.effective_mean_interarrival == 7.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_tasks=0),
+            dict(mean_interarrival=0),
+            dict(arrival_period=0),
+            dict(size_range_mi=(0, 10)),
+            dict(reference_speed_mips=0),
+            dict(sim_time_factor=1.0),
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**kwargs)
+
+    def test_with_overrides(self):
+        cfg = ExperimentConfig(num_tasks=100)
+        other = cfg.with_overrides(seed=9)
+        assert other.seed == 9
+        assert other.num_tasks == 100
+        assert cfg.seed == 1  # original untouched
+
+
+class TestDefaultPlatform:
+    def test_paper_range_low_end(self):
+        p = default_platform()
+        assert p.num_sites == 5
+        assert p.nodes_per_site == (5, 10)
+        assert p.procs_per_node == (4, 6)
+
+    def test_overrides_pass_through(self):
+        p = default_platform(num_sites=7, heterogeneity_cv=0.5)
+        assert p.num_sites == 7
+        assert p.heterogeneity_cv == 0.5

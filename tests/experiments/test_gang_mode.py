@@ -1,0 +1,32 @@
+"""Experiment-level tests for the gang-execution (split-off) platform."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, default_platform, run_experiment
+
+
+class TestGangMode:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        base = ExperimentConfig(scheduler="adaptive-rl", num_tasks=120, seed=4)
+        split = run_experiment(base)
+        gang = run_experiment(
+            base.with_overrides(platform=default_platform(split_enabled=False))
+        )
+        return split, gang
+
+    def test_both_complete(self, runs):
+        split, gang = runs
+        assert split.metrics.response.count == 120
+        assert gang.metrics.response.count == 120
+
+    def test_split_not_slower(self, runs):
+        """The paper's split process exists to cut idle waiting: enabling
+        it must not hurt response time."""
+        split, gang = runs
+        assert split.metrics.avert <= gang.metrics.avert * 1.05
+
+    def test_platform_flag_reaches_nodes(self, runs):
+        split, gang = runs
+        assert all(n.split_enabled for n in split.system.nodes)
+        assert not any(n.split_enabled for n in gang.system.nodes)

@@ -1,0 +1,73 @@
+"""Unit tests for figure/metrics JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.figures import FigureData
+from repro.experiments.persistence import (
+    figure_from_dict,
+    figure_to_dict,
+    load_figure,
+    metrics_to_dict,
+    save_figure,
+)
+
+
+@pytest.fixture
+def fig():
+    return FigureData(
+        figure_id="fig7",
+        title="test",
+        x_label="N",
+        y_label="AveRT",
+        x_values=(500, 3000),
+        series={"Adaptive RL": (1.0, 2.0), "Online RL": (1.5, 3.0)},
+        errors={"Adaptive RL": (0.1, 0.2), "Online RL": (0.0, 0.0)},
+        meta={"seeds": (1, 2)},
+    )
+
+
+class TestFigurePersistence:
+    def test_round_trip_in_memory(self, fig):
+        back = figure_from_dict(figure_to_dict(fig))
+        assert back.figure_id == fig.figure_id
+        assert back.x_values == fig.x_values
+        assert back.series == {k: tuple(v) for k, v in fig.series.items()}
+        assert back.errors["Adaptive RL"] == (0.1, 0.2)
+
+    def test_round_trip_on_disk(self, fig, tmp_path):
+        path = tmp_path / "fig7.json"
+        save_figure(fig, path)
+        back = load_figure(path)
+        assert back.series == fig.series
+        # The file is genuine JSON.
+        payload = json.loads(path.read_text())
+        assert payload["figure_id"] == "fig7"
+
+    def test_version_check(self, fig, tmp_path):
+        payload = figure_to_dict(fig)
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            figure_from_dict(payload)
+
+    def test_shape_checks_survive_round_trip(self, fig):
+        from repro.experiments.reporting import shape_checks
+
+        back = figure_from_dict(figure_to_dict(fig))
+        # fig7 checks run identically on the reloaded object.
+        assert len(shape_checks(back)) == len(shape_checks(fig))
+
+
+class TestMetricsPersistence:
+    def test_flattens_headlines(self):
+        from repro.experiments import ExperimentConfig, run_experiment
+
+        result = run_experiment(
+            ExperimentConfig(scheduler="fcfs", num_tasks=30, seed=2)
+        )
+        payload = metrics_to_dict(result.metrics)
+        assert payload["scheduler"] == "FCFS"
+        assert payload["response"]["count"] == 30
+        assert payload["energy"]["ecs"] == pytest.approx(result.metrics.ecs)
+        json.dumps(payload)  # fully JSON-serializable

@@ -1,0 +1,118 @@
+"""Unit tests for figure rendering and shape checks."""
+
+import pytest
+
+from repro.experiments.figures import FigureData
+from repro.experiments.reporting import render_figure, shape_checks
+
+
+def fig(figure_id="fig7", series=None, x=(500, 3000)):
+    series = series or {
+        "Adaptive RL": (100.0, 120.0),
+        "Online RL": (105.0, 170.0),
+        "Q+ learning": (108.0, 180.0),
+        "Prediction-based learning": (110.0, 220.0),
+    }
+    return FigureData(
+        figure_id=figure_id,
+        title="test figure",
+        x_label="Number of tasks",
+        y_label="y",
+        x_values=x,
+        series=series,
+    )
+
+
+class TestRender:
+    def test_contains_all_series_and_x(self):
+        text = render_figure(fig())
+        assert "Adaptive RL" in text
+        assert "500" in text and "3000" in text
+        assert "100.000" in text
+
+    def test_errors_rendered_when_present(self):
+        f = FigureData(
+            figure_id="fig7",
+            title="t",
+            x_label="x",
+            y_label="y",
+            x_values=(1,),
+            series={"Adaptive RL": (1.0,), "Online RL": (2.0,)},
+            errors={"Adaptive RL": (0.5,), "Online RL": (0.0,)},
+        )
+        assert "±" in render_figure(f)
+
+
+class TestShapeChecks:
+    def test_fig7_pass_on_paper_shape(self):
+        checks = shape_checks(fig())
+        assert all(c.passed for c in checks)
+
+    def test_fig7_fails_when_adaptive_loses(self):
+        bad = fig(
+            series={
+                "Adaptive RL": (200.0, 400.0),
+                "Online RL": (105.0, 170.0),
+                "Q+ learning": (108.0, 180.0),
+                "Prediction-based learning": (110.0, 220.0),
+            }
+        )
+        checks = shape_checks(bad)
+        assert any(not c.passed for c in checks)
+
+    def test_fig8_comparable_check(self):
+        good = fig(
+            figure_id="fig8",
+            series={
+                "Adaptive RL": (1.0, 7.0),
+                "Online RL": (1.04, 7.2),
+                "Q+ learning": (1.1, 7.4),
+                "Prediction-based learning": (1.1, 7.6),
+            },
+        )
+        assert all(c.passed for c in shape_checks(good))
+
+    def test_fig9_rising_check(self):
+        rising = fig(
+            figure_id="fig9",
+            x=(10, 100),
+            series={"Adaptive RL (heavy)": (0.4, 0.9), "Online RL (heavy)": (0.3, 0.8)},
+        )
+        assert all(c.passed for c in shape_checks(rising))
+        flat = fig(
+            figure_id="fig9",
+            x=(10, 100),
+            series={"Adaptive RL (heavy)": (0.9, 0.5), "Online RL (heavy)": (0.3, 0.8)},
+        )
+        assert any(not c.passed for c in shape_checks(flat))
+
+    def test_fig11_checks(self):
+        good = fig(
+            figure_id="fig11",
+            x=(0.1, 0.9),
+            series={
+                "Heavily-loaded": (0.9, 0.75),
+                "Lightly-loaded": (0.95, 0.8),
+            },
+        )
+        assert all(c.passed for c in shape_checks(good))
+
+    def test_fig12_checks(self):
+        good = fig(
+            figure_id="fig12",
+            x=(0.1, 0.9),
+            series={
+                "Heavily-loaded": (12.0, 12.5),
+                "Lightly-loaded": (4.0, 4.2),
+            },
+        )
+        assert all(c.passed for c in shape_checks(good))
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            shape_checks(fig(figure_id="fig99"))
+
+    def test_check_str_format(self):
+        check = shape_checks(fig())[0]
+        assert "fig7" in str(check)
+        assert str(check).startswith("[PASS]") or str(check).startswith("[FAIL]")

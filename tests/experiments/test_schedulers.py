@@ -1,0 +1,48 @@
+"""Unit tests for the scheduler registry."""
+
+import pytest
+
+from repro.baselines import FCFSScheduler
+from repro.core import AdaptiveRLScheduler
+from repro.experiments import (
+    PAPER_COMPARISON,
+    SCHEDULER_NAMES,
+    make_scheduler,
+    register_scheduler,
+)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(PAPER_COMPARISON) <= set(SCHEDULER_NAMES)
+        for name in SCHEDULER_NAMES:
+            sched = make_scheduler(name)
+            assert sched.name
+
+    def test_adaptive_kwargs_build_config(self):
+        sched = make_scheduler("adaptive-rl", grouping_enabled=False)
+        assert isinstance(sched, AdaptiveRLScheduler)
+        assert not sched.config.grouping_enabled
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("oracle")
+
+    def test_register_custom(self):
+        class Custom(FCFSScheduler):
+            name = "custom-test"
+
+        register_scheduler("custom-test-xyz", Custom)
+        try:
+            sched = make_scheduler("custom-test-xyz")
+            assert isinstance(sched, Custom)
+            with pytest.raises(ValueError, match="already registered"):
+                register_scheduler("custom-test-xyz", Custom)
+        finally:
+            from repro.experiments import schedulers as mod
+
+            mod._FACTORIES.pop("custom-test-xyz", None)
+
+    def test_register_empty_name(self):
+        with pytest.raises(ValueError):
+            register_scheduler("", FCFSScheduler)

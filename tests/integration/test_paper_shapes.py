@@ -1,0 +1,82 @@
+"""Paper-shape integration tests (reduced scale).
+
+These assert the headline relationships of the paper's evaluation at a
+scale small enough for CI: who wins on response time and energy, and the
+qualitative trends of the utilization and heterogeneity studies.  The
+full-scale shape checks are run by ``python -m repro.experiments.cli``
+and recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, default_platform, run_experiment
+
+HEAVY = 1200  # scaled-down heavy point (full scale: 3000)
+LIGHT = 300
+
+
+@pytest.fixture(scope="module")
+def heavy_runs():
+    out = {}
+    for name in ("adaptive-rl", "online-rl", "qplus", "prediction"):
+        cfg = ExperimentConfig(
+            scheduler=name,
+            num_tasks=HEAVY,
+            seed=2,
+            arrival_period=1000.0,  # keep the heavy point heavy at N=1200
+        )
+        out[name] = run_experiment(cfg).metrics
+    return out
+
+
+class TestFigure7Shape:
+    def test_adaptive_wins_response_time_under_load(self, heavy_runs):
+        adaptive = heavy_runs["adaptive-rl"].avert
+        for name in ("online-rl", "qplus", "prediction"):
+            assert adaptive < heavy_runs[name].avert * 1.02, name
+
+
+class TestFigure8Shape:
+    def test_online_energy_comparable(self, heavy_runs):
+        a = heavy_runs["adaptive-rl"].ecs
+        o = heavy_runs["online-rl"].ecs
+        assert abs(o - a) / a < 0.15
+
+    def test_adaptive_energy_not_worst(self, heavy_runs):
+        a = heavy_runs["adaptive-rl"].ecs
+        worst = max(m.ecs for m in heavy_runs.values())
+        assert a < worst
+
+
+class TestExperiment2Shape:
+    def test_utilization_rises_with_learning(self, heavy_runs):
+        series = heavy_runs["adaptive-rl"].utilization_series
+        assert series[-1].cumulative_utilization > series[0].cumulative_utilization
+        assert series[-1].cumulative_utilization >= 0.6
+
+
+class TestExperiment3Shape:
+    @pytest.fixture(scope="class")
+    def h_runs(self):
+        out = {}
+        for h in (0.1, 0.9):
+            cfg = ExperimentConfig(
+                scheduler="adaptive-rl",
+                num_tasks=LIGHT,
+                seed=2,
+                platform=default_platform(heterogeneity_cv=h),
+            )
+            out[h] = run_experiment(cfg).metrics
+        return out
+
+    def test_success_declines_with_heterogeneity(self, h_runs):
+        assert h_runs[0.1].success_rate >= h_runs[0.9].success_rate
+
+    def test_success_stays_high(self, h_runs):
+        assert h_runs[0.9].success_rate > 0.7
+
+    def test_energy_not_dramatically_hampered(self, h_runs):
+        # Loose band at this reduced scale (single seed, 300 tasks); the
+        # full-scale fig12 check (<35 % spread) runs in the CLI.
+        ratio = h_runs[0.9].ecs / h_runs[0.1].ecs
+        assert 0.5 < ratio < 2.2

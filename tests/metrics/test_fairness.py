@@ -1,0 +1,59 @@
+"""Unit tests for fairness metrics and per-site breakdowns."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.metrics.fairness import jains_index, per_site_breakdown
+
+
+class TestJainsIndex:
+    def test_perfectly_even(self):
+        assert jains_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hog(self):
+        assert jains_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_bounds(self):
+        idx = jains_index([1.0, 2.0, 3.0, 4.0])
+        assert 0.25 <= idx <= 1.0
+
+    def test_all_zero_is_fair(self):
+        assert jains_index([0.0, 0.0]) == 1.0
+
+    def test_scale_invariant(self):
+        assert jains_index([1.0, 2.0]) == pytest.approx(jains_index([10.0, 20.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jains_index([])
+        with pytest.raises(ValueError):
+            jains_index([-1.0, 1.0])
+
+
+class TestPerSiteBreakdown:
+    @pytest.fixture(scope="class")
+    def run_result(self):
+        cfg = ExperimentConfig(scheduler="adaptive-rl", num_tasks=150, seed=13)
+        return run_experiment(cfg)
+
+    def test_one_entry_per_site(self, run_result):
+        breakdown = per_site_breakdown(run_result.system, run_result.tasks)
+        assert set(breakdown) == {s.site_id for s in run_result.system.sites}
+
+    def test_task_counts_sum_to_total(self, run_result):
+        breakdown = per_site_breakdown(run_result.system, run_result.tasks)
+        assert sum(b.tasks_completed for b in breakdown.values()) == 150
+
+    def test_site_metrics_sane(self, run_result):
+        breakdown = per_site_breakdown(run_result.system, run_result.tasks)
+        for b in breakdown.values():
+            if b.tasks_completed:
+                assert b.avert > 0
+                assert 0 <= b.success_rate <= 1
+            assert b.energy > 0
+
+    def test_load_reasonably_balanced(self, run_result):
+        """Least-loaded routing should spread busy time fairly."""
+        breakdown = per_site_breakdown(run_result.system, run_result.tasks)
+        idx = jains_index([b.busy_time for b in breakdown.values()])
+        assert idx > 0.5

@@ -1,0 +1,67 @@
+"""Unit tests for the per-priority breakdown."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.metrics.priority_report import (
+    priority_report,
+    render_priority_report,
+)
+from repro.workload import Priority, Task
+
+
+def finished(tid, slack, finish_offset):
+    act = 10.0
+    t = Task(
+        tid=tid,
+        size_mi=5000.0,
+        arrival_time=0.0,
+        act=act,
+        deadline=act * (1 + slack),
+    )
+    t.mark_started(1.0, "p", "s")
+    t.mark_finished(1.0 + finish_offset)
+    return t
+
+
+class TestPriorityReport:
+    def test_classes_partition_tasks(self):
+        tasks = [
+            finished(1, slack=0.05, finish_offset=5.0),   # high, hit
+            finished(2, slack=0.5, finish_offset=50.0),   # medium, miss
+            finished(3, slack=1.2, finish_offset=5.0),    # low, hit
+        ]
+        report = priority_report(tasks)
+        assert report[Priority.HIGH].count == 1
+        assert report[Priority.MEDIUM].count == 1
+        assert report[Priority.LOW].count == 1
+        assert report[Priority.HIGH].success_rate == 1.0
+        assert report[Priority.MEDIUM].success_rate == 0.0
+
+    def test_empty_class_zeroed(self):
+        report = priority_report([finished(1, slack=0.05, finish_offset=5.0)])
+        assert report[Priority.LOW].count == 0
+        assert report[Priority.LOW].avert == 0.0
+
+    def test_wait_and_avert(self):
+        report = priority_report([finished(1, slack=0.05, finish_offset=5.0)])
+        r = report[Priority.HIGH]
+        assert r.mean_wait == pytest.approx(1.0)
+        assert r.avert == pytest.approx(6.0)
+
+    def test_render_contains_all_classes(self):
+        tasks = [finished(1, slack=0.05, finish_offset=5.0)]
+        text = render_priority_report(priority_report(tasks))
+        for label in ("high", "medium", "low"):
+            assert label in text
+
+    def test_end_to_end_classes_present(self):
+        result = run_experiment(
+            ExperimentConfig(scheduler="adaptive-rl", num_tasks=120, seed=8)
+        )
+        report = priority_report(result.tasks)
+        assert sum(r.count for r in report.values()) == 120
+        # High-priority tasks should succeed at least as often as the
+        # overall rate minus slack for noise.
+        overall = result.metrics.success_rate
+        assert report[Priority.LOW].success_rate >= overall - 0.1

@@ -1,0 +1,52 @@
+"""Unit tests for statistics helpers."""
+
+import pytest
+
+from repro.metrics import mean_ci, relative_difference
+
+
+class TestMeanCI:
+    def test_single_sample_zero_width(self):
+        ci = mean_ci([5.0])
+        assert ci.mean == 5.0
+        assert ci.half_width == 0.0
+        assert ci.n == 1
+
+    def test_identical_samples_zero_width(self):
+        ci = mean_ci([3.0, 3.0, 3.0])
+        assert ci.half_width == 0.0
+
+    def test_known_two_sample_interval(self):
+        # mean 1, sd 1.414, sem 1, t(1) = 12.706
+        ci = mean_ci([0.0, 2.0])
+        assert ci.mean == pytest.approx(1.0)
+        assert ci.half_width == pytest.approx(12.706, rel=1e-3)
+
+    def test_bounds(self):
+        ci = mean_ci([1.0, 2.0, 3.0])
+        assert ci.low == pytest.approx(ci.mean - ci.half_width)
+        assert ci.high == pytest.approx(ci.mean + ci.half_width)
+
+    def test_width_shrinks_with_n(self):
+        narrow = mean_ci([1.0, 2.0] * 20)
+        wide = mean_ci([1.0, 2.0])
+        assert narrow.half_width < wide.half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_large_n_uses_z(self):
+        ci = mean_ci(list(range(100)))
+        assert ci.n == 100
+        assert ci.half_width > 0
+
+
+class TestRelativeDifference:
+    def test_signed(self):
+        assert relative_difference(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_difference(9.0, 10.0) == pytest.approx(-0.1)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            relative_difference(1.0, 0.0)

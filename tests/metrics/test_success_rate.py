@@ -1,0 +1,50 @@
+"""Unit tests for deadline-success metrics."""
+
+import pytest
+
+from repro.metrics import success_rate, summarize_success
+from repro.workload import Priority, Task
+
+
+def finished(tid, deadline, finish, slack=None):
+    # slack tunes priority class; deadline param is absolute.
+    t = Task(tid=tid, size_mi=500.0, arrival_time=0.0, act=1.0, deadline=deadline)
+    t.mark_started(0.0, "p", "s")
+    t.mark_finished(finish)
+    return t
+
+
+class TestSuccessRate:
+    def test_hits_over_submitted(self):
+        tasks = [finished(1, deadline=10.0, finish=5.0), finished(2, 10.0, 15.0)]
+        assert success_rate(tasks, submitted=4) == pytest.approx(0.25)
+
+    def test_hits_over_completed_default(self):
+        tasks = [finished(1, 10.0, 5.0), finished(2, 10.0, 15.0)]
+        assert success_rate(tasks) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert success_rate([]) == 0.0
+
+    def test_negative_submitted_rejected(self):
+        with pytest.raises(ValueError):
+            success_rate([], submitted=-1)
+
+
+class TestSummary:
+    def test_per_priority_breakdown(self):
+        hi = Task(tid=1, size_mi=500.0, arrival_time=0.0, act=10.0, deadline=11.0)
+        lo = Task(tid=2, size_mi=500.0, arrival_time=0.0, act=10.0, deadline=25.0)
+        hi.mark_started(0.0, "p", "s"); hi.mark_finished(10.0)   # hit
+        lo.mark_started(0.0, "p", "s"); lo.mark_finished(30.0)   # miss
+        s = summarize_success([hi, lo], submitted=2)
+        assert s.rate == pytest.approx(0.5)
+        assert s.priority_rate(Priority.HIGH) == pytest.approx(1.0)
+        assert s.priority_rate(Priority.LOW) == pytest.approx(0.0)
+        assert s.priority_rate(Priority.MEDIUM) == 0.0
+
+    def test_completed_rate_vs_submitted_rate(self):
+        t = finished(1, 10.0, 5.0)
+        s = summarize_success([t], submitted=10)
+        assert s.completed_rate == pytest.approx(1.0)
+        assert s.rate == pytest.approx(0.1)

@@ -1,0 +1,69 @@
+"""Unit tests for the timeline recorder."""
+
+import pytest
+
+from repro.cluster import TaskGroup
+from repro.metrics.timeline import TimelineRecorder
+from repro.workload import Task
+
+
+def make_task(tid, size=200_000.0):
+    return Task(tid=tid, size_mi=size, arrival_time=0.0, act=1.0, deadline=5000.0)
+
+
+class TestTimelineRecorder:
+    def test_samples_at_interval(self, env, no_sleep_system):
+        rec = TimelineRecorder(env, no_sleep_system, interval=5.0)
+        env.run(until=26.0)
+        assert len(rec.samples) == 6  # t = 0, 5, 10, 15, 20, 25
+        times = [s.time for s in rec.samples]
+        assert times == [0.0, 5.0, 10.0, 15.0, 20.0, 25.0]
+
+    def test_counts_partition_processors(self, env, no_sleep_system):
+        rec = TimelineRecorder(env, no_sleep_system, interval=5.0)
+        env.run(until=11.0)
+        total = no_sleep_system.num_processors
+        for s in rec.samples:
+            assert s.total_processors == total
+
+    def test_power_tracks_execution(self, env, no_sleep_system):
+        rec = TimelineRecorder(env, no_sleep_system, interval=1.0)
+        node = no_sleep_system.nodes[0]
+        node.submit(TaskGroup([make_task(1)], created_at=0.0))
+        env.run(until=10.0)
+        idle_draw = rec.samples[0].power_w
+        busy_draw = max(s.power_w for s in rec.samples)
+        assert busy_draw > idle_draw
+
+    def test_pending_and_busy_counts(self, env, no_sleep_system):
+        rec = TimelineRecorder(env, no_sleep_system, interval=1.0)
+        node = no_sleep_system.nodes[0]
+        node.submit(TaskGroup([make_task(1)], created_at=0.0))
+        env.run(until=3.0)
+        assert any(s.busy_processors >= 1 for s in rec.samples)
+        assert any(s.pending_tasks >= 1 for s in rec.samples)
+
+    def test_analysis_helpers(self, env, no_sleep_system):
+        rec = TimelineRecorder(env, no_sleep_system, interval=2.0)
+        env.run(until=10.0)
+        assert rec.peak_power_w() >= rec.mean_power_w() > 0
+
+    def test_helpers_require_samples(self, env, no_sleep_system):
+        rec = TimelineRecorder(env, no_sleep_system, interval=2.0)
+        with pytest.raises(ValueError):
+            rec.peak_power_w()
+        with pytest.raises(ValueError):
+            rec.mean_power_w()
+
+    def test_ascii_plot_renders(self, env, no_sleep_system):
+        rec = TimelineRecorder(env, no_sleep_system, interval=1.0)
+        node = no_sleep_system.nodes[0]
+        node.submit(TaskGroup([make_task(1)], created_at=0.0))
+        env.run(until=50.0)
+        plot = rec.ascii_power_plot(width=30, height=5)
+        assert "power:" in plot
+        assert "#" in plot
+
+    def test_invalid_interval(self, env, no_sleep_system):
+        with pytest.raises(ValueError):
+            TimelineRecorder(env, no_sleep_system, interval=0)

@@ -1,0 +1,63 @@
+"""Unit tests for the utilization-by-cycles series (Figs. 9–10)."""
+
+import pytest
+
+from repro.core.base import CycleSample
+from repro.metrics import utilization_by_cycles
+
+
+def sample(cycle, time, busy, powered, completed=0):
+    return CycleSample(
+        cycle=cycle,
+        time=time,
+        busy_time=busy,
+        powered_time=powered,
+        completed_tasks=completed,
+        busy_fraction=0.0,
+    )
+
+
+class TestUtilizationByCycles:
+    def test_empty_log(self):
+        assert utilization_by_cycles([]) == []
+
+    def test_windowed_deltas(self):
+        samples = [
+            sample(1, 10.0, busy=5.0, powered=10.0),
+            sample(2, 20.0, busy=15.0, powered=20.0),
+        ]
+        pts = utilization_by_cycles(samples, checkpoints=(50, 100))
+        assert len(pts) == 2
+        assert pts[0].utilization == pytest.approx(0.5)    # 5/10
+        assert pts[1].utilization == pytest.approx(1.0)    # Δ10/Δ10
+        assert pts[1].cumulative_utilization == pytest.approx(0.75)
+
+    def test_default_checkpoints_are_deciles(self):
+        samples = [
+            sample(i, float(i), busy=float(i), powered=float(i) * 2)
+            for i in range(1, 101)
+        ]
+        pts = utilization_by_cycles(samples)
+        assert [p.percent_cycles for p in pts] == list(range(10, 101, 10))
+        for p in pts:
+            assert p.utilization == pytest.approx(0.5)
+
+    def test_zero_powered_window_is_zero(self):
+        samples = [sample(1, 1.0, busy=0.0, powered=0.0)]
+        pts = utilization_by_cycles(samples, checkpoints=(100,))
+        assert pts[0].utilization == 0.0
+        assert pts[0].cumulative_utilization == 0.0
+
+    def test_short_logs_reuse_last_sample(self):
+        samples = [sample(1, 1.0, busy=1.0, powered=2.0)]
+        pts = utilization_by_cycles(samples)
+        assert len(pts) == 10
+        assert pts[0].utilization == pytest.approx(0.5)
+        # Later checkpoints see no additional accumulation.
+        assert all(p.utilization == 0.0 for p in pts[1:])
+
+    def test_invalid_checkpoints(self):
+        with pytest.raises(ValueError):
+            utilization_by_cycles([sample(1, 1.0, 1.0, 1.0)], checkpoints=(0,))
+        with pytest.raises(ValueError):
+            utilization_by_cycles([sample(1, 1.0, 1.0, 1.0)], checkpoints=(150,))

@@ -1,0 +1,74 @@
+"""Property-based end-to-end tests: system invariants under random configs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import PlatformSpec
+from repro.experiments import ExperimentConfig, run_experiment
+
+
+@st.composite
+def small_configs(draw):
+    scheduler = draw(
+        st.sampled_from(["adaptive-rl", "online-rl", "qplus", "edf", "fcfs"])
+    )
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_tasks = draw(st.integers(min_value=5, max_value=60))
+    sites = draw(st.integers(min_value=1, max_value=3))
+    nodes = draw(st.integers(min_value=1, max_value=3))
+    platform = PlatformSpec(
+        num_sites=sites,
+        nodes_per_site=(nodes, nodes + 1),
+        procs_per_node=(2, 4),
+    )
+    return ExperimentConfig(
+        scheduler=scheduler,
+        seed=seed,
+        num_tasks=num_tasks,
+        arrival_period=draw(st.sampled_from([100.0, 400.0, 1000.0])),
+        platform=platform,
+    )
+
+
+class TestEndToEndInvariants:
+    @given(config=small_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_conservation_invariants(self, config):
+        result = run_experiment(config)
+        tasks = result.tasks
+        n = config.num_tasks
+
+        # Exactly-once completion.
+        assert len(result.scheduler.completed) == n
+        assert len({t.tid for t in result.scheduler.completed}) == n
+        assert all(t.completed for t in tasks)
+
+        # Causality per task.
+        for t in tasks:
+            assert t.arrival_time <= t.start_time <= t.finish_time
+
+        # Busy-time conservation: processors were busy exactly as long
+        # as the tasks executed.
+        total_busy = sum(
+            p.meter.snapshot().busy_time for p in result.system.processors
+        )
+        total_et = sum(t.finish_time - t.start_time for t in tasks)
+        assert total_busy == pytest.approx(total_et, rel=1e-9)
+
+        # Energy bounded by the all-sleep/all-busy envelopes over the
+        # metered span.
+        for p in result.system.processors:
+            b = p.meter.snapshot()
+            assert (
+                p.profile.p_sleep_w * b.total_time - 1e-6
+                <= b.total_energy
+                <= p.profile.p_max_w * b.total_time + 1e-6
+            )
+
+        # Headline metrics well-formed.
+        m = result.metrics
+        assert m.avert > 0
+        assert 0 <= m.success_rate <= 1
+        assert m.ecs > 0
+        assert m.makespan >= max(t.finish_time for t in tasks) - 1e-9

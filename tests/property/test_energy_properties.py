@@ -1,0 +1,66 @@
+"""Property-based tests for energy-meter conservation laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import PowerProfile, ProcState, ProcessorEnergyMeter
+
+STATES = list(ProcState)
+
+
+@st.composite
+def transition_traces(draw):
+    """A monotone (state, time) trace ending with a finalize time."""
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(STATES),
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=25,
+        )
+    )
+    trace = []
+    t = 0.0
+    for state, dt in steps:
+        t += dt
+        trace.append((state, t))
+    end = t + draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    return trace, end
+
+
+class TestMeterConservation:
+    @given(data=transition_traces())
+    @settings(max_examples=100, deadline=None)
+    def test_time_partition_and_energy_identity(self, data):
+        trace, end = data
+        profile = PowerProfile(p_max_w=95.0, p_min_w=48.0, p_sleep_w=4.8)
+        meter = ProcessorEnergyMeter(profile)
+        for state, t in trace:
+            meter.set_state(state, t)
+        b = meter.finalize(end)
+
+        # Times partition the full span exactly.
+        assert abs(b.total_time - end) < 1e-6
+        # Energy is exactly power × time per state.
+        assert abs(b.busy_energy - 95.0 * b.busy_time) < 1e-6
+        assert abs(b.idle_energy - 48.0 * b.idle_time) < 1e-6
+        assert abs(b.sleep_energy - 4.8 * b.sleep_time) < 1e-6
+        # Total energy bounded by the all-busy and all-sleep envelopes.
+        assert 4.8 * end - 1e-6 <= b.total_energy <= 95.0 * end + 1e-6
+
+    @given(data=transition_traces())
+    @settings(max_examples=50, deadline=None)
+    def test_snapshot_agrees_with_finalize(self, data):
+        trace, end = data
+        profile = PowerProfile(p_max_w=95.0, p_min_w=48.0, p_sleep_w=4.8)
+        m1 = ProcessorEnergyMeter(profile)
+        m2 = ProcessorEnergyMeter(profile)
+        for state, t in trace:
+            m1.set_state(state, t)
+            m2.set_state(state, t)
+        snap = m1.snapshot(now=end)
+        final = m2.finalize(end)
+        assert abs(snap.total_energy - final.total_energy) < 1e-9
+        assert abs(snap.busy_time - final.busy_time) < 1e-9

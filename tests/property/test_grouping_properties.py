@@ -1,0 +1,108 @@
+"""Property-based tests for the TG merge process and Eq. 10."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import processing_weight
+from repro.core import Backlog, GroupingAction, GroupingMode, merge_next_group
+from repro.workload import Task
+
+
+@st.composite
+def tasks_strategy(draw, min_size=1, max_size=25):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    tasks = []
+    for i in range(n):
+        size = draw(st.floats(min_value=1.0, max_value=1e6, allow_nan=False))
+        act = size / 500.0
+        arrival = draw(st.floats(min_value=0.0, max_value=1e3, allow_nan=False))
+        slack = draw(st.floats(min_value=0.0, max_value=1.5, allow_nan=False))
+        tasks.append(
+            Task(
+                tid=i,
+                size_mi=size,
+                arrival_time=arrival,
+                act=act,
+                deadline=arrival + act * (1 + slack),
+            )
+        )
+    return tasks
+
+
+class TestProcessingWeight:
+    @given(tasks=tasks_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_always_positive_and_finite(self, tasks):
+        pw = processing_weight(tasks, at_time=0.0)
+        assert 0 < pw < float("inf")
+
+    @given(tasks=tasks_strategy(min_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_superset_weighs_at_least_what_any_task_contributes(self, tasks):
+        whole = processing_weight(tasks, at_time=0.0)
+        # Aggregate demand exceeds the weight of the single lightest task.
+        lightest = min(processing_weight([t], 0.0) for t in tasks)
+        assert whole >= lightest / len(tasks)
+
+    @given(tasks=tasks_strategy(), shift=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_weight_nondecreasing_as_time_passes(self, tasks, shift):
+        """As deadlines approach, the demanded rate can only grow."""
+        early = processing_weight(tasks, at_time=0.0)
+        late = processing_weight(tasks, at_time=shift)
+        assert late >= early - 1e-9
+
+
+class TestMergeInvariants:
+    @given(
+        tasks=tasks_strategy(),
+        opnum=st.integers(min_value=1, max_value=8),
+        mode=st.sampled_from([GroupingMode.MIXED, GroupingMode.IDENTICAL]),
+        allow=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_merge_conserves_tasks(self, tasks, opnum, mode, allow):
+        backlog = Backlog()
+        for t in tasks:
+            backlog.add(t)
+        before = set(t.tid for t in backlog)
+        action = GroupingAction(mode, opnum)
+        group = merge_next_group(backlog, action, now=0.0, allow_undersized=allow)
+        after = set(t.tid for t in backlog)
+        if group is None:
+            assert after == before
+        else:
+            taken = set(t.tid for t in group)
+            assert taken | after == before
+            assert taken & after == set()
+            assert 1 <= len(group) <= opnum
+            # Group is EDF-sorted.
+            deadlines = [t.deadline for t in group.edf_order()]
+            assert deadlines == sorted(deadlines)
+
+    @given(tasks=tasks_strategy(), opnum=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_identical_mode_never_mixes_priorities(self, tasks, opnum):
+        backlog = Backlog()
+        for t in tasks:
+            backlog.add(t)
+        action = GroupingAction(GroupingMode.IDENTICAL, opnum)
+        group = merge_next_group(backlog, action, 0.0, allow_undersized=True)
+        if group is not None:
+            assert group.is_identical_priority
+
+    @given(tasks=tasks_strategy(min_size=4), opnum=st.integers(min_value=2, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_repeated_merging_drains_backlog(self, tasks, opnum):
+        backlog = Backlog()
+        for t in tasks:
+            backlog.add(t)
+        action = GroupingAction(GroupingMode.MIXED, opnum)
+        total = 0
+        while True:
+            group = merge_next_group(backlog, action, 0.0, allow_undersized=True)
+            if group is None:
+                break
+            total += len(group)
+        assert total == len(tasks)
+        assert len(backlog) == 0

@@ -1,0 +1,115 @@
+"""Property-based tests of the compute-node executor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ComputeNode, Processor, SleepPolicy, TaskGroup
+from repro.energy import constant_power_profile
+from repro.sim import Environment
+from repro.workload import Task
+
+
+@st.composite
+def group_plans(draw):
+    """A node shape plus a submission plan of task groups."""
+    n_procs = draw(st.integers(min_value=1, max_value=4))
+    speed = draw(st.floats(min_value=500.0, max_value=1000.0))
+    n_groups = draw(st.integers(min_value=1, max_value=6))
+    groups = []
+    tid = 0
+    for _ in range(n_groups):
+        size = draw(st.integers(min_value=1, max_value=n_procs))
+        tasks = []
+        for _ in range(size):
+            mi = draw(st.floats(min_value=100.0, max_value=5000.0))
+            tasks.append(
+                Task(
+                    tid=tid,
+                    size_mi=mi,
+                    arrival_time=0.0,
+                    act=mi / 500.0,
+                    deadline=1e9,
+                )
+            )
+            tid += 1
+        groups.append(tasks)
+    split = draw(st.booleans())
+    return n_procs, speed, groups, split
+
+
+class TestNodeExecutorProperties:
+    @given(plan=group_plans())
+    @settings(max_examples=50, deadline=None)
+    def test_all_tasks_complete_exactly_once(self, plan):
+        n_procs, speed, groups, split = plan
+        env = Environment()
+        procs = [
+            Processor(f"p{i}", speed, constant_power_profile())
+            for i in range(n_procs)
+        ]
+        node = ComputeNode(
+            env,
+            "n",
+            "s",
+            procs,
+            queue_slots=16,
+            split_enabled=split,
+            sleep_policy=SleepPolicy(allow_sleep=False),
+        )
+        all_tasks = [t for g in groups for t in g]
+        submitter_groups = [TaskGroup(g, created_at=0.0) for g in groups]
+
+        def submitter():
+            for g in submitter_groups:
+                while not node.try_submit(g):
+                    yield env.timeout(0.5)
+            if False:
+                yield  # pragma: no cover
+
+        env.process(submitter())
+        env.run()
+
+        assert all(t.completed for t in all_tasks)
+        assert node.tasks_completed == len(all_tasks)
+        assert node.groups_completed == len(groups)
+        # Execution-time identity per task.
+        for t in all_tasks:
+            assert t.finish_time - t.start_time == pytest.approx(
+                t.size_mi / speed
+            )
+        # Busy-time conservation across the node.
+        busy = sum(p.meter.snapshot(env.now).busy_time for p in procs)
+        total_et = sum(t.finish_time - t.start_time for t in all_tasks)
+        assert busy == pytest.approx(total_et, rel=1e-9)
+
+    @given(plan=group_plans())
+    @settings(max_examples=30, deadline=None)
+    def test_single_proc_runs_each_group_edf(self, plan):
+        """On a 1-processor node, tasks within a group start in EDF order."""
+        _, speed, groups, split = plan
+        env = Environment()
+        proc = Processor("p0", speed, constant_power_profile())
+        node = ComputeNode(
+            env,
+            "n",
+            "s",
+            [proc],
+            queue_slots=16,
+            split_enabled=split,
+            sleep_policy=SleepPolicy(allow_sleep=False),
+        )
+        tgs = [TaskGroup(g, created_at=0.0) for g in groups]
+
+        def submitter():
+            for g in tgs:
+                while not node.try_submit(g):
+                    yield env.timeout(0.5)
+            if False:
+                yield  # pragma: no cover
+
+        env.process(submitter())
+        env.run()
+        for tg in tgs:
+            starts = [t.start_time for t in tg.edf_order()]
+            assert starts == sorted(starts)

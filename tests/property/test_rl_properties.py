@@ -1,0 +1,77 @@
+"""Property-based tests for the RL substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rl import QTable, RandomWalk, ReplayRing
+
+
+class TestQTableProperties:
+    @given(
+        rewards=st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        alpha=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bandit_values_bounded_by_reward_range(self, rewards, alpha):
+        """Without bootstrapping, Q stays inside the observed reward hull."""
+        table = QTable(alpha=alpha)
+        for r in rewards:
+            table.update("s", "a", r)
+        q = table.q("s", "a")
+        lo = min(min(rewards), 0.0)
+        hi = max(max(rewards), 0.0)
+        assert lo - 1e-9 <= q <= hi + 1e-9
+
+    @given(
+        rewards=st.lists(
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            min_size=5,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_constant_reward_converges(self, rewards):
+        table = QTable(alpha=0.5)
+        for _ in range(200):
+            table.update("s", "a", 1.0)
+        assert abs(table.q("s", "a") - 1.0) < 1e-3
+
+
+class TestRandomWalkProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        steps=st.integers(min_value=1, max_value=500),
+        step_size=st.floats(min_value=0.01, max_value=0.4, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_never_escapes_bounds(self, seed, steps, step_size):
+        walk = RandomWalk(
+            np.random.default_rng(seed),
+            initial=0.5,
+            bounds=(0.0, 1.0),
+            step_size=step_size,
+        )
+        for _ in range(steps):
+            v = walk.step()
+            assert 0.0 <= v <= 1.0
+
+
+class TestReplayRingProperties:
+    @given(items=st.lists(st.integers(), min_size=0, max_size=200),
+           capacity=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_ring_holds_exactly_the_newest_suffix(self, items, capacity):
+        ring = ReplayRing(capacity)
+        for item in items:
+            ring.append(item)
+        expected = items[-capacity:]
+        assert list(ring) == expected
+        assert len(ring) == len(expected)
+        if items:
+            assert ring.newest() == items[-1]
+            assert ring.oldest() == expected[0]

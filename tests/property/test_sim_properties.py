@@ -1,0 +1,121 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Store
+
+
+@st.composite
+def delay_lists(draw):
+    return draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        )
+    )
+
+
+class TestEventOrdering:
+    @given(delays=delay_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_timeouts_processed_in_nondecreasing_time_order(self, delays):
+        env = Environment()
+        fired = []
+        for d in delays:
+            ev = env.timeout(d)
+            ev.callbacks.append(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(delays=delay_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_clock_never_goes_backwards(self, delays):
+        env = Environment()
+        observed = []
+
+        def watcher(env):
+            last = env.now
+            while True:
+                yield env.timeout(0.0)
+                assert env.now >= last
+                last = env.now
+                observed.append(env.now)
+                if len(observed) > len(delays) + 5:
+                    return
+
+        for d in delays:
+            env.timeout(d)
+        env.process(watcher(env))
+        env.run()
+
+    @given(delays=delay_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_equal_time_events_fifo(self, delays):
+        env = Environment()
+        order = []
+        for i, d in enumerate(delays):
+            ev = env.timeout(round(d, 3), value=i)
+            ev.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        # Within an equal-time group, insertion order is preserved.
+        by_time: dict[float, list[int]] = {}
+        for i, d in enumerate(delays):
+            by_time.setdefault(round(d, 3), []).append(i)
+        pos = {v: i for i, v in enumerate(order)}
+        for group in by_time.values():
+            positions = [pos[i] for i in group]
+            assert positions == sorted(positions)
+
+
+class TestStoreProperties:
+    @given(
+        items=st.lists(st.integers(), min_size=1, max_size=50),
+        capacity=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_store_preserves_order_and_loses_nothing(self, items, capacity):
+        env = Environment()
+        store = Store(env, capacity=capacity)
+        got = []
+
+        def producer(env):
+            for item in items:
+                yield store.put(item)
+
+        def consumer(env):
+            for _ in items:
+                got.append((yield store.get()))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == items
+        assert store.level == 0
+
+    @given(
+        items=st.lists(st.integers(), min_size=1, max_size=30),
+        n_consumers=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multiple_consumers_conserve_items(self, items, n_consumers):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for item in items:
+                yield env.timeout(0.1)
+                yield store.put(item)
+
+        def consumer(env):
+            while True:
+                got.append((yield store.get()))
+
+        env.process(producer(env))
+        for _ in range(n_consumers):
+            env.process(consumer(env))
+        env.run(until=len(items) * 0.1 + 1.0)
+        assert sorted(got) == sorted(items)

@@ -1,0 +1,66 @@
+"""Property-based tests for the workload model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RandomStreams
+from repro.workload import (
+    Priority,
+    WorkloadGenerator,
+    WorkloadSpec,
+    classify_slack,
+    slack_band,
+)
+
+
+class TestSlackBandInvariants:
+    @given(
+        frac=st.floats(min_value=0.0, max_value=1.5, allow_nan=False),
+    )
+    def test_classification_total(self, frac):
+        assert classify_slack(frac) in tuple(Priority)
+
+    @given(
+        priority=st.sampled_from(list(Priority)),
+        u=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_any_point_in_band_classifies_back(self, priority, u):
+        lo, hi = slack_band(priority)
+        frac = lo + (hi - lo) * u
+        assert classify_slack(frac) is priority
+
+
+class TestGeneratorInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n=st.integers(min_value=1, max_value=120),
+        mean_iat=st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_structural_invariants(self, seed, n, mean_iat):
+        spec = WorkloadSpec(num_tasks=n, mean_interarrival=mean_iat)
+        tasks = WorkloadGenerator(spec, RandomStreams(seed=seed)).generate()
+
+        assert len(tasks) == n
+        arrivals = [t.arrival_time for t in tasks]
+        assert arrivals == sorted(arrivals)
+        for t in tasks:
+            # Size inside the configured band.
+            lo, hi = spec.size_range_mi
+            assert lo <= t.size_mi <= hi
+            # ACT consistent with the reference speed.
+            assert abs(t.act - t.size_mi / spec.reference_speed_mips) < 1e-9
+            # Deadline never precedes ACT and never exceeds 2.5 ACT.
+            assert t.act - 1e-9 <= t.relative_deadline <= 2.5 * t.act + 1e-9
+            # Priority classification agrees with the realized slack.
+            assert classify_slack(t.slack_fraction) is t.priority
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_generation_is_pure(self, seed):
+        spec = WorkloadSpec(num_tasks=20)
+        g1 = WorkloadGenerator(spec, RandomStreams(seed=seed)).generate()
+        g2 = WorkloadGenerator(spec, RandomStreams(seed=seed)).generate()
+        assert [(t.size_mi, t.deadline) for t in g1] == [
+            (t.size_mi, t.deadline) for t in g2
+        ]

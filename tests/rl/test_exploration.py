@@ -1,0 +1,107 @@
+"""Unit tests for exploration policies."""
+
+import numpy as np
+import pytest
+
+from repro.rl import EpsilonGreedy, RandomWalk, SoftmaxExploration
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestEpsilonGreedy:
+    def test_zero_epsilon_is_greedy(self, rng):
+        eg = EpsilonGreedy(rng, epsilon=0.0, min_epsilon=0.0)
+        for _ in range(20):
+            assert eg.select(["a", "b", "c"], [0.1, 0.9, 0.2]) == "b"
+
+    def test_full_epsilon_explores(self, rng):
+        eg = EpsilonGreedy(rng, epsilon=1.0, min_epsilon=1.0, decay=1.0)
+        picks = {eg.select(["a", "b"], [1.0, 0.0]) for _ in range(100)}
+        assert picks == {"a", "b"}
+
+    def test_decay_reaches_floor(self, rng):
+        eg = EpsilonGreedy(rng, epsilon=0.5, min_epsilon=0.1, decay=0.5)
+        for _ in range(20):
+            eg.step()
+        assert eg.epsilon == pytest.approx(0.1)
+
+    def test_mismatched_lengths(self, rng):
+        eg = EpsilonGreedy(rng)
+        with pytest.raises(ValueError):
+            eg.select(["a"], [1.0, 2.0])
+
+    def test_empty_actions(self, rng):
+        with pytest.raises(ValueError):
+            EpsilonGreedy(rng).select([], [])
+
+    def test_random_index_in_range(self, rng):
+        eg = EpsilonGreedy(rng)
+        assert all(0 <= eg.random_index(5) < 5 for _ in range(50))
+        with pytest.raises(ValueError):
+            eg.random_index(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(epsilon=1.5),
+            dict(epsilon=0.1, min_epsilon=0.5),
+            dict(decay=0.0),
+        ],
+    )
+    def test_invalid_params(self, rng, kwargs):
+        with pytest.raises(ValueError):
+            EpsilonGreedy(rng, **kwargs)
+
+
+class TestSoftmax:
+    def test_prefers_high_values(self, rng):
+        sm = SoftmaxExploration(rng, temperature=0.1)
+        picks = [sm.select(["a", "b"], [0.0, 5.0]) for _ in range(50)]
+        assert picks.count("b") > 45
+
+    def test_high_temperature_flattens(self, rng):
+        sm = SoftmaxExploration(rng, temperature=1000.0)
+        picks = [sm.select(["a", "b"], [0.0, 5.0]) for _ in range(200)]
+        assert 40 < picks.count("a") < 160
+
+    def test_numerical_stability_with_large_values(self, rng):
+        sm = SoftmaxExploration(rng)
+        assert sm.select(["a", "b"], [1e9, 1e9 - 1]) in ("a", "b")
+
+    def test_invalid_temperature(self, rng):
+        with pytest.raises(ValueError):
+            SoftmaxExploration(rng, temperature=0)
+
+
+class TestRandomWalk:
+    def test_stays_in_bounds(self, rng):
+        walk = RandomWalk(rng, initial=0.5, bounds=(0.0, 1.0), step_size=0.3)
+        for _ in range(200):
+            v = walk.step()
+            assert 0.0 <= v <= 1.0
+
+    def test_moves_by_step_size(self, rng):
+        walk = RandomWalk(rng, initial=0.5, bounds=(0.0, 1.0), step_size=0.1)
+        before = walk.value
+        after = walk.step()
+        assert abs(after - before) == pytest.approx(0.1)
+
+    def test_reflects_at_bounds(self, rng):
+        walk = RandomWalk(rng, initial=1.0, bounds=(0.0, 1.0), step_size=0.3)
+        seen_below = any(walk.step() < 1.0 for _ in range(10))
+        assert seen_below
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(initial=2.0, bounds=(0.0, 1.0), step_size=0.1),
+            dict(initial=0.5, bounds=(1.0, 0.0), step_size=0.1),
+            dict(initial=0.5, bounds=(0.0, 1.0), step_size=0.0),
+        ],
+    )
+    def test_invalid_params(self, rng, kwargs):
+        with pytest.raises(ValueError):
+            RandomWalk(rng, **kwargs)

@@ -1,0 +1,81 @@
+"""Unit tests for the NumPy MLP."""
+
+import numpy as np
+import pytest
+
+from repro.rl import MLP
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestMLP:
+    def test_shapes(self, rng):
+        net = MLP([4, 8, 2], rng)
+        assert net.input_size == 4
+        assert net.output_size == 2
+        out = net.predict(np.zeros(4))
+        assert out.shape == (2,)
+        batch = net.predict(np.zeros((5, 4)))
+        assert batch.shape == (5, 2)
+
+    def test_wrong_feature_count_rejected(self, rng):
+        net = MLP([4, 2], rng)
+        with pytest.raises(ValueError):
+            net.predict(np.zeros(3))
+
+    def test_learns_linear_function(self, rng):
+        net = MLP([2, 16, 1], rng, learning_rate=0.02)
+        x = rng.uniform(-1, 1, size=(256, 2))
+        y = (2 * x[:, :1] - x[:, 1:]) * 0.5
+        first = net.train_batch(x, y)
+        for _ in range(500):
+            last = net.train_batch(x, y)
+        assert last < first * 0.05
+
+    def test_train_returns_pre_step_loss(self, rng):
+        net = MLP([1, 1], rng, learning_rate=0.0001)
+        x = np.array([[1.0]])
+        y = np.array([[0.0]])
+        loss1 = net.train_batch(x, y)
+        pred = float(net.predict(x)[0, 0])
+        assert loss1 == pytest.approx(pred**2, rel=0.2)
+
+    def test_batch_size_mismatch(self, rng):
+        net = MLP([2, 1], rng)
+        with pytest.raises(ValueError):
+            net.train_batch(np.zeros((3, 2)), np.zeros((2, 1)))
+
+    def test_output_size_mismatch(self, rng):
+        net = MLP([2, 1], rng)
+        with pytest.raises(ValueError):
+            net.train_batch(np.zeros((3, 2)), np.zeros((3, 2)))
+
+    def test_l2_shrinks_weights(self, rng):
+        strong = MLP([2, 1], np.random.default_rng(1), learning_rate=0.1, l2=1.0)
+        weak = MLP([2, 1], np.random.default_rng(1), learning_rate=0.1, l2=0.0)
+        x, y = np.zeros((4, 2)), np.zeros((4, 1))
+        for _ in range(50):
+            strong.train_batch(x, y)
+            weak.train_batch(x, y)
+        assert np.abs(strong.weights[0]).sum() < np.abs(weak.weights[0]).sum()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(layer_sizes=[4]),
+            dict(layer_sizes=[4, 0, 1]),
+            dict(layer_sizes=[4, 1], learning_rate=0),
+            dict(layer_sizes=[4, 1], l2=-1),
+        ],
+    )
+    def test_invalid_params(self, rng, kwargs):
+        with pytest.raises(ValueError):
+            MLP(rng=rng, **kwargs)
+
+    def test_train_steps_counter(self, rng):
+        net = MLP([1, 1], rng)
+        net.train_batch(np.zeros((1, 1)), np.zeros((1, 1)))
+        assert net.train_steps == 1

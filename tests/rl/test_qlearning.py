@@ -1,0 +1,95 @@
+"""Unit tests for tabular Q-learning."""
+
+import pytest
+
+from repro.rl import MultiRateQTable, QTable
+
+
+class TestQTable:
+    def test_initial_value(self):
+        t = QTable(initial_q=0.5)
+        assert t.q("s", "a") == 0.5
+
+    def test_bandit_update_moves_toward_reward(self):
+        t = QTable(alpha=0.5)
+        t.update("s", "a", 10.0)
+        assert t.q("s", "a") == pytest.approx(5.0)
+        t.update("s", "a", 10.0)
+        assert t.q("s", "a") == pytest.approx(7.5)
+
+    def test_td_update_uses_next_state_max(self):
+        t = QTable(alpha=1.0, gamma=0.9)
+        t.update("s2", "b", 10.0)  # Q(s2,b)=10
+        t.update("s1", "a", 1.0, next_state="s2", next_actions=["b", "c"])
+        assert t.q("s1", "a") == pytest.approx(1.0 + 0.9 * 10.0)
+
+    def test_best_action_and_value(self):
+        t = QTable(alpha=1.0)
+        t.update("s", "a", 1.0)
+        t.update("s", "b", 5.0)
+        assert t.best_action("s", ["a", "b"]) == "b"
+        assert t.best_value("s", ["a", "b"]) == pytest.approx(5.0)
+
+    def test_best_action_tie_breaks_first(self):
+        t = QTable()
+        assert t.best_action("s", ["x", "y"]) == "x"
+
+    def test_best_action_empty_raises(self):
+        with pytest.raises(ValueError):
+            QTable().best_action("s", [])
+
+    def test_best_value_empty_is_zero(self):
+        assert QTable().best_value("s", []) == 0.0
+
+    def test_update_counts_and_len(self):
+        t = QTable()
+        t.update("s", "a", 1.0)
+        t.update("s", "b", 1.0)
+        assert t.updates == 2
+        assert len(t) == 2
+        assert ("s", "a") in t
+
+    def test_per_update_alpha_override(self):
+        t = QTable(alpha=0.1)
+        t.update("s", "a", 10.0, alpha=1.0)
+        assert t.q("s", "a") == pytest.approx(10.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            QTable(alpha=0)
+        with pytest.raises(ValueError):
+            QTable(gamma=1.0)
+        with pytest.raises(ValueError):
+            QTable().update("s", "a", 1.0, alpha=2.0)
+
+    def test_snapshot_is_a_copy(self):
+        t = QTable(alpha=1.0)
+        t.update("s", "a", 3.0)
+        snap = t.snapshot()
+        snap[("s", "a")] = 99.0
+        assert t.q("s", "a") == pytest.approx(3.0)
+
+
+class TestMultiRateQTable:
+    def test_neighbors_updated_at_reduced_rate(self):
+        t = MultiRateQTable(alpha=1.0, neighbor_rate=0.5)
+        t.update("s", "a", 0.0)   # register action a
+        t.update("s", "b", 10.0)  # full update for b, half-rate for a
+        assert t.q("s", "b") == pytest.approx(10.0)
+        assert t.q("s", "a") == pytest.approx(5.0)
+
+    def test_zero_neighbor_rate_behaves_like_plain(self):
+        t = MultiRateQTable(alpha=1.0, neighbor_rate=0.0)
+        t.update("s", "a", 1.0)
+        t.update("s", "b", 10.0)
+        assert t.q("s", "a") == pytest.approx(1.0)
+
+    def test_neighbor_updates_confined_to_state(self):
+        t = MultiRateQTable(alpha=1.0, neighbor_rate=0.5)
+        t.update("s1", "a", 4.0)
+        t.update("s2", "a", 10.0)
+        assert t.q("s1", "a") == pytest.approx(4.0)
+
+    def test_invalid_neighbor_rate(self):
+        with pytest.raises(ValueError):
+            MultiRateQTable(neighbor_rate=1.5)

@@ -1,0 +1,83 @@
+"""Unit tests for the replay ring buffer."""
+
+import numpy as np
+import pytest
+
+from repro.rl import ReplayRing
+
+
+class TestReplayRing:
+    def test_append_and_len(self):
+        ring = ReplayRing(3)
+        ring.append(1)
+        ring.append(2)
+        assert len(ring) == 2
+        assert ring.total_appended == 2
+
+    def test_eviction_keeps_newest(self):
+        ring = ReplayRing(3)
+        for i in range(5):
+            ring.append(i)
+        assert list(ring) == [2, 3, 4]
+        assert len(ring) == 3
+        assert ring.total_appended == 5
+
+    def test_iteration_oldest_first(self):
+        ring = ReplayRing(4)
+        for i in range(3):
+            ring.append(i)
+        assert list(ring) == [0, 1, 2]
+
+    def test_newest_oldest(self):
+        ring = ReplayRing(3)
+        for i in range(5):
+            ring.append(i)
+        assert ring.newest() == 4
+        assert ring.oldest() == 2
+
+    def test_newest_oldest_before_wrap(self):
+        ring = ReplayRing(5)
+        ring.append("a")
+        ring.append("b")
+        assert ring.oldest() == "a"
+        assert ring.newest() == "b"
+
+    def test_empty_access_raises(self):
+        ring = ReplayRing(2)
+        with pytest.raises(IndexError):
+            ring.newest()
+        with pytest.raises(IndexError):
+            ring.oldest()
+        with pytest.raises(IndexError):
+            ring.sample(1, np.random.default_rng(0))
+
+    def test_sample_without_replacement(self):
+        ring = ReplayRing(10)
+        for i in range(10):
+            ring.append(i)
+        got = ring.sample(5, np.random.default_rng(0))
+        assert len(got) == len(set(got)) == 5
+
+    def test_sample_more_than_present_returns_all(self):
+        ring = ReplayRing(10)
+        ring.append(1)
+        ring.append(2)
+        assert sorted(ring.sample(99, np.random.default_rng(0))) == [1, 2]
+
+    def test_sample_invalid_k(self):
+        ring = ReplayRing(2)
+        ring.append(1)
+        with pytest.raises(ValueError):
+            ring.sample(0, np.random.default_rng(0))
+
+    def test_clear(self):
+        ring = ReplayRing(2)
+        ring.append(1)
+        ring.clear()
+        assert len(ring) == 0
+        ring.append(9)
+        assert list(ring) == [9]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayRing(0)

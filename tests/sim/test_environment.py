@@ -1,0 +1,100 @@
+"""Unit tests for the Environment run loop."""
+
+import pytest
+
+from repro.sim import EmptySchedule, Environment, Event, SimulationError
+
+
+class TestClock:
+    def test_starts_at_initial_time(self):
+        assert Environment().now == 0.0
+        assert Environment(initial_time=10).now == 10.0
+
+    def test_peek_empty_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(7)
+        env.timeout(3)
+        assert env.peek() == 3
+
+    def test_queue_size(self, env):
+        env.timeout(1)
+        env.timeout(2)
+        assert env.queue_size == 2
+
+
+class TestRun:
+    def test_run_until_time(self, env):
+        env.timeout(10)
+        env.run(until=5)
+        assert env.now == 5
+
+    def test_run_until_time_in_past_raises(self, env):
+        env.timeout(1)
+        env.run(until=5)
+        with pytest.raises(ValueError):
+            env.run(until=3)
+
+    def test_run_until_event_returns_value(self, env):
+        t = env.timeout(2, value="v")
+        assert env.run(until=t) == "v"
+
+    def test_run_until_already_processed_event(self, env):
+        t = env.timeout(1, value="v")
+        env.run(until=t)
+        # Running again against the same processed event is a no-op.
+        assert env.run(until=t) == "v"
+
+    def test_run_drains_queue_when_until_none(self, env):
+        env.timeout(3)
+        env.timeout(9)
+        env.run()
+        assert env.now == 9
+        assert env.queue_size == 0
+
+    def test_run_until_never_triggered_event_raises(self, env):
+        pending = Event(env)
+        env.timeout(1)
+        with pytest.raises(SimulationError):
+            env.run(until=pending)
+
+    def test_step_on_empty_schedule_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_negative_schedule_delay_rejected(self, env):
+        e = Event(env)
+        with pytest.raises(ValueError):
+            env.schedule(e, delay=-1)
+
+    def test_stop_time_precedes_same_time_events(self, env):
+        fired = []
+        t = env.timeout(5)
+        t.callbacks.append(lambda e: fired.append("timeout"))
+        env.run(until=5)
+        # The stop event at t=5 is more urgent than the timeout at t=5.
+        assert fired == []
+        env.run()
+        assert fired == ["timeout"]
+
+    def test_same_time_events_fifo(self, env):
+        order = []
+        for i in range(5):
+            ev = env.timeout(1, value=i)
+            ev.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestFactories:
+    def test_event_factory(self, env):
+        assert isinstance(env.event(), Event)
+
+    def test_any_of_all_of_factories(self, env):
+        t1, t2 = env.timeout(1), env.timeout(2)
+        env.run(until=env.any_of([t1, t2]))
+        assert env.now == 1
+        t3, t4 = env.timeout(1), env.timeout(2)
+        env.run(until=env.all_of([t3, t4]))
+        assert env.now == 3

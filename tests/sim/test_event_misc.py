@@ -1,0 +1,62 @@
+"""Coverage for less-traveled kernel paths."""
+
+import pytest
+
+from repro.sim import Environment, Event, Process
+
+
+class TestEventTrigger:
+    def test_trigger_copies_state_from_other_event(self, env):
+        source = Event(env)
+        mirror = Event(env)
+        source.callbacks.append(mirror.trigger)
+        source.succeed("payload")
+        env.run()
+        assert mirror.triggered
+        assert mirror.value == "payload"
+        assert mirror.ok
+
+    def test_trigger_propagates_failure_state(self, env):
+        source = Event(env)
+        mirror = Event(env)
+        mirror.defused = True
+        source.callbacks.append(mirror.trigger)
+        exc = ValueError("x")
+        source.fail(exc)
+        source.defused = True
+        env.run()
+        assert mirror.triggered
+        assert not mirror.ok
+        assert mirror.value is exc
+
+
+class TestProcessTarget:
+    def test_target_is_current_wait(self, env):
+        timeouts = []
+
+        def proc(env):
+            t = env.timeout(5)
+            timeouts.append(t)
+            yield t
+
+        p = env.process(proc(env))
+        env.run(until=1)
+        assert p.target is timeouts[0]
+        env.run()
+        assert p.target is None
+
+    def test_repr_forms(self, env):
+        def named(env):
+            yield env.timeout(1)
+
+        p = env.process(named(env))
+        assert "named" in repr(p)
+        assert "Environment" not in repr(p)
+
+
+class TestEnvironmentActiveProcess:
+    def test_none_outside_steps(self, env):
+        assert env.active_process is None
+        env.timeout(1)
+        env.run()
+        assert env.active_process is None

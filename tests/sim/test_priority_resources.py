@@ -1,0 +1,199 @@
+"""Unit tests for priority and preemptive resources."""
+
+import pytest
+
+from repro.sim import (
+    Interrupt,
+    Preempted,
+    PreemptiveResource,
+    PriorityResource,
+)
+
+
+class TestPriorityResource:
+    def test_queue_served_in_priority_order(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(10)
+
+        def waiter(env, name, priority, delay):
+            yield env.timeout(delay)
+            with res.request(priority=priority) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        env.process(holder(env))
+        env.process(waiter(env, "low", 5, 1))
+        env.process(waiter(env, "high", 1, 2))   # arrives later, runs first
+        env.run()
+        assert order == ["high", "low"]
+
+    def test_fifo_within_priority_class(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(10)
+
+        def waiter(env, name, delay):
+            yield env.timeout(delay)
+            with res.request(priority=3) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        env.process(holder(env))
+        env.process(waiter(env, "first", 1))
+        env.process(waiter(env, "second", 2))
+        env.run()
+        assert order == ["first", "second"]
+
+    def test_no_preemption(self, env):
+        res = PriorityResource(env, capacity=1)
+        completed = []
+
+        def holder(env):
+            with res.request(priority=9) as req:
+                yield req
+                yield env.timeout(10)
+                completed.append("holder")
+
+        def urgent(env):
+            yield env.timeout(1)
+            with res.request(priority=0) as req:
+                yield req
+                completed.append("urgent")
+
+        env.process(holder(env))
+        env.process(urgent(env))
+        env.run()
+        assert completed == ["holder", "urgent"]
+
+
+class TestPreemptiveResource:
+    def test_high_priority_preempts(self, env):
+        res = PreemptiveResource(env, capacity=1)
+        log = []
+
+        def victim(env):
+            with res.request(priority=5) as req:
+                yield req
+                log.append(("victim-start", env.now))
+                try:
+                    yield env.timeout(100)
+                    log.append(("victim-done", env.now))
+                except Interrupt as i:
+                    assert isinstance(i.cause, Preempted)
+                    log.append(("victim-preempted", env.now))
+
+        def attacker(env):
+            yield env.timeout(3)
+            with res.request(priority=1) as req:
+                yield req
+                log.append(("attacker-start", env.now))
+                yield env.timeout(1)
+
+        env.process(victim(env))
+        env.process(attacker(env))
+        env.run()
+        assert ("victim-preempted", 3) in log
+        assert ("attacker-start", 3) in log
+        assert not any(k == "victim-done" for k, _ in log)
+
+    def test_equal_priority_does_not_preempt(self, env):
+        res = PreemptiveResource(env, capacity=1)
+        log = []
+
+        def victim(env):
+            with res.request(priority=2) as req:
+                yield req
+                yield env.timeout(5)
+                log.append("victim-done")
+
+        def contender(env):
+            yield env.timeout(1)
+            with res.request(priority=2) as req:
+                yield req
+                log.append("contender")
+
+        env.process(victim(env))
+        env.process(contender(env))
+        env.run()
+        assert log == ["victim-done", "contender"]
+
+    def test_preempt_false_waits_politely(self, env):
+        res = PreemptiveResource(env, capacity=1)
+        log = []
+
+        def victim(env):
+            with res.request(priority=5) as req:
+                yield req
+                yield env.timeout(5)
+                log.append("victim-done")
+
+        def polite(env):
+            yield env.timeout(1)
+            with res.request(priority=0, preempt=False) as req:
+                yield req
+                log.append("polite")
+
+        env.process(victim(env))
+        env.process(polite(env))
+        env.run()
+        assert log == ["victim-done", "polite"]
+
+    def test_preempted_carries_metadata(self, env):
+        res = PreemptiveResource(env, capacity=1)
+        causes = []
+
+        def victim(env):
+            with res.request(priority=5) as req:
+                yield req
+                try:
+                    yield env.timeout(100)
+                except Interrupt as i:
+                    causes.append(i.cause)
+
+        def attacker(env):
+            yield env.timeout(2)
+            with res.request(priority=1) as req:
+                yield req
+                yield env.timeout(1)
+
+        env.process(victim(env))
+        env.process(attacker(env))
+        env.run()
+        assert len(causes) == 1
+        assert causes[0].by.priority == 1
+        assert causes[0].usage_since == 0.0
+
+    def test_capacity_two_preempts_worst(self, env):
+        res = PreemptiveResource(env, capacity=2)
+        preempted = []
+
+        def holder(env, name, priority):
+            with res.request(priority=priority) as req:
+                yield req
+                try:
+                    yield env.timeout(100)
+                except Interrupt:
+                    preempted.append(name)
+
+        def attacker(env):
+            yield env.timeout(1)
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(1)
+
+        env.process(holder(env, "mild", 3))
+        env.process(holder(env, "worst", 7))
+        env.process(attacker(env))
+        env.run()
+        assert preempted == ["worst"]

@@ -1,0 +1,186 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, Process
+
+
+class TestBasics:
+    def test_requires_generator(self, env):
+        with pytest.raises(ValueError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_process_runs_and_returns_value(self, env):
+        def proc(env):
+            yield env.timeout(3)
+            return "finished"
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == "finished"
+        assert env.now == 3
+
+    def test_is_alive_transitions(self, env):
+        def proc(env):
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_sequential_timeouts_accumulate(self, env):
+        times = []
+
+        def proc(env):
+            for _ in range(3):
+                yield env.timeout(2)
+                times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [2, 4, 6]
+
+    def test_timeout_value_passed_to_generator(self, env):
+        got = []
+
+        def proc(env):
+            value = yield env.timeout(1, value="hello")
+            got.append(value)
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["hello"]
+
+    def test_process_waits_on_other_process(self, env):
+        def child(env):
+            yield env.timeout(4)
+            return 99
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return result + 1
+
+        p = env.process(parent(env))
+        assert env.run(until=p) == 100
+
+    def test_yield_non_event_raises_inside_process(self, env):
+        def proc(env):
+            yield "not an event"
+
+        p = env.process(proc(env))
+        with pytest.raises(RuntimeError, match="non-event"):
+            env.run(until=p)
+
+    def test_crash_propagates_when_unwaited(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            raise KeyError("crash")
+
+        env.process(proc(env))
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_crash_catchable_by_waiter(self, env):
+        def bad(env):
+            yield env.timeout(1)
+            raise ValueError("inner")
+
+        def waiter(env):
+            try:
+                yield env.process(bad(env))
+            except ValueError:
+                return "caught"
+            return "missed"
+
+        p = env.process(waiter(env))
+        assert env.run(until=p) == "caught"
+
+    def test_name_reflects_generator(self, env):
+        def my_proc(env):
+            yield env.timeout(1)
+
+        assert env.process(my_proc(env)).name == "my_proc"
+
+    def test_active_process_set_during_resume(self, env):
+        observed = []
+
+        def proc(env):
+            observed.append(env.active_process)
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        env.run()
+        assert observed == [p]
+        assert env.active_process is None
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        causes = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                causes.append((i.cause, env.now))
+
+        def attacker(env, target):
+            yield env.timeout(5)
+            target.interrupt(cause="stop now")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        # Delivered at t=5; the orphaned timeout still drains at t=100.
+        assert causes == [("stop now", 5)]
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                log.append(("interrupted", env.now))
+            yield env.timeout(1)
+            log.append(("done", env.now))
+
+        def attacker(env, target):
+            yield env.timeout(2)
+            target.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert log == [("interrupted", 2), ("done", 3)]
+
+    def test_interrupt_dead_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        def proc(env):
+            env.active_process.interrupt()
+            yield env.timeout(1)
+
+        env.process(proc(env))
+        with pytest.raises(RuntimeError, match="interrupt itself"):
+            env.run()
+
+    def test_unhandled_interrupt_crashes_process(self, env):
+        def victim(env):
+            yield env.timeout(100)
+
+        def attacker(env, target):
+            yield env.timeout(1)
+            target.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        with pytest.raises(Interrupt):
+            env.run()

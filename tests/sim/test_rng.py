@@ -1,0 +1,68 @@
+"""Unit tests for the named RNG stream registry."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream_reproduces(self):
+        a = RandomStreams(seed=7)["x"].random(10)
+        b = RandomStreams(seed=7)["x"].random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=7)["x"].random(10)
+        b = RandomStreams(seed=8)["x"].random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_are_independent(self):
+        s = RandomStreams(seed=7)
+        a = s["first"].random(10)
+        b = s["second"].random(10)
+        assert not np.array_equal(a, b)
+
+    def test_creation_order_does_not_matter(self):
+        s1 = RandomStreams(seed=3)
+        _ = s1["a"].random(5)
+        x1 = s1["b"].random(5)
+
+        s2 = RandomStreams(seed=3)
+        x2 = s2["b"].random(5)  # "b" created first this time
+        assert np.array_equal(x1, x2)
+
+    def test_stream_is_cached(self):
+        s = RandomStreams(seed=1)
+        assert s["x"] is s["x"]
+
+    def test_invalid_seed_type(self):
+        with pytest.raises(TypeError):
+            RandomStreams(seed="7")  # type: ignore[arg-type]
+
+    def test_invalid_name(self):
+        s = RandomStreams(seed=1)
+        with pytest.raises(KeyError):
+            s[""]
+
+    def test_registry_protocols(self):
+        s = RandomStreams(seed=1)
+        _ = s["x"]
+        assert "x" in s
+        assert "y" not in s
+        assert list(s) == ["x"]
+        assert len(s) == 1
+
+    def test_reset_rederives_identically(self):
+        s = RandomStreams(seed=5)
+        a = s["x"].random(4)
+        s.reset()
+        b = s["x"].random(4)
+        assert np.array_equal(a, b)
+
+    def test_spawn_prefixes_names(self):
+        parent = RandomStreams(seed=9)
+        child = parent.spawn("sub")
+        a = child["x"].random(4)
+        b = RandomStreams(seed=9)["sub.x"].random(4)
+        assert np.array_equal(a, b)

@@ -1,0 +1,85 @@
+"""Smoke tests: every example script runs to completion at tiny scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "60", "1")
+        assert "AveRT" in out
+        assert "completed tasks : 60/60" in out
+
+    def test_datacenter_energy_report(self):
+        out = run_example("datacenter_energy_report.py", "80", "1")
+        assert "Adaptive-RL" in out
+        assert "Relative to Adaptive-RL" in out
+
+    def test_heterogeneity_study(self):
+        out = run_example("heterogeneity_study.py", "60", "1")
+        assert "h=0.1" in out and "h=0.9" in out
+
+    def test_custom_scheduler_plugin(self):
+        out = run_example("custom_scheduler_plugin.py", "60")
+        assert "POWER-SAVER" in out
+
+    def test_trace_replay(self):
+        out = run_example("trace_replay.py", "60")
+        assert "Trace frozen" in out
+        assert "EDF-greedy" in out
+
+    def test_failure_resilience(self):
+        out = run_example("failure_resilience.py", "80", "300")
+        assert "failures injected" in out
+        assert "80/80" in out
+
+    def test_full_reproduction_help_only(self, tmp_path):
+        # Running the full reproduction is a benchmark-scale job; the
+        # smoke test only checks argument validation.
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(EXAMPLES / "full_reproduction.py"),
+                str(tmp_path),
+                "bogus-scale",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode != 0
+        assert "unknown scale" in result.stderr
+
+
+def test_all_examples_covered():
+    """Every example on disk has a smoke test above."""
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    tested = {
+        "quickstart.py",
+        "datacenter_energy_report.py",
+        "heterogeneity_study.py",
+        "custom_scheduler_plugin.py",
+        "trace_replay.py",
+        "failure_resilience.py",
+        "full_reproduction.py",
+    }
+    assert scripts == tested

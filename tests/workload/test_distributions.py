@@ -1,0 +1,125 @@
+"""Unit tests for the alternative workload distributions."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams
+from repro.workload import (
+    MMPP2,
+    WorkloadGenerator,
+    WorkloadSpec,
+    bounded_pareto,
+    mmpp2_interarrivals,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(55)
+
+
+class TestMMPP2:
+    def test_mean_rate_sojourn_weighted(self):
+        p = MMPP2(
+            rate_calm=1.0,
+            rate_burst=4.0,
+            mean_calm_sojourn=80.0,
+            mean_burst_sojourn=20.0,
+        )
+        assert p.mean_rate == pytest.approx((1.0 * 80 + 4.0 * 20) / 100)
+
+    def test_with_mean_interarrival_hits_target(self, rng):
+        p = MMPP2.with_mean_interarrival(5.0, burstiness=4.0, burst_fraction=0.2)
+        assert 1.0 / p.mean_rate == pytest.approx(5.0)
+        iats = mmpp2_interarrivals(30_000, p, rng)
+        assert iats.mean() == pytest.approx(5.0, rel=0.1)
+
+    def test_burstier_than_poisson(self, rng):
+        """MMPP inter-arrival CV exceeds the Poisson CV of 1."""
+        p = MMPP2.with_mean_interarrival(5.0, burstiness=8.0, burst_fraction=0.15)
+        iats = mmpp2_interarrivals(30_000, p, rng)
+        cv = iats.std() / iats.mean()
+        assert cv > 1.1
+
+    def test_all_positive(self, rng):
+        p = MMPP2.with_mean_interarrival(2.0)
+        assert np.all(mmpp2_interarrivals(500, p, rng) > 0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rate_calm=0, rate_burst=1, mean_calm_sojourn=1, mean_burst_sojourn=1),
+            dict(rate_calm=1, rate_burst=1, mean_calm_sojourn=0, mean_burst_sojourn=1),
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            MMPP2(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mean_interarrival=0),
+            dict(mean_interarrival=5, burstiness=1.0),
+            dict(mean_interarrival=5, burst_fraction=0.0),
+            dict(mean_interarrival=5, cycle_length=0),
+        ],
+    )
+    def test_invalid_factory(self, kwargs):
+        with pytest.raises(ValueError):
+            MMPP2.with_mean_interarrival(**kwargs)
+
+
+class TestBoundedPareto:
+    def test_within_bounds(self, rng):
+        x = bounded_pareto(10_000, 600.0, 7200.0, 1.5, rng)
+        assert np.all(x >= 600.0)
+        assert np.all(x <= 7200.0)
+
+    def test_heavy_tail_skews_low(self, rng):
+        """Most mass sits near the lower bound for α > 1."""
+        x = bounded_pareto(10_000, 600.0, 7200.0, 1.5, rng)
+        assert np.median(x) < (600 + 7200) / 2
+
+    def test_smaller_alpha_heavier_tail(self, rng):
+        heavy = bounded_pareto(20_000, 1.0, 1000.0, 0.8, np.random.default_rng(1))
+        light = bounded_pareto(20_000, 1.0, 1000.0, 2.5, np.random.default_rng(1))
+        assert heavy.mean() > light.mean()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n=0, lo=1, hi=10, alpha=1.5),
+            dict(n=10, lo=0, hi=10, alpha=1.5),
+            dict(n=10, lo=10, hi=5, alpha=1.5),
+            dict(n=10, lo=1, hi=10, alpha=0),
+        ],
+    )
+    def test_invalid(self, rng, kwargs):
+        with pytest.raises(ValueError):
+            bounded_pareto(rng=rng, **kwargs)
+
+
+class TestGeneratorIntegration:
+    def test_mmpp_workload_generates(self):
+        spec = WorkloadSpec(num_tasks=200, arrival_process="mmpp")
+        tasks = WorkloadGenerator(spec, RandomStreams(seed=1)).generate()
+        assert len(tasks) == 200
+        arrivals = [t.arrival_time for t in tasks]
+        assert arrivals == sorted(arrivals)
+
+    def test_pareto_workload_generates(self):
+        spec = WorkloadSpec(num_tasks=200, size_distribution="bounded-pareto")
+        tasks = WorkloadGenerator(spec, RandomStreams(seed=1)).generate()
+        lo, hi = spec.size_range_mi
+        assert all(lo <= t.size_mi <= hi for t in tasks)
+
+    def test_invalid_spec_options(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(arrival_process="fractal")
+        with pytest.raises(ValueError):
+            WorkloadSpec(size_distribution="gaussian")
+        with pytest.raises(ValueError):
+            WorkloadSpec(mmpp_burstiness=1.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(pareto_alpha=0)

@@ -1,0 +1,100 @@
+"""Unit tests for the synthetic workload generator (§V.A)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams
+from repro.workload import Priority, WorkloadGenerator, WorkloadSpec
+
+
+def generate(seed=1, **overrides):
+    spec = WorkloadSpec(**overrides)
+    return WorkloadGenerator(spec, RandomStreams(seed=seed)).generate()
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_tasks=0),
+            dict(mean_interarrival=0),
+            dict(size_range_mi=(0, 100)),
+            dict(size_range_mi=(200, 100)),
+            dict(priority_mix=(0.5, 0.5)),
+            dict(priority_mix=(0.5, 0.4, 0.2)),
+            dict(priority_mix=(-0.1, 0.6, 0.5)),
+            dict(reference_speed_mips=0),
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**kwargs)
+
+
+class TestGeneration:
+    def test_count_and_sorted_arrivals(self):
+        tasks = generate(num_tasks=200)
+        assert len(tasks) == 200
+        arrivals = [t.arrival_time for t in tasks]
+        assert arrivals == sorted(arrivals)
+        assert all(t.arrival_time >= 0 for t in tasks)
+
+    def test_sizes_within_range(self):
+        tasks = generate(num_tasks=500, size_range_mi=(600.0, 7200.0))
+        assert all(600 <= t.size_mi <= 7200 for t in tasks)
+
+    def test_act_matches_reference_speed(self):
+        tasks = generate(num_tasks=50, reference_speed_mips=500.0)
+        for t in tasks:
+            assert t.act == pytest.approx(t.size_mi / 500.0)
+
+    def test_deadline_band(self):
+        """Deadlines lie within [ACT, 2.5·ACT] after arrival (0–150% slack)."""
+        tasks = generate(num_tasks=300)
+        for t in tasks:
+            rel = t.relative_deadline
+            assert rel >= t.act - 1e-9
+            assert rel <= 2.5 * t.act + 1e-9
+
+    def test_mean_interarrival_close_to_spec(self):
+        tasks = generate(num_tasks=4000, mean_interarrival=5.0)
+        iats = np.diff([t.arrival_time for t in tasks])
+        assert iats.mean() == pytest.approx(5.0, rel=0.1)
+
+    def test_priority_mix_respected(self):
+        tasks = generate(num_tasks=3000, priority_mix=(0.6, 0.3, 0.1))
+        counts = {p: 0 for p in Priority}
+        for t in tasks:
+            counts[t.priority] += 1
+        assert counts[Priority.HIGH] / 3000 == pytest.approx(0.6, abs=0.05)
+        assert counts[Priority.MEDIUM] / 3000 == pytest.approx(0.3, abs=0.05)
+        assert counts[Priority.LOW] / 3000 == pytest.approx(0.1, abs=0.05)
+
+    def test_pure_priority_class(self):
+        tasks = generate(num_tasks=100, priority_mix=(1.0, 0.0, 0.0))
+        assert all(t.priority is Priority.HIGH for t in tasks)
+
+    def test_deterministic_given_seed(self):
+        a = generate(seed=9, num_tasks=50)
+        b = generate(seed=9, num_tasks=50)
+        assert [(t.size_mi, t.arrival_time, t.deadline) for t in a] == [
+            (t.size_mi, t.arrival_time, t.deadline) for t in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate(seed=1, num_tasks=50)
+        b = generate(seed=2, num_tasks=50)
+        assert [t.size_mi for t in a] != [t.size_mi for t in b]
+
+    def test_unique_increasing_tids(self):
+        tasks = generate(num_tasks=30)
+        assert [t.tid for t in tasks] == list(range(30))
+
+    def test_first_arrival_offset(self):
+        tasks = generate(num_tasks=20, first_arrival=100.0)
+        assert all(t.arrival_time >= 100.0 for t in tasks)
+
+    def test_iter_protocol(self):
+        spec = WorkloadSpec(num_tasks=10)
+        gen = WorkloadGenerator(spec, RandomStreams(seed=1))
+        assert len(list(gen)) == 10

@@ -1,0 +1,49 @@
+"""Unit tests for the priority model (§III.A)."""
+
+import pytest
+
+from repro.workload import (
+    HIGH_SLACK_MAX,
+    LOW_SLACK_MIN,
+    Priority,
+    classify_slack,
+    slack_band,
+)
+
+
+class TestClassifySlack:
+    def test_boundary_high(self):
+        assert classify_slack(0.0) is Priority.HIGH
+        assert classify_slack(HIGH_SLACK_MAX) is Priority.HIGH
+
+    def test_boundary_low(self):
+        assert classify_slack(LOW_SLACK_MIN) is Priority.LOW
+        assert classify_slack(1.5) is Priority.LOW
+
+    def test_medium_between(self):
+        assert classify_slack(0.5) is Priority.MEDIUM
+
+    def test_just_above_high_threshold_is_medium(self):
+        assert classify_slack(HIGH_SLACK_MAX + 1e-6) is Priority.MEDIUM
+
+    def test_just_below_low_threshold_is_medium(self):
+        assert classify_slack(LOW_SLACK_MIN - 1e-6) is Priority.MEDIUM
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            classify_slack(-0.1)
+
+
+class TestSlackBands:
+    @pytest.mark.parametrize("priority", list(Priority))
+    def test_band_maps_back_to_priority(self, priority):
+        lo, hi = slack_band(priority)
+        for frac in (lo, (lo + hi) / 2, hi):
+            assert classify_slack(frac) is priority
+
+    def test_priority_ordering_urgent_first(self):
+        assert Priority.HIGH < Priority.MEDIUM < Priority.LOW
+
+    def test_labels(self):
+        assert Priority.HIGH.label == "high"
+        assert Priority.LOW.label == "low"

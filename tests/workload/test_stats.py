@@ -1,0 +1,52 @@
+"""Unit tests for workload statistics."""
+
+import pytest
+
+from repro.sim import RandomStreams
+from repro.workload import (
+    Priority,
+    WorkloadGenerator,
+    WorkloadSpec,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_empty_workload(self):
+        stats = summarize([])
+        assert stats.num_tasks == 0
+        assert stats.mean_size_mi == 0.0
+        assert stats.priority_fractions == {p: 0.0 for p in Priority}
+
+    def test_counts_and_sizes(self):
+        tasks = WorkloadGenerator(
+            WorkloadSpec(num_tasks=100, size_range_mi=(600, 7200)),
+            RandomStreams(seed=2),
+        ).generate()
+        stats = summarize(tasks)
+        assert stats.num_tasks == 100
+        assert 600 <= stats.min_size_mi <= stats.mean_size_mi <= stats.max_size_mi <= 7200
+        assert stats.makespan_lower_bound == max(t.arrival_time for t in tasks)
+        assert sum(stats.priority_counts.values()) == 100
+
+    def test_priority_fractions_sum_to_one(self):
+        tasks = WorkloadGenerator(
+            WorkloadSpec(num_tasks=60), RandomStreams(seed=3)
+        ).generate()
+        fracs = summarize(tasks).priority_fractions
+        assert sum(fracs.values()) == pytest.approx(1.0)
+
+    def test_mean_interarrival(self):
+        tasks = WorkloadGenerator(
+            WorkloadSpec(num_tasks=2000, mean_interarrival=4.0),
+            RandomStreams(seed=4),
+        ).generate()
+        assert summarize(tasks).mean_interarrival == pytest.approx(4.0, rel=0.15)
+
+    def test_accepts_unsorted_input(self):
+        tasks = WorkloadGenerator(
+            WorkloadSpec(num_tasks=30), RandomStreams(seed=5)
+        ).generate()
+        stats_sorted = summarize(tasks)
+        stats_shuffled = summarize(list(reversed(tasks)))
+        assert stats_sorted == stats_shuffled

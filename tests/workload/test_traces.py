@@ -1,0 +1,68 @@
+"""Unit tests for trace record/replay."""
+
+import json
+
+import pytest
+
+from repro.sim import RandomStreams
+from repro.workload import (
+    WorkloadGenerator,
+    WorkloadSpec,
+    load_trace,
+    records_to_tasks,
+    save_trace,
+    trace_to_records,
+)
+
+
+@pytest.fixture
+def tasks():
+    spec = WorkloadSpec(num_tasks=25)
+    return WorkloadGenerator(spec, RandomStreams(seed=11)).generate()
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tasks, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(tasks, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(tasks)
+        for orig, back in zip(tasks, loaded):
+            assert back.tid == orig.tid
+            assert back.size_mi == pytest.approx(orig.size_mi)
+            assert back.arrival_time == pytest.approx(orig.arrival_time)
+            assert back.deadline == pytest.approx(orig.deadline)
+            assert back.priority is orig.priority
+
+    def test_loaded_tasks_are_unexecuted(self, tasks, tmp_path):
+        tasks[0].mark_started(tasks[0].arrival_time + 1, "p", "s")
+        path = tmp_path / "trace.json"
+        save_trace(tasks, path)
+        loaded = load_trace(path)
+        assert loaded[0].start_time is None
+
+    def test_records_only_contain_spec(self, tasks):
+        record = trace_to_records(tasks)[0]
+        assert set(record) == {
+            "tid",
+            "size_mi",
+            "arrival_time",
+            "act",
+            "deadline",
+            "priority",
+        }
+
+    def test_priority_mismatch_detected(self, tasks):
+        records = trace_to_records(tasks)
+        records[0]["priority"] = "nonsense"
+        with pytest.raises(ValueError, match="priority"):
+            records_to_tasks(records)
+
+    def test_version_check(self, tasks, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(tasks, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
