@@ -5,6 +5,7 @@ store operations) so regressions in the kernel are visible independently
 of the scheduling experiments.
 """
 
+from repro.obs import NULL_TELEMETRY, capture
 from repro.sim import Environment, Store
 
 
@@ -16,6 +17,45 @@ def bench_kernel_timeout_throughput(benchmark):
         for i in range(20_000):
             env.timeout(i % 97)
         env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 96
+
+
+def bench_kernel_timeout_throughput_null_recorder(benchmark):
+    """The 20k-timeout drain with the null telemetry passed explicitly.
+
+    Must track ``bench_kernel_timeout_throughput`` to within noise — the
+    null path is one attribute check per event; compare the two
+    trajectories to see the disabled-telemetry overhead.
+    """
+
+    def run():
+        env = Environment(telemetry=NULL_TELEMETRY)
+        for i in range(20_000):
+            env.timeout(i % 97)
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 96
+
+
+def bench_kernel_timeout_throughput_instrumented(benchmark):
+    """The 20k-timeout drain with live metrics collection.
+
+    The gap between this and the null-recorder case is the cost of the
+    per-event counter/gauge updates when observability is armed.
+    """
+
+    def run():
+        tel = capture(trace=False, metrics=True)
+        env = Environment(telemetry=tel)
+        for i in range(20_000):
+            env.timeout(i % 97)
+        env.run()
+        assert tel.metrics.get("sim.events_processed").value == 20_000
         return env.now
 
     result = benchmark(run)

@@ -81,6 +81,7 @@ class FailureInjector:
                 node.fail()
                 self.failures_injected += 1
                 self.log.append((env.now, node.node_id, "fail"))
+                self._observe("fail", node)
             downtime = float(
                 self._rng.exponential(self.model.mean_time_to_repair)
             )
@@ -89,3 +90,14 @@ class FailureInjector:
                 node.repair()
                 self.repairs_completed += 1
                 self.log.append((env.now, node.node_id, "repair"))
+                self._observe("repair", node)
+
+    def _observe(self, what: str, node: ComputeNode) -> None:
+        """Emit the trace event and counter for one fail/repair."""
+        tel = self.env.telemetry
+        if not tel.active:
+            return
+        if tel.tracing:
+            tel.emit("node", what, self.env.now, node=node.node_id)
+        if tel.metering:
+            tel.metrics.counter(f"cluster.{what}s").inc()

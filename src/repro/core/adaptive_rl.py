@@ -86,6 +86,8 @@ class AdaptiveRLScheduler(Scheduler):
         assert self.env is not None and self.system is not None
         assert self.streams is not None
         cfg = self.config
+        if self.governor is not None:
+            self.governor.telemetry = self.telemetry
         if cfg.shared_memory_enabled:
             self.memory = SharedLearningMemory(cfg.memory_cycles)
         self._routing = make_routing(
@@ -119,6 +121,7 @@ class AdaptiveRLScheduler(Scheduler):
                 exploration=exploration,
                 memory=self.memory,
                 grouping_enabled=cfg.grouping_enabled,
+                telemetry=self.telemetry,
             )
             self.agents[site.site_id] = agent
             for node in site.nodes:

@@ -23,6 +23,7 @@ from ..cluster.node import ComputeNode
 from ..cluster.site import ResourceSite
 from ..cluster.taskgroup import TaskGroup
 from ..energy.meter import ProcState
+from ..obs import CAT_GROUP, CAT_MEMORY, CAT_RL, NULL_TELEMETRY, Telemetry
 from ..rl.exploration import EpsilonGreedy
 from ..workload.task import Task
 from .actions import GroupingAction, GroupingMode, action_space
@@ -65,6 +66,7 @@ class SiteAgent:
         exploration: EpsilonGreedy,
         memory: Optional[SharedLearningMemory],
         grouping_enabled: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         """Create the agent for *site*.
 
@@ -80,6 +82,7 @@ class SiteAgent:
         self.value_model = value_model
         self.exploration = exploration
         self.memory = memory
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.backlog = Backlog()
         if grouping_enabled:
             self.actions = action_space(site.max_group_size)
@@ -93,6 +96,10 @@ class SiteAgent:
         self._pending: Dict[int, PendingAction] = {}
         self._last_hit_fraction: Optional[float] = None
         self._regressed = False
+        #: How the most recent action was chosen: "policy",
+        #: "memory-seed" (unseen-state bootstrap), or "memory-override"
+        #: (reward-regression rule) — recorded for telemetry.
+        self._action_source = "policy"
         self.cycles = 0
         self.groups_dispatched = 0
         self.feedbacks: int = 0
@@ -114,6 +121,7 @@ class SiteAgent:
             self._regressed = False
             remembered = self.memory.best_action(state)
             if remembered is not None and remembered in self.actions:
+                self._action_source = "memory-override"
                 return remembered
         if (
             self.memory is not None
@@ -125,8 +133,10 @@ class SiteAgent:
             # from other agents' experiences", §IV.B).
             remembered = self.memory.best_action(state)
             if remembered is not None and remembered in self.actions:
+                self._action_source = "memory-seed"
                 return remembered
         values = self.value_model.values(state, obs, self.actions)
+        self._action_source = "policy"
         return self.exploration.select(self.actions, values)
 
     # -- scheduling pass ---------------------------------------------------
@@ -138,6 +148,9 @@ class SiteAgent:
 
         state, obs = self.observe()
         action = self.select_action(state, obs)
+        tel = self.telemetry
+        if tel.active:
+            self._record_action(action, now)
         dispatched = 0
 
         oldest = self.backlog.oldest_arrival
@@ -148,25 +161,104 @@ class SiteAgent:
             n.pending_tasks == 0 and n.available for n in self.site.nodes
         )
 
+        profiling = tel.profiling
         while len(self.backlog) > 0:
             open_nodes = [n for n in self.site.nodes if n.available]
             if not open_nodes:
                 break
-            group = merge_next_group(
-                self.backlog, action, now, allow_undersized=aged or spare_capacity
-            )
+            if profiling:
+                t0 = tel.profiler.start()
+                group = merge_next_group(
+                    self.backlog,
+                    action,
+                    now,
+                    allow_undersized=aged or spare_capacity,
+                )
+                tel.profiler.stop("agent.grouping", t0)
+            else:
+                group = merge_next_group(
+                    self.backlog,
+                    action,
+                    now,
+                    allow_undersized=aged or spare_capacity,
+                )
             if group is None:
                 break
-            node = self._best_node(
-                group, open_nodes, now, explore=self.exploration.explore()
-            )
+            if profiling:
+                t0 = tel.profiler.start()
+                node = self._best_node(
+                    group, open_nodes, now, explore=self.exploration.explore()
+                )
+                tel.profiler.stop("agent.placement", t0)
+            else:
+                node = self._best_node(
+                    group, open_nodes, now, explore=self.exploration.explore()
+                )
             group.error = grouping_error(group.pw, node.processing_capacity)
             self._pending[group.gid] = PendingAction(state, obs, action)
             submitted = node.try_submit(group)
             assert submitted, "open_nodes filter guarantees a free slot"
             dispatched += 1
             self.groups_dispatched += 1
+            if tel.active:
+                if tel.tracing:
+                    tel.emit(
+                        CAT_GROUP,
+                        "merge",
+                        now,
+                        gid=group.gid,
+                        agent=self.agent_id,
+                        size=len(group),
+                        mode=action.mode,
+                        opnum=action.opnum,
+                    )
+                    tel.emit(
+                        CAT_GROUP,
+                        "dispatch",
+                        now,
+                        gid=group.gid,
+                        agent=self.agent_id,
+                        node=node.node_id,
+                        size=len(group),
+                        size_mi=group.size_mi,
+                        error=group.error,
+                    )
+                if tel.metering:
+                    metrics = tel.metrics
+                    metrics.counter("sched.groups_dispatched").inc()
+                    metrics.histogram("sched.group_size").observe(len(group))
         return dispatched
+
+    def _record_action(self, action: GroupingAction, now: float) -> None:
+        """Telemetry for one ε-greedy / memory action selection."""
+        tel = self.telemetry
+        source = self._action_source
+        epsilon = self.exploration.epsilon
+        if tel.tracing:
+            tel.emit(
+                CAT_RL,
+                "action",
+                now,
+                agent=self.agent_id,
+                mode=action.mode,
+                opnum=action.opnum,
+                epsilon=epsilon,
+                source=source,
+            )
+            if source != "policy":
+                tel.emit(
+                    CAT_MEMORY,
+                    "override" if source == "memory-override" else "seed",
+                    now,
+                    agent=self.agent_id,
+                    mode=action.mode,
+                    opnum=action.opnum,
+                )
+        if tel.metering:
+            metrics = tel.metrics
+            metrics.counter(f"rl.actions.{action.mode}").inc()
+            metrics.counter(f"rl.actions.source.{source}").inc()
+            metrics.gauge("rl.epsilon").set(epsilon)
 
     def _best_node(
         self,
@@ -259,12 +351,53 @@ class SiteAgent:
         # Reward-regression rule (§IV.C): if the deadline-hit rate fell
         # below the previous group's, consult the shared memory next
         # cycle.
-        if (
-            self._last_hit_fraction is not None
-            and record.hit_fraction < self._last_hit_fraction
-        ):
+        previous_hit_fraction = self._last_hit_fraction
+        regressed = (
+            previous_hit_fraction is not None
+            and record.hit_fraction < previous_hit_fraction
+        )
+        if regressed:
             self._regressed = True
         self._last_hit_fraction = record.hit_fraction
+
+        tel = self.telemetry
+        if tel.active:
+            if tel.tracing:
+                tel.emit(
+                    CAT_GROUP,
+                    "complete",
+                    now,
+                    gid=group.gid,
+                    agent=self.agent_id,
+                    size=len(group),
+                )
+                tel.emit(
+                    CAT_RL,
+                    "reward",
+                    now,
+                    agent=self.agent_id,
+                    gid=group.gid,
+                    reward=record.reward,
+                    l_val=record.l_val,
+                    error=record.error,
+                    hit_fraction=record.hit_fraction,
+                    epsilon=self.exploration.epsilon,
+                )
+                if regressed:
+                    tel.emit(
+                        CAT_RL,
+                        "regression",
+                        now,
+                        agent=self.agent_id,
+                        hit_fraction=record.hit_fraction,
+                        previous=previous_hit_fraction,
+                    )
+            if tel.metering:
+                metrics = tel.metrics
+                metrics.counter("rl.feedbacks").inc()
+                metrics.histogram("rl.l_val").observe(record.l_val)
+                if regressed:
+                    metrics.counter("rl.regressions").inc()
         return record
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -17,6 +17,7 @@ from typing import Optional
 from ..cluster.node import ComputeNode
 from ..cluster.system import System
 from ..cluster.taskgroup import TaskGroup
+from ..obs import CAT_TASK, NULL_TELEMETRY, Telemetry
 from ..sim.core import Environment
 from ..sim.events import Event
 from ..sim.rng import RandomStreams
@@ -53,6 +54,8 @@ class Scheduler(abc.ABC):
         self.env: Optional[Environment] = None
         self.system: Optional[System] = None
         self.streams: Optional[RandomStreams] = None
+        #: Telemetry sink; adopted from the environment at attach time.
+        self.telemetry: Telemetry = NULL_TELEMETRY
         self.completed: list[Task] = []
         self.cycle_log: list[CycleSample] = []
         self.learning_cycles = 0
@@ -73,6 +76,7 @@ class Scheduler(abc.ABC):
         self.env = env
         self.system = system
         self.streams = streams
+        self.telemetry = env.telemetry
         self._wakeup = Event(env)
         self.all_done = Event(env)
         for node in system.nodes:
@@ -112,16 +116,35 @@ class Scheduler(abc.ABC):
 
     def _loop(self):
         assert self.env is not None
+        tel = self.telemetry
         while True:
             yield self._wakeup
             self._wakeup = Event(self.env)
             self.learning_cycles += 1
-            self._scheduling_pass()
+            if tel.profiling:
+                t0 = tel.profiler.start()
+                self._scheduling_pass()
+                tel.profiler.stop("scheduler.pass", t0)
+            else:
+                self._scheduling_pass()
             self._sample_cycle()
 
     # -- completion plumbing ----------------------------------------------
     def _task_completed(self, task: Task, node: ComputeNode) -> None:
         self.completed.append(task)
+        tel = self.telemetry
+        if tel.active:
+            if tel.tracing:
+                tel.emit(
+                    CAT_TASK,
+                    "complete",
+                    self.env.now,
+                    task=task.tid,
+                    node=node.node_id,
+                    met_deadline=task.met_deadline,
+                )
+            if tel.metering:
+                tel.metrics.counter("sched.tasks_completed").inc()
         if (
             self._expected is not None
             and len(self.completed) >= self._expected
@@ -146,6 +169,19 @@ class Scheduler(abc.ABC):
         scheduler transparently tolerates crash-stop node failures.
         """
         self.tasks_resubmitted += len(tasks)
+        tel = self.telemetry
+        if tel.active and tasks:
+            if tel.tracing:
+                for task in tasks:
+                    tel.emit(
+                        CAT_TASK,
+                        "resubmit",
+                        self.env.now,
+                        task=task.tid,
+                        node=node.node_id,
+                    )
+            if tel.metering:
+                tel.metrics.counter("sched.tasks_resubmitted").inc(len(tasks))
         for task in tasks:
             self.submit(task)
         if tasks:

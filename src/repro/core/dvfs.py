@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..cluster.node import ComputeNode
+from ..obs import CAT_ENERGY, NULL_TELEMETRY
 
 __all__ = ["DVFSGovernor", "energy_optimal_scale"]
 
@@ -39,6 +40,8 @@ class DVFSGovernor:
             raise ValueError("safety_factor must be at least 1")
         self.safety_factor = safety_factor
         self.adjustments = 0
+        #: Telemetry sink; the owning scheduler installs its own.
+        self.telemetry = NULL_TELEMETRY
 
     def target_scale(self, node: ComputeNode, now: float) -> float:
         """The frequency scale the node's processors should run at."""
@@ -66,9 +69,25 @@ class DVFSGovernor:
 
     def apply(self, nodes: Sequence[ComputeNode], now: float) -> None:
         """Set every node's processors to its target scale."""
+        tel = self.telemetry
         for node in nodes:
             theta = self.target_scale(node, now)
+            changed = 0
             for proc in node.processors:
                 if proc.frequency_scale != theta:
+                    previous = proc.frequency_scale
                     proc.set_frequency_scale(theta)
                     self.adjustments += 1
+                    changed += 1
+                    if tel.tracing:
+                        tel.emit(
+                            CAT_ENERGY,
+                            "dvfs",
+                            now,
+                            proc=proc.pid,
+                            node=node.node_id,
+                            scale=proc.frequency_scale,
+                            previous=previous,
+                        )
+            if changed and tel.metering:
+                tel.metrics.counter("energy.dvfs_adjustments").inc(changed)

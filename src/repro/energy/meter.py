@@ -72,6 +72,17 @@ class ProcessorEnergyMeter:
         self._energy = {s: 0.0 for s in ProcState}
         self._finalized_at: float | None = None
         self._power_override: Optional[float] = None
+        # Optional observability hookup (None keeps set_state at one
+        # extra attribute check); see bind_telemetry().
+        self._telemetry = None
+        self.owner: str = ""
+
+    def bind_telemetry(self, telemetry, owner: str) -> None:
+        """Attach a :class:`~repro.obs.Telemetry` that receives an
+        ``energy.state`` trace event on every state transition, tagged
+        with *owner* (the processor id)."""
+        self._telemetry = telemetry
+        self.owner = owner
 
     @property
     def state(self) -> ProcState:
@@ -98,6 +109,16 @@ class ProcessorEnergyMeter:
             raise TypeError(f"state must be a ProcState, got {state!r}")
         if power_w is not None and power_w < 0:
             raise ValueError("power_w must be non-negative")
+        tel = self._telemetry
+        if tel is not None and tel.tracing and state is not self._state:
+            tel.emit(
+                "energy",
+                "state",
+                now,
+                proc=self.owner,
+                from_state=self._state.value,
+                to_state=state.value,
+            )
         self._charge(now)
         self._state = state
         self._power_override = power_w

@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
 from ..metrics.stats import mean_ci
+from ..obs import Telemetry
 from .config import ExperimentConfig
 from .persistence import metrics_to_dict
 from .runner import run_experiment
@@ -109,15 +110,26 @@ class Campaign:
         self.name = name
         self.output_dir = Path(output_dir) if output_dir else None
 
-    def run(self, configs: Iterable[ExperimentConfig]) -> CampaignResult:
-        """Execute every config; returns (and optionally writes) results."""
+    def run(
+        self,
+        configs: Iterable[ExperimentConfig],
+        telemetry: Optional[Telemetry] = None,
+    ) -> CampaignResult:
+        """Execute every config; returns (and optionally writes) results.
+
+        ``telemetry`` (one shared :class:`~repro.obs.Telemetry`) observes
+        every run in the campaign; per-run events are delimited by their
+        ``run.start`` / ``run.end`` trace events.
+        """
         result = CampaignResult(name=self.name)
         started = time.monotonic()
         for i, config in enumerate(configs):
-            run = run_experiment(config)
+            run_started = time.monotonic()
+            run = run_experiment(config, telemetry=telemetry)
             record = metrics_to_dict(run.metrics)
             record["seed"] = config.seed
             record["config_scheduler"] = config.scheduler
+            record["wall_seconds"] = time.monotonic() - run_started
             result.records.append(record)
         result.wall_seconds = time.monotonic() - started
 

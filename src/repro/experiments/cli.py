@@ -7,15 +7,32 @@ Usage::
     python -m repro.experiments.cli --quick         # reduced scale (CI)
     python -m repro.experiments.cli --seeds 1 2 3   # multi-seed CIs
 
+Observability (see docs/observability.md)::
+
+    ... fig7 --quick --trace run.jsonl         # JSONL event trace
+    ... fig7 --quick --chrome-trace run.json   # chrome://tracing view
+    ... fig7 --quick --metrics-out m.json      # counters/gauges/histograms
+    ... fig7 --quick --profile                 # hot-path wall-time table
+
 Prints each figure as an ASCII table followed by its paper-shape checks.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from ..obs import (
+    InMemoryRecorder,
+    MetricsRegistry,
+    Profiler,
+    Telemetry,
+    export_chrome_trace,
+    save_jsonl,
+    use,
+)
 from .figures import (
     ALL_FIGURES,
     HEAVY_TASKS,
@@ -52,6 +69,29 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="directory to write each figure's data as JSON",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL trace of every simulation event to FILE",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        metavar="FILE",
+        default=None,
+        help="write the trace in chrome://tracing JSON format to FILE",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the metrics registry (counters/gauges/histograms) to FILE",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile scheduler hot paths and print a wall-time table",
+    )
     args = parser.parse_args(argv)
 
     wanted = args.figures or list(ALL_FIGURES)
@@ -63,6 +103,47 @@ def main(argv: list[str] | None = None) -> int:
     heavy = QUICK_HEAVY if args.quick else HEAVY_TASKS
     seeds = tuple(args.seeds)
 
+    # Fail before the (potentially minutes-long) runs, not after, if an
+    # output path cannot be written.
+    for path in (args.trace, args.chrome_trace, args.metrics_out):
+        if path is not None:
+            try:
+                with open(path, "a"):
+                    pass
+            except OSError as exc:
+                parser.error(f"cannot write {path}: {exc}")
+
+    want_trace = args.trace is not None or args.chrome_trace is not None
+    telemetry = Telemetry(
+        trace=InMemoryRecorder() if want_trace else None,
+        metrics=MetricsRegistry() if args.metrics_out is not None else None,
+        profiler=Profiler() if args.profile else None,
+    )
+
+    with use(telemetry):
+        rc = _run_figures(args, wanted, task_counts, heavy, seeds)
+
+    if args.trace is not None:
+        n = save_jsonl(telemetry.trace.events(), args.trace)
+        print(f"trace: {n} events -> {args.trace}")
+    if args.chrome_trace is not None:
+        export_chrome_trace(telemetry.trace.events(), args.chrome_trace)
+        print(f"chrome trace -> {args.chrome_trace}")
+    if args.metrics_out is not None:
+        from pathlib import Path
+
+        Path(args.metrics_out).write_text(
+            json.dumps(telemetry.metrics.as_dict(), indent=1)
+        )
+        print(f"metrics: {len(telemetry.metrics)} instruments -> {args.metrics_out}")
+    if args.profile:
+        print()
+        print(telemetry.profiler.render())
+    return rc
+
+
+def _run_figures(args, wanted, task_counts, heavy, seeds) -> int:
+    """Regenerate the selected figures; returns the process exit code."""
     figs = []
     shared_sweep = None
     for fid in wanted:

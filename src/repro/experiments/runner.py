@@ -13,6 +13,13 @@ from typing import Optional, Sequence
 from ..cluster.system import System, build_system
 from ..core.base import Scheduler
 from ..metrics.collector import RunMetrics, collect_metrics
+from ..obs import (
+    CAT_RUN,
+    CAT_TASK,
+    NULL_TELEMETRY,
+    Telemetry,
+    get_telemetry,
+)
 from ..sim.core import Environment
 from ..sim.events import AnyOf
 from ..sim.rng import RandomStreams
@@ -37,11 +44,14 @@ class RunResult:
     scheduler: Scheduler
     system: System
     tasks: Sequence[Task]
+    #: The telemetry that observed the run (NULL_TELEMETRY when off).
+    telemetry: Telemetry = NULL_TELEMETRY
 
 
 def run_experiment(
     config: ExperimentConfig,
     scheduler: Optional[Scheduler] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunResult:
     """Execute one configured simulation run to completion.
 
@@ -52,10 +62,28 @@ def run_experiment(
     scheduler:
         Optional pre-built scheduler instance (overrides
         ``config.scheduler``) — used by plugin/ablation callers.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` observing the run.  When
+        omitted, the ambient telemetry (``repro.obs.use(...)`` /
+        ``set_telemetry``) applies — the null telemetry by default, so
+        uninstrumented callers pay nothing.
     """
-    env = Environment()
+    tel = telemetry if telemetry is not None else get_telemetry()
+    wall0 = tel.profiler.start() if tel.profiling else 0.0
+    env = Environment(telemetry=tel)
     streams = RandomStreams(seed=config.seed)
     system = build_system(env, config.platform, streams)
+    if tel.tracing:
+        for proc in system.processors:
+            proc.meter.bind_telemetry(tel, proc.pid)
+        tel.emit(
+            CAT_RUN,
+            "start",
+            env.now,
+            scheduler=config.scheduler,
+            num_tasks=config.num_tasks,
+            seed=config.seed,
+        )
 
     reference = (
         config.reference_speed_mips
@@ -71,6 +99,14 @@ def run_experiment(
         **dict(config.workload_overrides),
     )
     tasks = WorkloadGenerator(spec, streams).generate()
+    if not tasks:
+        # ExperimentConfig rejects num_tasks <= 0, but a generator
+        # override can still produce nothing; fail loudly rather than
+        # crash on tasks[-1] below.
+        raise ValueError(
+            f"workload generated no tasks (num_tasks={config.num_tasks}); "
+            "a run needs at least one task"
+        )
 
     if scheduler is None:
         scheduler = make_scheduler(config.scheduler, **dict(config.scheduler_kwargs))
@@ -88,9 +124,20 @@ def run_experiment(
         )
 
     def arrivals():
+        tracing = tel.tracing
         for task in tasks:
             if env.now < task.arrival_time:
                 yield env.timeout(task.arrival_time - env.now)
+            if tracing:
+                tel.emit(
+                    CAT_TASK,
+                    "submit",
+                    env.now,
+                    task=task.tid,
+                    size_mi=task.size_mi,
+                    deadline=task.deadline,
+                    priority=task.priority.label,
+                )
             scheduler.submit(task)
 
     env.process(arrivals())
@@ -111,10 +158,39 @@ def run_experiment(
         proc.meter.finalize(now)
 
     metrics = collect_metrics(scheduler, system, tasks)
+    if tel.metering:
+        registry = tel.metrics
+        joules = {"busy": 0.0, "idle": 0.0, "sleep": 0.0}
+        for proc in system.processors:
+            breakdown = proc.meter.snapshot()
+            joules["busy"] += breakdown.busy_energy
+            joules["idle"] += breakdown.idle_energy
+            joules["sleep"] += breakdown.sleep_energy
+        for state, seconds in (
+            ("busy", metrics.energy.busy_time),
+            ("idle", metrics.energy.idle_time),
+            ("sleep", metrics.energy.sleep_time),
+        ):
+            registry.counter(f"energy.joules.{state}").inc(joules[state])
+            registry.counter(f"energy.seconds.{state}").inc(seconds)
+    if tel.tracing:
+        tel.emit(
+            CAT_RUN,
+            "end",
+            now,
+            scheduler=scheduler.name,
+            completed=len(scheduler.completed),
+            makespan=metrics.makespan,
+            avert=metrics.avert,
+            ecs=metrics.ecs,
+        )
+    if tel.profiling:
+        tel.profiler.stop("run.total", wall0)
     return RunResult(
         config=config,
         metrics=metrics,
         scheduler=scheduler,
         system=system,
         tasks=tasks,
+        telemetry=tel,
     )

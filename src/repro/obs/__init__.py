@@ -1,0 +1,68 @@
+"""Observability: structured tracing, live metrics, profiling hooks.
+
+A zero-dependency telemetry layer threaded through the simulation
+kernel, the Adaptive-RL core, the energy model, and the experiment
+harness.  Everything is off by default (:data:`NULL_TELEMETRY`), so the
+instrumented hot paths cost a single boolean check per operation; see
+``docs/observability.md`` for the event taxonomy and usage.
+"""
+
+from .events import (
+    CAT_ENERGY,
+    CAT_GROUP,
+    CAT_MEMORY,
+    CAT_NODE,
+    CAT_RL,
+    CAT_RUN,
+    CAT_TASK,
+    CATEGORIES,
+    TraceEvent,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import Profiler, SpanStats
+from .telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    capture,
+    get_telemetry,
+    set_telemetry,
+    use,
+)
+from .trace import (
+    InMemoryRecorder,
+    NullRecorder,
+    TraceRecorder,
+    export_chrome_trace,
+    load_jsonl,
+    save_jsonl,
+)
+
+__all__ = [
+    "TraceEvent",
+    "CATEGORIES",
+    "CAT_RUN",
+    "CAT_TASK",
+    "CAT_GROUP",
+    "CAT_RL",
+    "CAT_MEMORY",
+    "CAT_ENERGY",
+    "CAT_NODE",
+    "TraceRecorder",
+    "NullRecorder",
+    "InMemoryRecorder",
+    "save_jsonl",
+    "load_jsonl",
+    "export_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "SpanStats",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "capture",
+    "get_telemetry",
+    "set_telemetry",
+    "use",
+]

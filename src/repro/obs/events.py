@@ -1,0 +1,103 @@
+"""Typed trace events — the vocabulary of the telemetry layer.
+
+Every instrumented point in the codebase emits a :class:`TraceEvent`
+with a *category* (which subsystem), a *name* (what happened), the
+simulated time ``t``, and free-form ``fields``.  The taxonomy is
+deliberately small and stable — tools (JSONL export, Chrome-trace
+export, assertions in tests) key off ``(category, name)`` pairs:
+
+========  ==============================  =====================================
+category  names                           emitted by
+========  ==============================  =====================================
+run       start, end                      ``experiments.runner``
+task      submit, complete, resubmit      arrival process / scheduler base
+group     merge, dispatch, complete       ``core.agent``
+rl        action, reward, regression      ``core.agent`` (ε-greedy + Eqs. 7–9)
+memory    seed, override                  ``core.agent`` (shared memory, §IV.C)
+energy    state, dvfs                     ``energy.meter`` / ``core.dvfs``
+node      fail, repair                    ``cluster.failures``
+========  ==============================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "TraceEvent",
+    "CATEGORIES",
+    "CAT_RUN",
+    "CAT_TASK",
+    "CAT_GROUP",
+    "CAT_RL",
+    "CAT_MEMORY",
+    "CAT_ENERGY",
+    "CAT_NODE",
+]
+
+CAT_RUN = "run"
+CAT_TASK = "task"
+CAT_GROUP = "group"
+CAT_RL = "rl"
+CAT_MEMORY = "memory"
+CAT_ENERGY = "energy"
+CAT_NODE = "node"
+
+#: Every category the instrumented codebase emits.
+CATEGORIES = (
+    CAT_RUN,
+    CAT_TASK,
+    CAT_GROUP,
+    CAT_RL,
+    CAT_MEMORY,
+    CAT_ENERGY,
+    CAT_NODE,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped occurrence inside a simulation run.
+
+    Parameters
+    ----------
+    category:
+        Subsystem taxonomy bucket (see module docstring).
+    name:
+        What happened within the category (e.g. ``"dispatch"``).
+    t:
+        Simulated time of the occurrence.
+    fields:
+        Structured payload — JSON-serializable scalars only.
+    seq:
+        Recorder-assigned monotone sequence number; breaks ties between
+        events at the same simulated time, preserving causal order.
+    """
+
+    category: str
+    name: str
+    t: float
+    fields: Mapping[str, Any] = field(default_factory=dict)
+    seq: int = 0
+
+    def to_dict(self) -> dict:
+        """Flat JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "cat": self.category,
+            "name": self.name,
+            "t": self.t,
+            "seq": self.seq,
+            "fields": dict(self.fields),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(
+            category=data["cat"],
+            name=data["name"],
+            t=float(data["t"]),
+            fields=dict(data.get("fields", {})),
+            seq=int(data.get("seq", 0)),
+        )

@@ -1,0 +1,119 @@
+"""Wall-clock profiling hooks for the scheduler hot paths.
+
+A :class:`Profiler` accumulates named spans measured with
+``time.perf_counter``.  Instrumented code uses the paired
+``start()``/``stop(name, t0)`` form on hot paths (two attribute-guarded
+calls, no context-manager allocation) or the :meth:`span` context
+manager where ergonomics matter more than nanoseconds.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict
+
+__all__ = ["Profiler", "SpanStats"]
+
+
+class SpanStats:
+    """Aggregate wall-time statistics for one named span."""
+
+    __slots__ = ("name", "count", "total_s", "max_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "max_s": self.max_s,
+        }
+
+
+class Profiler:
+    """Accumulates perf_counter spans by name."""
+
+    def __init__(self) -> None:
+        self._spans: Dict[str, SpanStats] = {}
+
+    # -- hot-path API ------------------------------------------------------
+    @staticmethod
+    def start() -> float:
+        """Timestamp the start of a span."""
+        return perf_counter()
+
+    def stop(self, name: str, t0: float) -> float:
+        """Close the span opened at *t0*; returns its duration."""
+        elapsed = perf_counter() - t0
+        self.add(name, elapsed)
+        return elapsed
+
+    def add(self, name: str, elapsed_s: float) -> None:
+        """Credit *elapsed_s* seconds to span *name*."""
+        stats = self._spans.get(name)
+        if stats is None:
+            stats = SpanStats(name)
+            self._spans[name] = stats
+        stats.count += 1
+        stats.total_s += elapsed_s
+        if elapsed_s > stats.max_s:
+            stats.max_s = elapsed_s
+
+    # -- convenience API ---------------------------------------------------
+    @contextmanager
+    def span(self, name: str):
+        """``with profiler.span("phase"):`` timing block."""
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, perf_counter() - t0)
+
+    # -- reporting ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def get(self, name: str) -> SpanStats | None:
+        return self._spans.get(name)
+
+    def report(self) -> dict:
+        """``{span: {count, total_s, mean_s, max_s}}``, total-descending."""
+        ordered = sorted(
+            self._spans.values(), key=lambda s: s.total_s, reverse=True
+        )
+        return {s.name: s.to_dict() for s in ordered}
+
+    def render(self) -> str:
+        """Human-readable table of the report."""
+        if not self._spans:
+            return "profile: no spans recorded"
+        rows = [("span", "count", "total", "mean", "max")]
+        for name, d in self.report().items():
+            rows.append(
+                (
+                    name,
+                    str(d["count"]),
+                    f"{d['total_s']:.4f}s",
+                    f"{d['mean_s'] * 1e3:.3f}ms",
+                    f"{d['max_s'] * 1e3:.3f}ms",
+                )
+            )
+        widths = [max(len(r[i]) for r in rows) for i in range(5)]
+        lines = []
+        for i, row in enumerate(rows):
+            lines.append(
+                "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            )
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)

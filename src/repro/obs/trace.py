@@ -1,0 +1,188 @@
+"""Trace recorders and trace-file formats.
+
+A recorder receives :class:`~repro.obs.events.TraceEvent` emissions from
+instrumented code.  The default :class:`NullRecorder` discards them with
+a no-op ``emit`` (its ``active`` flag lets hot paths skip even building
+the event), while :class:`InMemoryRecorder` buffers them for export.
+
+Two on-disk formats are supported:
+
+- **JSONL** (:func:`save_jsonl` / :func:`load_jsonl`): one event per
+  line, lossless round-trip through the obs API.
+- **Chrome trace** (:func:`export_chrome_trace`): the ``traceEvents``
+  JSON consumed by ``chrome://tracing`` / Perfetto.  Events map to
+  instant events (``ph: "i"``) on one thread-row per category; simulated
+  time maps to microseconds at 1 sim-time-unit = 1 ms so sweeps of a few
+  thousand time units render comfortably.
+"""
+
+from __future__ import annotations
+
+import json
+from itertools import count
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Union
+
+from .events import CATEGORIES, TraceEvent
+
+__all__ = [
+    "TraceRecorder",
+    "NullRecorder",
+    "InMemoryRecorder",
+    "save_jsonl",
+    "load_jsonl",
+    "export_chrome_trace",
+]
+
+#: Chrome-trace timestamps are integer microseconds; render one simulated
+#: time unit as one millisecond.
+_CHROME_US_PER_SIM_UNIT = 1000.0
+
+
+class TraceRecorder:
+    """Recorder interface; the base class is itself the null recorder."""
+
+    #: False means emissions are discarded — instrumented code guards
+    #: event construction on this flag, keeping disabled runs free.
+    active: bool = False
+
+    def emit(self, category: str, name: str, t: float, **fields) -> None:
+        """Record one event (no-op on the null recorder)."""
+
+    def events(self) -> list[TraceEvent]:
+        """Every recorded event in emission order."""
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+class NullRecorder(TraceRecorder):
+    """Discards every emission (the default recorder)."""
+
+
+class InMemoryRecorder(TraceRecorder):
+    """Buffers events in memory for later filtering and export."""
+
+    active = True
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+        self._seq = count()
+
+    def emit(self, category: str, name: str, t: float, **fields) -> None:
+        self._events.append(
+            TraceEvent(category, name, t, fields, next(self._seq))
+        )
+
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> list[TraceEvent]:
+        """Events matching every given criterion, in emission order."""
+        out = []
+        for ev in self._events:
+            if category is not None and ev.category != category:
+                continue
+            if name is not None and ev.name != name:
+                continue
+            if predicate is not None and not predicate(ev):
+                continue
+            out.append(ev)
+        return out
+
+    def categories(self) -> set[str]:
+        """Distinct categories seen so far."""
+        return {ev.category for ev in self._events}
+
+
+def save_jsonl(
+    events: Iterable[TraceEvent], path: Union[str, Path]
+) -> int:
+    """Write *events* to *path* as JSON Lines; returns the event count."""
+    n = 0
+    with Path(path).open("w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.to_dict(), separators=(",", ":")))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def load_jsonl(path: Union[str, Path]) -> list[TraceEvent]:
+    """Load a :func:`save_jsonl` file back into events (blank-line safe)."""
+    out = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(TraceEvent.from_dict(json.loads(line)))
+    return out
+
+
+def export_chrome_trace(
+    events: Iterable[TraceEvent], path: Union[str, Path, None] = None
+) -> dict:
+    """Convert *events* to the Chrome trace-event JSON object.
+
+    Returns the trace dict; with *path* given, also writes it.  Each
+    category gets its own thread row (``tid``) so the timeline groups
+    related events; payload fields land in ``args``.
+    """
+    tids = {cat: i + 1 for i, cat in enumerate(CATEGORIES)}
+    trace_events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro simulation"},
+        }
+    ]
+    for cat, tid in tids.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": cat},
+            }
+        )
+    for ev in events:
+        tid = tids.get(ev.category)
+        if tid is None:  # unknown category: give it a row past the known ones
+            tid = tids[ev.category] = len(tids) + 1
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": ev.category},
+                }
+            )
+        trace_events.append(
+            {
+                "name": f"{ev.category}.{ev.name}",
+                "cat": ev.category,
+                "ph": "i",
+                "s": "t",
+                "ts": ev.t * _CHROME_US_PER_SIM_UNIT,
+                "pid": 1,
+                "tid": tid,
+                "args": dict(ev.fields),
+            }
+        )
+    trace = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if path is not None:
+        Path(path).write_text(json.dumps(trace), encoding="utf-8")
+    return trace

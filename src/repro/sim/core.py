@@ -6,6 +6,7 @@ from heapq import heappop, heappush
 from itertools import count
 from typing import Optional, Union
 
+from ..obs import NULL_TELEMETRY, Telemetry
 from .events import AllOf, AnyOf, Event, Timeout
 from .exceptions import EmptySchedule, SimulationError, StopSimulation
 from .process import Process, ProcessGenerator
@@ -29,13 +30,31 @@ class Environment:
     ----------
     initial_time:
         Simulated time at which the clock starts.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` observing this
+        environment.  Components reach it through ``env.telemetry``;
+        the default null telemetry keeps the event loop unobserved.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self._now: float = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_proc: Optional[Process] = None
+        self.telemetry: Telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
+        if self.telemetry.metering:
+            metrics = self.telemetry.metrics
+            self._c_events = metrics.counter("sim.events_processed")
+            self._g_queue = metrics.gauge("sim.queue_depth")
+        else:
+            self._c_events = None
+            self._g_queue = None
 
     # -- clock & introspection ------------------------------------------
     @property
@@ -100,6 +119,10 @@ class Environment:
             self._now, _, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no scheduled events left") from None
+
+        if self._c_events is not None:
+            self._c_events.value += 1
+            self._g_queue.set(len(self._queue))
 
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None

@@ -29,6 +29,49 @@ class TestCLI:
         fig = load_figure(tmp_path / "fig9.json")
         assert fig.figure_id == "fig9"
 
+    def test_trace_and_metrics_flags_write_artifacts(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setattr(cli, "QUICK_HEAVY", 60)
+        trace_path = tmp_path / "run.jsonl"
+        chrome_path = tmp_path / "run.chrome.json"
+        metrics_path = tmp_path / "metrics.json"
+        cli.main(
+            [
+                "fig9",
+                "--quick",
+                "--trace", str(trace_path),
+                "--chrome-trace", str(chrome_path),
+                "--metrics-out", str(metrics_path),
+                "--profile",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "span" in out  # the --profile table printed
+
+        from repro.obs import load_jsonl
+
+        events = load_jsonl(trace_path)
+        assert events, "trace file is empty"
+        cats = {e.category for e in events}
+        assert {"run", "task", "group", "rl", "energy"} <= cats
+
+        import json
+
+        chrome = json.loads(chrome_path.read_text())
+        assert chrome["traceEvents"]
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["sim.events_processed"]["value"] > 0
+
+    def test_ambient_telemetry_reset_after_main(self, capsys, monkeypatch, tmp_path):
+        from repro.obs import NULL_TELEMETRY, get_telemetry
+
+        monkeypatch.setattr(cli, "QUICK_HEAVY", 60)
+        cli.main(["fig9", "--quick", "--trace", str(tmp_path / "t.jsonl")])
+        capsys.readouterr()
+        assert get_telemetry() is NULL_TELEMETRY
+
     def test_fig7_fig8_share_one_sweep(self, capsys, monkeypatch):
         calls = []
         real = cli.comparison_sweep

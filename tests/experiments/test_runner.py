@@ -64,6 +64,19 @@ class TestRunExperiment:
                 scheduler=StallingScheduler(),
             )
 
+    def test_zero_tasks_config_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_tasks=0)
+
+    def test_empty_workload_raises_clear_error(self, monkeypatch):
+        # Regression: an empty task list used to crash on
+        # ``tasks[-1].arrival_time`` with a bare IndexError.
+        from repro.workload.generator import WorkloadGenerator
+
+        monkeypatch.setattr(WorkloadGenerator, "generate", lambda self: [])
+        with pytest.raises(ValueError, match="no tasks"):
+            run_experiment(small_config())
+
     def test_all_registered_schedulers_complete(self):
         from repro.experiments import SCHEDULER_NAMES
 

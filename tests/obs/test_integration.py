@@ -1,0 +1,148 @@
+"""End-to-end telemetry: a real Adaptive-RL run observed by every pillar."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.obs import capture, load_jsonl, save_jsonl
+
+
+def run_traced(**overrides):
+    params = dict(
+        scheduler="adaptive-rl",
+        num_tasks=50,
+        seed=5,
+        scheduler_kwargs={"dvfs_enabled": True},
+    )
+    params.update(overrides)
+    tel = capture(profile=True)
+    result = run_experiment(ExperimentConfig(**params), telemetry=tel)
+    return result, tel
+
+
+class TestTraceIntegration:
+    def test_emits_every_headline_category(self):
+        _, tel = run_traced()
+        cats = tel.trace.categories()
+        assert {"run", "task", "group", "rl", "energy"} <= cats
+
+    def test_dispatch_reward_energy_events_present(self):
+        _, tel = run_traced()
+        assert tel.trace.filter("group", "dispatch")
+        assert tel.trace.filter("rl", "reward")
+        assert tel.trace.filter("energy", "state")
+        assert tel.trace.filter("energy", "dvfs")
+
+    def test_group_lifecycle_in_causal_order(self):
+        """merge -> dispatch -> complete -> reward, per group id."""
+        _, tel = run_traced()
+        seqs: dict[int, dict[str, int]] = {}
+        for ev in tel.trace.events():
+            gid = ev.fields.get("gid")
+            if gid is None:
+                continue
+            key = (
+                f"{ev.category}.{ev.name}"
+                if ev.category == "rl"
+                else ev.name
+            )
+            seqs.setdefault(gid, {})[key] = ev.seq
+        rewarded = [s for s in seqs.values() if "rl.reward" in s]
+        assert rewarded, "no group reached feedback"
+        for s in rewarded:
+            assert s["merge"] < s["dispatch"] < s["complete"] < s["rl.reward"]
+
+    def test_task_submit_precedes_complete(self):
+        _, tel = run_traced()
+        submits = {
+            e.fields["task"]: e.seq for e in tel.trace.filter("task", "submit")
+        }
+        completes = tel.trace.filter("task", "complete")
+        assert len(completes) == 50
+        for ev in completes:
+            assert submits[ev.fields["task"]] < ev.seq
+
+    def test_rl_actions_carry_epsilon_and_source(self):
+        _, tel = run_traced()
+        actions = tel.trace.filter("rl", "action")
+        assert actions
+        for ev in actions:
+            assert 0.0 <= ev.fields["epsilon"] <= 1.0
+            assert ev.fields["source"] in (
+                "policy",
+                "memory-seed",
+                "memory-override",
+            )
+
+    def test_trace_round_trips_through_jsonl(self, tmp_path):
+        _, tel = run_traced()
+        path = tmp_path / "run.jsonl"
+        save_jsonl(tel.trace.events(), path)
+        assert load_jsonl(path) == tel.trace.events()
+
+    def test_failure_injection_traced(self):
+        _, tel = run_traced(
+            scheduler_kwargs={},
+            failure_mtbf=150.0,
+            failure_mttr=20.0,
+            num_tasks=80,
+        )
+        fails = tel.trace.filter("node", "fail")
+        if fails:  # stochastic, but counters must agree with the trace
+            counter = tel.metrics.get("cluster.fails")
+            assert counter is not None and counter.value == len(fails)
+
+
+class TestMetricsIntegration:
+    def test_counters_agree_with_scheduler_state(self):
+        result, tel = run_traced()
+        m = tel.metrics
+        assert m.get("sim.events_processed").value > 0
+        assert (
+            m.get("sched.groups_dispatched").value
+            == result.scheduler.groups_dispatched
+            > 0
+        )
+        assert m.get("sched.tasks_completed").value == 50
+        agents = result.scheduler.agents.values()
+        assert m.get("rl.feedbacks").value == sum(a.feedbacks for a in agents) > 0
+        assert m.get("sched.group_size").count > 0
+
+    def test_energy_joules_match_run_metrics(self):
+        result, tel = run_traced()
+        m = tel.metrics
+        total = (
+            m.get("energy.joules.busy").value
+            + m.get("energy.joules.idle").value
+            + m.get("energy.joules.sleep").value
+        )
+        assert total == pytest.approx(result.metrics.energy.total_energy)
+
+
+class TestProfilingIntegration:
+    def test_hot_path_spans_recorded(self):
+        _, tel = run_traced()
+        report = tel.profiler.report()
+        for span in ("run.total", "scheduler.pass", "agent.grouping",
+                     "agent.placement"):
+            assert span in report, span
+            assert report[span]["count"] > 0
+
+
+class TestNullTelemetryNeutrality:
+    def test_run_results_identical_with_and_without_telemetry(self):
+        cfg = ExperimentConfig(scheduler="adaptive-rl", num_tasks=40, seed=11)
+        plain = run_experiment(cfg).metrics
+        tel = capture(profile=True)
+        traced = run_experiment(cfg, telemetry=tel).metrics
+        assert plain.avert == pytest.approx(traced.avert)
+        assert plain.ecs == pytest.approx(traced.ecs)
+        assert plain.success_rate == traced.success_rate
+        assert plain.learning_cycles == traced.learning_cycles
+
+    def test_default_run_records_nothing(self):
+        result = run_experiment(
+            ExperimentConfig(scheduler="adaptive-rl", num_tasks=30, seed=2)
+        )
+        tel = result.telemetry
+        assert tel.active is False
+        assert len(tel.trace) == 0

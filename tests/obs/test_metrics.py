@@ -1,0 +1,91 @@
+"""Unit tests for the metrics registry instruments."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_counts_up(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+
+class TestGauge:
+    def test_tracks_value_and_high_water_mark(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5)
+        g.set(2)
+        assert g.value == 2
+        assert g.high == 5
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (1.0, 2.0, 9.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 12.0
+        assert h.min == 1.0
+        assert h.max == 9.0
+        assert h.mean == pytest.approx(4.0)
+
+    def test_bucket_counts_partition_observations(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]  # <=1, <=10, +inf tail
+        assert sum(h.counts) == h.count
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=(5.0, 1.0))
+
+    def test_to_dict_includes_inf_tail(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0,))
+        h.observe(3.0)
+        d = h.to_dict()
+        assert d["buckets"]["+inf"] == 1
+        assert d["count"] == 1
+
+
+class TestRegistry:
+    def test_name_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m")
+
+    def test_as_dict_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(4)
+        reg.gauge("b").set(7)
+        reg.histogram("c").observe(1.0)
+        d = reg.as_dict()
+        assert sorted(d) == ["a", "b", "c"]
+        assert d["a"] == {"type": "counter", "value": 4.0}
+        assert d["b"]["value"] == 7
+        assert d["c"]["type"] == "histogram"
+
+    def test_iteration_and_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z")
+        reg.counter("a")
+        assert reg.names() == ["a", "z"]
+        assert [m.name for m in reg] == ["a", "z"]
+        assert len(reg) == 2
+        assert reg.get("a") is not None
+        assert reg.get("missing") is None

@@ -1,0 +1,54 @@
+"""Unit tests for the wall-clock profiler."""
+
+from repro.obs import Profiler
+
+
+class TestProfiler:
+    def test_start_stop_accumulates(self):
+        prof = Profiler()
+        t0 = prof.start()
+        elapsed = prof.stop("work", t0)
+        assert elapsed >= 0
+        stats = prof.get("work")
+        assert stats.count == 1
+        assert stats.total_s == elapsed
+
+    def test_add_tracks_count_total_max(self):
+        prof = Profiler()
+        prof.add("s", 0.5)
+        prof.add("s", 1.5)
+        stats = prof.get("s")
+        assert stats.count == 2
+        assert stats.total_s == 2.0
+        assert stats.max_s == 1.5
+        assert stats.mean_s == 1.0
+
+    def test_span_context_manager(self):
+        prof = Profiler()
+        with prof.span("block"):
+            pass
+        assert prof.get("block").count == 1
+
+    def test_span_records_on_exception(self):
+        prof = Profiler()
+        try:
+            with prof.span("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert prof.get("boom").count == 1
+
+    def test_report_sorted_by_total_descending(self):
+        prof = Profiler()
+        prof.add("small", 0.1)
+        prof.add("big", 5.0)
+        assert list(prof.report()) == ["big", "small"]
+        d = prof.report()["big"]
+        assert set(d) == {"count", "total_s", "mean_s", "max_s"}
+
+    def test_render_table(self):
+        prof = Profiler()
+        assert "no spans" in prof.render()
+        prof.add("x", 0.25)
+        text = prof.render()
+        assert "span" in text and "x" in text

@@ -1,0 +1,122 @@
+"""Unit tests for trace recorders and trace-file formats."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CATEGORIES,
+    InMemoryRecorder,
+    NullRecorder,
+    TraceEvent,
+    export_chrome_trace,
+    load_jsonl,
+    save_jsonl,
+)
+
+
+class TestRecorders:
+    def test_null_recorder_is_inactive_and_discards(self):
+        rec = NullRecorder()
+        assert rec.active is False
+        rec.emit("task", "submit", 1.0, task=1)
+        assert len(rec) == 0
+        assert rec.events() == []
+
+    def test_in_memory_recorder_buffers_in_order(self):
+        rec = InMemoryRecorder()
+        assert rec.active is True
+        rec.emit("task", "submit", 1.0, task=7)
+        rec.emit("group", "dispatch", 1.0, gid=3)
+        rec.emit("task", "complete", 2.5, task=7)
+        assert len(rec) == 3
+        evs = rec.events()
+        assert [e.seq for e in evs] == [0, 1, 2]
+        assert evs[0].fields == {"task": 7}
+        assert evs[1].category == "group"
+
+    def test_filter_by_category_name_predicate(self):
+        rec = InMemoryRecorder()
+        rec.emit("task", "submit", 0.0, task=1)
+        rec.emit("task", "complete", 1.0, task=1)
+        rec.emit("task", "submit", 2.0, task=2)
+        assert len(rec.filter(category="task")) == 3
+        assert len(rec.filter(name="submit")) == 2
+        assert len(rec.filter(predicate=lambda e: e.fields["task"] == 2)) == 1
+        assert rec.categories() == {"task"}
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_events(self, tmp_path):
+        rec = InMemoryRecorder()
+        rec.emit("rl", "action", 1.5, agent="agent.site0", epsilon=0.42,
+                 mode="mixed", source="policy")
+        rec.emit("energy", "state", 2.0, proc="p0", from_state="idle",
+                 to_state="busy")
+        path = tmp_path / "trace.jsonl"
+        n = save_jsonl(rec.events(), path)
+        assert n == 2
+        loaded = load_jsonl(path)
+        assert loaded == rec.events()
+
+    def test_each_line_is_standalone_json(self, tmp_path):
+        rec = InMemoryRecorder()
+        for i in range(5):
+            rec.emit("task", "submit", float(i), task=i)
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(rec.events(), path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 5
+        for line in lines:
+            obj = json.loads(line)
+            assert set(obj) == {"cat", "name", "t", "seq", "fields"}
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        ev = TraceEvent("node", "fail", 3.0, {"node": "n1"}, 0)
+        path.write_text(json.dumps(ev.to_dict()) + "\n\n")
+        assert load_jsonl(path) == [ev]
+
+    def test_event_dict_round_trip(self):
+        ev = TraceEvent("group", "merge", 12.5, {"gid": 9, "size": 3}, 41)
+        assert TraceEvent.from_dict(ev.to_dict()) == ev
+
+
+class TestChromeExport:
+    def _trace(self):
+        rec = InMemoryRecorder()
+        rec.emit("task", "submit", 1.0, task=1)
+        rec.emit("rl", "action", 1.0, agent="a", epsilon=0.5)
+        rec.emit("energy", "state", 4.0, proc="p", from_state="idle",
+                 to_state="busy")
+        return rec.events()
+
+    def test_schema(self, tmp_path):
+        path = tmp_path / "chrome.json"
+        trace = export_chrome_trace(self._trace(), path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == trace
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 3
+        for e in instants:
+            assert {"name", "cat", "ph", "ts", "pid", "tid", "args"} <= set(e)
+        # 1 sim time unit renders as 1 ms = 1000 µs.
+        assert instants[2]["ts"] == pytest.approx(4000.0)
+
+    def test_category_thread_metadata(self):
+        trace = export_chrome_trace(self._trace())
+        names = [
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        for cat in CATEGORIES:
+            assert cat in names
+
+    def test_unknown_category_gets_a_row(self):
+        ev = TraceEvent("custom", "thing", 0.5, {}, 0)
+        trace = export_chrome_trace([ev])
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert instants[0]["name"] == "custom.thing"
+        assert instants[0]["tid"] > len(CATEGORIES)
