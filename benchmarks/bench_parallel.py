@@ -1,0 +1,78 @@
+"""Parallel engine bench: serial vs ``jobs=2/4`` campaign wall-clock.
+
+Runs the same 4-seed Adaptive-RL grid serially and through the
+:mod:`repro.parallel` engine at 2 and 4 workers, asserting record
+equality along the way, and writes the three wall-clocks to
+``benchmarks/out/parallel_wallclock.json`` so future PRs have a perf
+trajectory baseline (a committed reference snapshot lives in
+``benchmarks/baselines/``).
+
+On a single-core host the parallel runs only pay the process-pool
+overhead — the interesting number there is how small that overhead is;
+the speedup shows on multicore hosts.
+
+Run as a bench (``pytest benchmarks/bench_parallel.py --benchmark-only``)
+or directly (``python benchmarks/bench_parallel.py``) to refresh the
+baseline file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.campaign import Campaign, grid
+from repro.parallel import run_parallel
+
+#: The ISSUE's bench shape: one scheduler, one task count, four seeds.
+BENCH_GRID = dict(schedulers=["adaptive-rl"], task_counts=[400], seeds=[1, 2, 3, 4])
+
+OUT_PATH = Path(__file__).parent / "out" / "parallel_wallclock.json"
+
+
+def _comparable(record: dict) -> dict:
+    return {k: v for k, v in record.items() if k != "wall_seconds"}
+
+
+def run_comparison() -> dict:
+    """Time serial vs jobs=2 vs jobs=4 on the 4-seed grid; verify records."""
+    configs = grid(**BENCH_GRID)
+    timings: dict = {}
+
+    t0 = time.perf_counter()
+    serial = Campaign("bench-serial").run(configs)
+    timings["serial"] = time.perf_counter() - t0
+    reference = [_comparable(r) for r in serial.records]
+
+    for workers in (2, 4):
+        t0 = time.perf_counter()
+        result = run_parallel(configs, jobs=workers)
+        timings[f"jobs{workers}"] = time.perf_counter() - t0
+        assert [_comparable(r) for r in result.records] == reference, (
+            f"jobs={workers} records diverged from serial"
+        )
+
+    payload = {
+        "grid": BENCH_GRID,
+        "cpu_count": os.cpu_count(),
+        "wall_seconds": {k: round(v, 3) for k, v in timings.items()},
+        "speedup_vs_serial": {
+            k: round(timings["serial"] / v, 3)
+            for k, v in timings.items()
+            if k != "serial"
+        },
+    }
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(payload, indent=1))
+    return payload
+
+
+def bench_parallel_vs_serial(once):
+    payload = once(run_comparison)
+    assert set(payload["wall_seconds"]) == {"serial", "jobs2", "jobs4"}
+
+
+if __name__ == "__main__":  # pragma: no cover - manual baseline refresh
+    print(json.dumps(run_comparison(), indent=1))

@@ -14,7 +14,10 @@ Public surface (see README for the architecture overview):
 - :mod:`repro.baselines` — Online RL, Q+ learning, Prediction-based,
   plus non-learning reference schedulers;
 - :mod:`repro.metrics` — AveRT, ECS, success rate, utilization series;
-- :mod:`repro.experiments` — run harness and figure regenerators.
+- :mod:`repro.experiments` — run harness and figure regenerators;
+- :mod:`repro.obs` — event tracing, metrics, profiling;
+- :mod:`repro.parallel` — process-pool campaign execution with
+  checkpoint/resume.
 
 Quickstart
 ----------

@@ -57,6 +57,23 @@ class SleepPolicy:
         if self.wake_latency < 0:
             raise ValueError("wake_latency must be non-negative")
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return {
+            "allow_sleep": self.allow_sleep,
+            "idle_timeout": self.idle_timeout,
+            "wake_latency": self.wake_latency,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SleepPolicy":
+        """Rebuild a policy from :meth:`to_dict` output."""
+        return cls(
+            allow_sleep=bool(data["allow_sleep"]),
+            idle_timeout=float(data["idle_timeout"]),
+            wake_latency=float(data["wake_latency"]),
+        )
+
 
 @dataclass(frozen=True)
 class NodeState:

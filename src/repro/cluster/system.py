@@ -72,6 +72,42 @@ class PlatformSpec:
         if self.power_model not in ("constant", "proportional"):
             raise ValueError(f"unknown power model {self.power_model!r}")
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation (inverse of :meth:`from_dict`).
+
+        Worker processes and checkpoint journals carry platform specs by
+        value, so the encoding uses only JSON scalar/list/dict types.
+        """
+        return {
+            "num_sites": self.num_sites,
+            "nodes_per_site": list(self.nodes_per_site),
+            "procs_per_node": list(self.procs_per_node),
+            "speed_range_mips": list(self.speed_range_mips),
+            "heterogeneity_cv": self.heterogeneity_cv,
+            "mean_speed_mips": self.mean_speed_mips,
+            "queue_slots": self.queue_slots,
+            "power_model": self.power_model,
+            "sleep_policy": self.sleep_policy.to_dict(),
+            "split_enabled": self.split_enabled,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlatformSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        cv = data["heterogeneity_cv"]
+        return cls(
+            num_sites=int(data["num_sites"]),
+            nodes_per_site=tuple(data["nodes_per_site"]),
+            procs_per_node=tuple(data["procs_per_node"]),
+            speed_range_mips=tuple(float(v) for v in data["speed_range_mips"]),
+            heterogeneity_cv=None if cv is None else float(cv),
+            mean_speed_mips=float(data["mean_speed_mips"]),
+            queue_slots=int(data["queue_slots"]),
+            power_model=data["power_model"],
+            sleep_policy=SleepPolicy.from_dict(data["sleep_policy"]),
+            split_enabled=bool(data["split_enabled"]),
+        )
+
 
 class System:
     """A realized PDCS platform: sites, nodes, processors."""

@@ -14,12 +14,14 @@ from .figures import (
     figure10,
     figure11,
     figure12,
+    heterogeneity_sweep,
 )
 from .persistence import (
     figure_from_dict,
     figure_to_dict,
     load_figure,
     metrics_to_dict,
+    run_record,
     save_figure,
 )
 from .reporting import ShapeCheck, render_figure, shape_checks
@@ -44,6 +46,7 @@ __all__ = [
     "PAPER_COMPARISON",
     "FigureData",
     "comparison_sweep",
+    "heterogeneity_sweep",
     "figure7",
     "figure8",
     "figure9",
@@ -64,6 +67,7 @@ __all__ = [
     "figure_to_dict",
     "figure_from_dict",
     "metrics_to_dict",
+    "run_record",
     "Campaign",
     "CampaignResult",
     "grid",

@@ -1,9 +1,16 @@
 """Campaign runner: grids of experiments with persisted artifacts.
 
 A campaign is a named grid (scheduler × task count × seed, or any list
-of configs), executed sequentially with per-run JSON records and an
-aggregated markdown report — the plumbing for larger studies than the
+of configs) executed either serially or — with ``jobs > 1`` — through
+the :mod:`repro.parallel` engine, with per-run JSON records and an
+aggregated markdown report: the plumbing for larger studies than the
 six paper figures.
+
+Crash safety: the serial path flushes every record to
+``<name>.records.jsonl`` as it completes; the parallel path checkpoints
+completions in a journal and can resume (``resume=True``), re-executing
+only unfinished jobs.  Both paths produce identical record sets at the
+same seeds (``wall_seconds`` is the only host-dependent field).
 """
 
 from __future__ import annotations
@@ -12,13 +19,16 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
 from ..metrics.stats import mean_ci
 from ..obs import Telemetry
 from .config import ExperimentConfig
-from .persistence import metrics_to_dict
+from .persistence import run_record
 from .runner import run_experiment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..parallel.pool import ParallelResult
 
 __all__ = ["Campaign", "CampaignResult", "grid"]
 
@@ -47,6 +57,10 @@ class CampaignResult:
     name: str
     records: list[dict] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Engine outcome when the campaign ran through :mod:`repro.parallel`
+    #: (``None`` for serial runs): executed/skipped job ids, retry count,
+    #: journal and merged-obs paths.
+    parallel: Optional["ParallelResult"] = None
 
     def by(self, **filters) -> list[dict]:
         """Records matching all (key, value) filters."""
@@ -57,7 +71,14 @@ class CampaignResult:
         return out
 
     def aggregate(self, metric: str, **filters) -> Optional[dict]:
-        """Mean/CI of *metric* over matching records (None if empty)."""
+        """Mean/CI of *metric* over matching records.
+
+        Returns ``{"mean", "half_width", "n"}``, or ``None`` whenever no
+        matching record carries *metric* — both an empty filter match and
+        a metric name absent from the records return ``None``, never an
+        empty dict or NaN, so callers can render a placeholder (as
+        :meth:`to_markdown` does) with one check.
+        """
         values = [r[metric] for r in self.by(**filters) if metric in r]
         if not values:
             return None
@@ -114,24 +135,45 @@ class Campaign:
         self,
         configs: Iterable[ExperimentConfig],
         telemetry: Optional[Telemetry] = None,
+        *,
+        jobs: int = 1,
+        resume: bool = False,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        max_retries: int = 2,
     ) -> CampaignResult:
         """Execute every config; returns (and optionally writes) results.
 
-        ``telemetry`` (one shared :class:`~repro.obs.Telemetry`) observes
-        every run in the campaign; per-run events are delimited by their
-        ``run.start`` / ``run.end`` trace events.
+        Parameters
+        ----------
+        configs:
+            The campaign grid.
+        telemetry:
+            One shared :class:`~repro.obs.Telemetry` observing every run.
+            Serially it observes in-process; with ``jobs > 1`` each
+            worker records its own telemetry and the merged trace is
+            replayed into *telemetry*'s recorder at the end (merged
+            metrics land in ``<checkpoint>/metrics.json``).
+        jobs:
+            Worker processes.  ``1`` runs serially in-process;
+            ``jobs > 1`` (or ``resume=True`` / an explicit
+            ``checkpoint_dir``) routes through :func:`repro.parallel.run_parallel`.
+        resume:
+            Skip jobs already journaled as done in the checkpoint
+            directory.
+        checkpoint_dir:
+            Journal/obs directory for the parallel engine.  Defaults to
+            ``<output_dir>/checkpoints`` when an output directory is set.
+        max_retries:
+            Per-job retry budget for the parallel engine.
         """
-        result = CampaignResult(name=self.name)
-        started = time.monotonic()
-        for i, config in enumerate(configs):
-            run_started = time.monotonic()
-            run = run_experiment(config, telemetry=telemetry)
-            record = metrics_to_dict(run.metrics)
-            record["seed"] = config.seed
-            record["config_scheduler"] = config.scheduler
-            record["wall_seconds"] = time.monotonic() - run_started
-            result.records.append(record)
-        result.wall_seconds = time.monotonic() - started
+        configs = list(configs)
+        use_engine = jobs != 1 or resume or checkpoint_dir is not None
+        if use_engine:
+            result = self._run_engine(
+                configs, telemetry, jobs, resume, checkpoint_dir, max_retries
+            )
+        else:
+            result = self._run_serial(configs, telemetry)
 
         if self.output_dir is not None:
             self.output_dir.mkdir(parents=True, exist_ok=True)
@@ -143,4 +185,93 @@ class Campaign:
             (self.output_dir / f"{self.name}.md").write_text(
                 result.to_markdown()
             )
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _records_path(self) -> Optional[Path]:
+        if self.output_dir is None:
+            return None
+        return self.output_dir / f"{self.name}.records.jsonl"
+
+    def _run_serial(
+        self,
+        configs: Sequence[ExperimentConfig],
+        telemetry: Optional[Telemetry],
+    ) -> CampaignResult:
+        result = CampaignResult(name=self.name)
+        started = time.monotonic()
+        records_path = self._records_path()
+        sink = None
+        if records_path is not None:
+            records_path.parent.mkdir(parents=True, exist_ok=True)
+            sink = records_path.open("w", encoding="utf-8")
+        try:
+            for config in configs:
+                run_started = time.monotonic()
+                run = run_experiment(config, telemetry=telemetry)
+                record = run_record(
+                    config, run.metrics, time.monotonic() - run_started
+                )
+                result.records.append(record)
+                if sink is not None:
+                    # Flush per record: a crash mid-campaign keeps every
+                    # finished run on disk.
+                    sink.write(json.dumps(record, separators=(",", ":")))
+                    sink.write("\n")
+                    sink.flush()
+        finally:
+            if sink is not None:
+                sink.close()
+        result.wall_seconds = time.monotonic() - started
+        return result
+
+    def _run_engine(
+        self,
+        configs: Sequence[ExperimentConfig],
+        telemetry: Optional[Telemetry],
+        jobs: int,
+        resume: bool,
+        checkpoint_dir: Optional[Union[str, Path]],
+        max_retries: int,
+    ) -> CampaignResult:
+        from ..parallel.pool import run_parallel
+
+        if checkpoint_dir is None and self.output_dir is not None:
+            checkpoint_dir = self.output_dir / "checkpoints"
+        capture_obs = telemetry is not None and checkpoint_dir is not None
+
+        parallel = run_parallel(
+            configs,
+            jobs=max(1, jobs),
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            campaign_name=self.name,
+            max_retries=max_retries,
+            capture_obs=capture_obs,
+        )
+        result = CampaignResult(
+            name=self.name,
+            records=list(parallel.records),
+            wall_seconds=parallel.wall_seconds,
+            parallel=parallel,
+        )
+
+        records_path = self._records_path()
+        if records_path is not None:
+            records_path.parent.mkdir(parents=True, exist_ok=True)
+            with records_path.open("w", encoding="utf-8") as sink:
+                for record in result.records:
+                    sink.write(json.dumps(record, separators=(",", ":")))
+                    sink.write("\n")
+
+        if (
+            telemetry is not None
+            and telemetry.tracing
+            and parallel.trace_path is not None
+        ):
+            from ..obs import load_jsonl
+
+            for ev in load_jsonl(parallel.trace_path):
+                telemetry.emit(ev.category, ev.name, ev.t, **ev.fields)
         return result

@@ -14,6 +14,15 @@ Observability (see docs/observability.md)::
     ... fig7 --quick --metrics-out m.json      # counters/gauges/histograms
     ... fig7 --quick --profile                 # hot-path wall-time table
 
+Parallel execution (see docs/parallel.md)::
+
+    ... --jobs 4                               # fan sweeps over 4 workers
+    ... --jobs 4 --checkpoint-dir ck/          # journal completions
+    ... --jobs 4 --checkpoint-dir ck/ --resume # skip journaled jobs
+
+``--jobs`` parallelizes the figure sweeps (fig7/8 and fig11/12 grids);
+fig9/10 are single runs and always execute serially.
+
 Prints each figure as an ASCII table followed by its paper-shape checks.
 """
 
@@ -92,7 +101,30 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="profile scheduler hot paths and print a wall-time table",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the figure sweeps (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="journal sweep completions under DIR (one subdir per sweep)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip sweep jobs already journaled under --checkpoint-dir",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
 
     wanted = args.figures or list(ALL_FIGURES)
     unknown = [f for f in wanted if f not in ALL_FIGURES]
@@ -119,6 +151,12 @@ def main(argv: list[str] | None = None) -> int:
         metrics=MetricsRegistry() if args.metrics_out is not None else None,
         profiler=Profiler() if args.profile else None,
     )
+    if args.jobs > 1 and telemetry.active:
+        print(
+            "note: with --jobs > 1 the parallelized sweeps (fig7/8, "
+            "fig11/12) run in worker processes outside this process's "
+            "telemetry; trace/metrics/profile cover the serial parts only."
+        )
 
     with use(telemetry):
         rc = _run_figures(args, wanted, task_counts, heavy, seeds)
@@ -144,13 +182,29 @@ def main(argv: list[str] | None = None) -> int:
 
 def _run_figures(args, wanted, task_counts, heavy, seeds) -> int:
     """Regenerate the selected figures; returns the process exit code."""
+    from pathlib import Path
+
+    from .figures import heterogeneity_sweep
+
+    def checkpoint(sweep_name):
+        if args.checkpoint_dir is None:
+            return None
+        return Path(args.checkpoint_dir) / sweep_name
+
     figs = []
     shared_sweep = None
+    shared_h_sweep = None
     for fid in wanted:
         t0 = time.time()
         if fid in ("fig7", "fig8"):
             if shared_sweep is None:
-                shared_sweep = comparison_sweep(task_counts, seeds)
+                shared_sweep = comparison_sweep(
+                    task_counts,
+                    seeds,
+                    jobs=args.jobs,
+                    checkpoint_dir=checkpoint("comparison"),
+                    resume=args.resume,
+                )
             fig = (figure7 if fid == "fig7" else figure8)(
                 task_counts, seeds, sweep=shared_sweep
             )
@@ -158,10 +212,18 @@ def _run_figures(args, wanted, task_counts, heavy, seeds) -> int:
             fig = figure9(num_tasks=heavy, seed=seeds[0])
         elif fid == "fig10":
             fig = figure10(num_tasks=LIGHT_TASKS, seed=seeds[0])
-        elif fid == "fig11":
-            fig = figure11(seeds=seeds, heavy_tasks=heavy)
         else:
-            fig = figure12(seeds=seeds, heavy_tasks=heavy)
+            if shared_h_sweep is None:
+                shared_h_sweep = heterogeneity_sweep(
+                    seeds=seeds,
+                    heavy_tasks=heavy,
+                    jobs=args.jobs,
+                    checkpoint_dir=checkpoint("heterogeneity"),
+                    resume=args.resume,
+                )
+            fig = (figure11 if fid == "fig11" else figure12)(
+                seeds=seeds, heavy_tasks=heavy, sweep=shared_h_sweep
+            )
         elapsed = time.time() - t0
         figs.append(fig)
         if args.save_dir is not None:

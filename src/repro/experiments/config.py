@@ -109,3 +109,56 @@ class ExperimentConfig:
         from dataclasses import replace
 
         return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (inverse of :meth:`from_dict`).
+
+        The parallel execution engine sends configs to worker processes
+        and writes them into checkpoint journals by value, so everything
+        here must survive a JSON round-trip.  ``scheduler_kwargs`` and
+        ``workload_overrides`` are passed through as plain dicts — they
+        must themselves hold JSON-compatible values.
+        """
+        return {
+            "version": 1,
+            "scheduler": self.scheduler,
+            "scheduler_kwargs": dict(self.scheduler_kwargs),
+            "seed": self.seed,
+            "num_tasks": self.num_tasks,
+            "arrival_period": self.arrival_period,
+            "mean_interarrival": self.mean_interarrival,
+            "size_range_mi": list(self.size_range_mi),
+            "reference_speed_mips": self.reference_speed_mips,
+            "priority_mix": list(self.priority_mix),
+            "workload_overrides": dict(self.workload_overrides),
+            "platform": self.platform.to_dict(),
+            "failure_mtbf": self.failure_mtbf,
+            "failure_mttr": self.failure_mttr,
+            "sim_time_factor": self.sim_time_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        version = data.get("version", 1)
+        if version != 1:
+            raise ValueError(f"unsupported config format version {version!r}")
+        period = data["arrival_period"]
+        reference = data["reference_speed_mips"]
+        mtbf = data["failure_mtbf"]
+        return cls(
+            scheduler=data["scheduler"],
+            scheduler_kwargs=dict(data["scheduler_kwargs"]),
+            seed=int(data["seed"]),
+            num_tasks=int(data["num_tasks"]),
+            arrival_period=None if period is None else float(period),
+            mean_interarrival=float(data["mean_interarrival"]),
+            size_range_mi=tuple(float(v) for v in data["size_range_mi"]),
+            reference_speed_mips=None if reference is None else float(reference),
+            priority_mix=tuple(float(v) for v in data["priority_mix"]),
+            workload_overrides=dict(data["workload_overrides"]),
+            platform=PlatformSpec.from_dict(data["platform"]),
+            failure_mtbf=None if mtbf is None else float(mtbf),
+            failure_mttr=float(data["failure_mttr"]),
+            sim_time_factor=float(data["sim_time_factor"]),
+        )

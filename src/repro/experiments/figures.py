@@ -13,7 +13,8 @@ settings; benches and tests pass reduced values.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
 
 from ..metrics.stats import mean_ci
 from .config import ExperimentConfig, default_platform
@@ -23,6 +24,7 @@ from .schedulers import PAPER_COMPARISON
 __all__ = [
     "FigureData",
     "comparison_sweep",
+    "heterogeneity_sweep",
     "figure7",
     "figure8",
     "figure9",
@@ -84,35 +86,89 @@ def _aggregate(values_by_seed: Sequence[float]) -> tuple[float, float]:
     return ci.mean, ci.half_width
 
 
+def _parallel_sweep(
+    configs: Sequence[ExperimentConfig],
+    campaign_name: str,
+    jobs: int,
+    checkpoint_dir: Optional[Union[str, Path]],
+    resume: bool,
+) -> list:
+    """Run *configs* through the parallel engine; RecordViews in order.
+
+    The views expose ``avert`` / ``ecs`` / ``success_rate`` /
+    ``utilization`` like :class:`~repro.metrics.collector.RunMetrics`,
+    so the figure aggregators consume serial and parallel sweeps alike.
+    """
+    from ..parallel import RecordView, run_parallel
+
+    result = run_parallel(
+        configs,
+        jobs=max(1, jobs),
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        campaign_name=campaign_name,
+    )
+    return [RecordView(record) for record in result.records]
+
+
 def comparison_sweep(
     task_counts: Sequence[int] = PAPER_TASK_COUNTS,
     seeds: Sequence[int] = (1,),
     schedulers: Sequence[str] = PAPER_COMPARISON,
+    jobs: int = 1,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> dict:
     """Run the Experiment 1 sweep once; powers Figures 7 and 8.
 
-    Returns ``{scheduler: {n: [RunMetrics per seed]}}``.
+    Returns ``{scheduler: {n: [runs per seed]}}`` where each run exposes
+    the headline metric attributes (``avert``, ``ecs``, ...).  With
+    ``jobs > 1`` (or ``resume=True``) the grid fans out over the
+    :mod:`repro.parallel` engine — same values at the same seeds, with
+    optional checkpoint/resume through *checkpoint_dir*.
     """
-    results: dict = {}
-    for name in schedulers:
-        per_n: dict = {}
-        for n in task_counts:
-            runs = []
-            for seed in seeds:
-                cfg = ExperimentConfig(scheduler=name, num_tasks=n, seed=seed)
-                runs.append(run_experiment(cfg).metrics)
-            per_n[n] = runs
-        results[name] = per_n
-    return results
+    if jobs == 1 and not resume and checkpoint_dir is None:
+        results: dict = {}
+        for name in schedulers:
+            per_n: dict = {}
+            for n in task_counts:
+                runs = []
+                for seed in seeds:
+                    cfg = ExperimentConfig(
+                        scheduler=name, num_tasks=n, seed=seed
+                    )
+                    runs.append(run_experiment(cfg).metrics)
+                per_n[n] = runs
+            results[name] = per_n
+        return results
+
+    configs = [
+        ExperimentConfig(scheduler=name, num_tasks=n, seed=seed)
+        for name in schedulers
+        for n in task_counts
+        for seed in seeds
+    ]
+    views = iter(
+        _parallel_sweep(configs, "comparison-sweep", jobs, checkpoint_dir, resume)
+    )
+    return {
+        name: {n: [next(views) for _ in seeds] for n in task_counts}
+        for name in schedulers
+    }
 
 
 def figure7(
     task_counts: Sequence[int] = PAPER_TASK_COUNTS,
     seeds: Sequence[int] = (1,),
     sweep: Optional[dict] = None,
+    jobs: int = 1,
 ) -> FigureData:
     """Figure 7: average response time vs number of tasks (4 schedulers)."""
-    sweep = sweep if sweep is not None else comparison_sweep(task_counts, seeds)
+    sweep = (
+        sweep
+        if sweep is not None
+        else comparison_sweep(task_counts, seeds, jobs=jobs)
+    )
     series, errors = {}, {}
     for name, per_n in sweep.items():
         label = SCHEDULER_LABELS.get(name, name)
@@ -139,9 +195,14 @@ def figure8(
     task_counts: Sequence[int] = PAPER_TASK_COUNTS,
     seeds: Sequence[int] = (1,),
     sweep: Optional[dict] = None,
+    jobs: int = 1,
 ) -> FigureData:
     """Figure 8: system energy consumption vs number of tasks."""
-    sweep = sweep if sweep is not None else comparison_sweep(task_counts, seeds)
+    sweep = (
+        sweep
+        if sweep is not None
+        else comparison_sweep(task_counts, seeds, jobs=jobs)
+    )
     series, errors = {}, {}
     for name, per_n in sweep.items():
         label = SCHEDULER_LABELS.get(name, name)
@@ -200,30 +261,62 @@ def figure10(num_tasks: int = LIGHT_TASKS, seed: int = 1) -> FigureData:
     return _utilization_figure("fig10", num_tasks, "lightly-loaded", seed)
 
 
-def _heterogeneity_sweep(
-    levels: Sequence[float],
-    seeds: Sequence[int],
-    light_tasks: int,
-    heavy_tasks: int,
+def heterogeneity_sweep(
+    levels: Sequence[float] = HETEROGENEITY_LEVELS,
+    seeds: Sequence[int] = (1,),
+    light_tasks: int = LIGHT_TASKS,
+    heavy_tasks: int = HEAVY_TASKS,
+    jobs: int = 1,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> dict:
-    """{load_label: {h: [RunMetrics per seed]}} for Adaptive-RL."""
-    results: dict = {}
-    for label, n in (("Heavily-loaded", heavy_tasks), ("Lightly-loaded", light_tasks)):
-        per_h: dict = {}
-        for h in levels:
-            runs = []
-            for seed in seeds:
-                platform = default_platform(heterogeneity_cv=h)
-                cfg = ExperimentConfig(
-                    scheduler="adaptive-rl",
-                    num_tasks=n,
-                    seed=seed,
-                    platform=platform,
-                )
-                runs.append(run_experiment(cfg).metrics)
-            per_h[h] = runs
-        results[label] = per_h
-    return results
+    """The Experiment 3 sweep; powers Figures 11 and 12.
+
+    Returns ``{load_label: {h: [runs per seed]}}`` for Adaptive-RL; run
+    it once and pass the result to both figure regenerators.  Parallel
+    semantics match :func:`comparison_sweep`.
+    """
+    loads = (("Heavily-loaded", heavy_tasks), ("Lightly-loaded", light_tasks))
+
+    def config_for(n: int, h: float, seed: int) -> ExperimentConfig:
+        return ExperimentConfig(
+            scheduler="adaptive-rl",
+            num_tasks=n,
+            seed=seed,
+            platform=default_platform(heterogeneity_cv=h),
+        )
+
+    if jobs == 1 and not resume and checkpoint_dir is None:
+        results: dict = {}
+        for label, n in loads:
+            per_h: dict = {}
+            for h in levels:
+                per_h[h] = [
+                    run_experiment(config_for(n, h, seed)).metrics
+                    for seed in seeds
+                ]
+            results[label] = per_h
+        return results
+
+    configs = [
+        config_for(n, h, seed)
+        for _, n in loads
+        for h in levels
+        for seed in seeds
+    ]
+    views = iter(
+        _parallel_sweep(
+            configs, "heterogeneity-sweep", jobs, checkpoint_dir, resume
+        )
+    )
+    return {
+        label: {h: [next(views) for _ in seeds] for h in levels}
+        for label, _ in loads
+    }
+
+
+#: Backwards-compatible private alias (pre-parallel name).
+_heterogeneity_sweep = heterogeneity_sweep
 
 
 def figure11(
@@ -232,12 +325,13 @@ def figure11(
     light_tasks: int = LIGHT_TASKS,
     heavy_tasks: int = HEAVY_TASKS,
     sweep: Optional[dict] = None,
+    jobs: int = 1,
 ) -> FigureData:
     """Figure 11: Adaptive-RL success rate vs resource heterogeneity."""
     sweep = (
         sweep
         if sweep is not None
-        else _heterogeneity_sweep(levels, seeds, light_tasks, heavy_tasks)
+        else heterogeneity_sweep(levels, seeds, light_tasks, heavy_tasks, jobs=jobs)
     )
     series, errors = {}, {}
     for label, per_h in sweep.items():
@@ -266,12 +360,13 @@ def figure12(
     light_tasks: int = LIGHT_TASKS,
     heavy_tasks: int = HEAVY_TASKS,
     sweep: Optional[dict] = None,
+    jobs: int = 1,
 ) -> FigureData:
     """Figure 12: Adaptive-RL energy consumption vs resource heterogeneity."""
     sweep = (
         sweep
         if sweep is not None
-        else _heterogeneity_sweep(levels, seeds, light_tasks, heavy_tasks)
+        else heterogeneity_sweep(levels, seeds, light_tasks, heavy_tasks, jobs=jobs)
     )
     series, errors = {}, {}
     for label, per_h in sweep.items():

@@ -19,6 +19,7 @@ __all__ = [
     "save_figure",
     "load_figure",
     "metrics_to_dict",
+    "run_record",
 ]
 
 _FORMAT_VERSION = 1
@@ -93,6 +94,21 @@ def metrics_to_dict(metrics: RunMetrics) -> dict:
             "sleep_time": metrics.energy.sleep_time,
         },
     }
+
+
+def run_record(config, metrics: RunMetrics, wall_seconds: float) -> dict:
+    """The canonical per-run campaign record.
+
+    Both the serial campaign loop and the parallel engine's worker
+    processes build records through this one function, so a parallel run
+    reproduces the serial record set exactly (``wall_seconds`` is the
+    only host-dependent field).
+    """
+    record = metrics_to_dict(metrics)
+    record["seed"] = config.seed
+    record["config_scheduler"] = config.scheduler
+    record["wall_seconds"] = wall_seconds
+    return record
 
 
 def _jsonable(value):

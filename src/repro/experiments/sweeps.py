@@ -15,14 +15,20 @@ __all__ = ["SweepPoint", "sweep", "ablation_table"]
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """Aggregated metrics at one sweep coordinate."""
+    """Aggregated metrics at one sweep coordinate.
+
+    ``runs`` holds :class:`~repro.metrics.collector.RunMetrics` objects
+    for serial sweeps, or :class:`~repro.parallel.jobs.RecordView`
+    record wrappers for parallel ones — both expose the headline metric
+    attributes the aggregation reads.
+    """
 
     label: str
     avert: MeanCI
     ecs: MeanCI
     success_rate: MeanCI
     utilization: MeanCI
-    runs: tuple[RunMetrics, ...]
+    runs: tuple
 
 
 def _aggregate(label: str, runs: Sequence[RunMetrics]) -> SweepPoint:
@@ -40,12 +46,35 @@ def sweep(
     base: ExperimentConfig,
     variations: Mapping[str, Callable[[ExperimentConfig], ExperimentConfig]],
     seeds: Sequence[int] = (1,),
+    jobs: int = 1,
 ) -> dict[str, SweepPoint]:
     """Run *base* under each named variation across *seeds*.
 
     ``variations`` maps a label to a function deriving a config from the
-    base; the identity function gives the control point.
+    base; the identity function gives the control point.  With
+    ``jobs > 1`` the (variation × seed) grid fans out over the
+    :mod:`repro.parallel` engine — note that two labels whose derived
+    configs coincide are rejected there (exactly-once execution keys on
+    the config itself).
     """
+    if jobs != 1:
+        from ..parallel import RecordView, run_parallel
+
+        labels = list(variations)
+        configs = [
+            variations[label](base.with_overrides(seed=seed))
+            for label in labels
+            for seed in seeds
+        ]
+        result = run_parallel(
+            configs, jobs=max(1, jobs), campaign_name="ablation-sweep"
+        )
+        views = iter(RecordView(record) for record in result.records)
+        return {
+            label: _aggregate(label, [next(views) for _ in seeds])
+            for label in labels
+        }
+
     results: dict[str, SweepPoint] = {}
     for label, vary in variations.items():
         runs = []

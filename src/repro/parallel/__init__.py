@@ -1,0 +1,53 @@
+"""Parallel campaign execution with checkpoint/resume.
+
+A zero-dependency engine that fans a campaign's config grid out over a
+process pool:
+
+- deterministic per-config job ids (:func:`job_id`) give exactly-once
+  completion semantics;
+- a flushed JSONL checkpoint journal (:class:`CheckpointJournal`) lets
+  an interrupted campaign resume, skipping completed jobs;
+- failed attempts and dead workers are retried with exponential backoff;
+- per-worker :mod:`repro.obs` telemetry files merge into one campaign
+  trace/metrics view (:mod:`repro.parallel.merge`).
+
+Entry points: :func:`run_parallel` (engine),
+``Campaign.run(jobs=N, resume=...)`` (campaign integration),
+``python -m repro.experiments.cli --jobs N`` (figures), and
+``python -m repro.parallel.selfcheck`` (interrupt/resume verification).
+See ``docs/parallel.md``.
+"""
+
+from .errors import (
+    CampaignInterrupted,
+    DuplicateJobError,
+    JobFailedError,
+    JournalError,
+    ParallelError,
+    RetryBudgetExceeded,
+)
+from .jobs import Job, RecordView, build_jobs, job_id
+from .journal import JOURNAL_FILENAME, CheckpointJournal, JournalState
+from .merge import merge_metrics_dicts, merge_metrics_files, merge_trace_files
+from .pool import ParallelResult, run_parallel
+
+__all__ = [
+    "ParallelError",
+    "JournalError",
+    "DuplicateJobError",
+    "JobFailedError",
+    "RetryBudgetExceeded",
+    "CampaignInterrupted",
+    "Job",
+    "RecordView",
+    "build_jobs",
+    "job_id",
+    "CheckpointJournal",
+    "JournalState",
+    "JOURNAL_FILENAME",
+    "merge_trace_files",
+    "merge_metrics_files",
+    "merge_metrics_dicts",
+    "ParallelResult",
+    "run_parallel",
+]

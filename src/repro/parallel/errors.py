@@ -1,0 +1,78 @@
+"""Exception taxonomy of the parallel execution engine.
+
+Everything raised by :mod:`repro.parallel` derives from
+:class:`ParallelError`, so callers can catch one type.  The notable
+non-error control-flow exception is :class:`CampaignInterrupted` — the
+engine raises it when a run is cut short (via the ``stop_after`` test
+hook or ``KeyboardInterrupt``) *after* flushing the checkpoint journal,
+so a subsequent ``resume=True`` run picks up exactly where it stopped.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ParallelError",
+    "JournalError",
+    "DuplicateJobError",
+    "JobFailedError",
+    "RetryBudgetExceeded",
+    "CampaignInterrupted",
+]
+
+
+class ParallelError(RuntimeError):
+    """Base class for every parallel-engine failure."""
+
+
+class JournalError(ParallelError):
+    """A checkpoint journal is unreadable or inconsistent with the grid."""
+
+
+class DuplicateJobError(ParallelError):
+    """Two grid configs hash to the same job id (identical configs).
+
+    Exactly-once semantics key on the deterministic job id; a grid that
+    contains the same config twice is almost always a caller bug, so the
+    engine refuses it instead of silently running the config once.
+    """
+
+
+class JobFailedError(ParallelError):
+    """A job raised inside its worker process.
+
+    Attributes
+    ----------
+    job_id:
+        Deterministic id of the failing job.
+    attempt:
+        1-based attempt number that produced this failure.
+    """
+
+    def __init__(self, job_id: str, attempt: int, message: str) -> None:
+        super().__init__(f"job {job_id} failed on attempt {attempt}: {message}")
+        self.job_id = job_id
+        self.attempt = attempt
+
+
+class RetryBudgetExceeded(JobFailedError):
+    """A job kept failing after every allowed retry."""
+
+
+class CampaignInterrupted(ParallelError):
+    """The run stopped early with its journal flushed and consistent.
+
+    Attributes
+    ----------
+    completed:
+        Jobs that finished (and were journaled) during this invocation.
+    remaining:
+        Jobs that were still pending or in flight when the run stopped.
+    """
+
+    def __init__(self, completed: int, remaining: int) -> None:
+        super().__init__(
+            f"campaign interrupted: {completed} jobs done, "
+            f"{remaining} remaining (resume with resume=True)"
+        )
+        self.completed = completed
+        self.remaining = remaining

@@ -1,0 +1,91 @@
+"""Job identity and record views for the parallel engine.
+
+A *job* is one grid point: an :class:`~repro.experiments.config.ExperimentConfig`
+plus a deterministic id derived from the config's serialized form.  The
+id — not the grid position — is the engine's unit of exactly-once
+accounting: the checkpoint journal keys on it, resume matching keys on
+it, and it is stable across processes, Python versions, and grid
+reorderings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..experiments.config import ExperimentConfig
+from .errors import DuplicateJobError
+
+__all__ = ["Job", "RecordView", "build_jobs", "job_id"]
+
+#: Hex digits kept from the config digest — 64 bits, far beyond any
+#: realistic grid size while keeping journal lines readable.
+_ID_LEN = 16
+
+
+def job_id(config: ExperimentConfig) -> str:
+    """Deterministic id for one config: SHA-256 over its canonical JSON."""
+    canonical = json.dumps(
+        config.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:_ID_LEN]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable grid point."""
+
+    job_id: str
+    index: int
+    config: ExperimentConfig
+
+
+def build_jobs(configs: Sequence[ExperimentConfig]) -> list[Job]:
+    """Wrap *configs* into jobs, rejecting duplicate grid points."""
+    jobs: list[Job] = []
+    seen: dict[str, int] = {}
+    for index, config in enumerate(configs):
+        jid = job_id(config)
+        if jid in seen:
+            raise DuplicateJobError(
+                f"configs {seen[jid]} and {index} are identical "
+                f"(job id {jid}); exactly-once execution needs a "
+                "duplicate-free grid"
+            )
+        seen[jid] = index
+        jobs.append(Job(job_id=jid, index=index, config=config))
+    return jobs
+
+
+class RecordView:
+    """Attribute access over a flat campaign record dict.
+
+    The figure and sweep aggregators read ``m.avert`` / ``m.ecs`` /
+    ``m.success_rate`` / ``m.utilization`` off
+    :class:`~repro.metrics.collector.RunMetrics` objects.  Parallel runs
+    move JSON records between processes instead of live metric objects;
+    wrapping a record in a ``RecordView`` lets the same aggregation code
+    consume either.
+    """
+
+    __slots__ = ("record",)
+
+    def __init__(self, record: dict) -> None:
+        self.record = record
+
+    def __getattr__(self, name: str):
+        try:
+            return self.record[name]
+        except KeyError:
+            raise AttributeError(
+                f"record has no field {name!r} "
+                f"(available: {', '.join(sorted(self.record))})"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<RecordView {self.record.get('scheduler')!r} "
+            f"seed={self.record.get('seed')}>"
+        )

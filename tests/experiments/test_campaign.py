@@ -6,6 +6,12 @@ import pytest
 
 from repro.experiments.campaign import Campaign, grid
 
+SMALL_GRID = dict(schedulers=["edf", "fcfs"], task_counts=[25], seeds=[1, 2])
+
+
+def comparable(record):
+    return {k: v for k, v in record.items() if k != "wall_seconds"}
+
 
 class TestGrid:
     def test_full_cross_product(self):
@@ -28,7 +34,7 @@ class TestCampaign:
     def result(self, tmp_path_factory):
         out = tmp_path_factory.mktemp("campaign")
         campaign = Campaign("unit-test", output_dir=out)
-        res = campaign.run(grid(["edf", "fcfs"], [25], [1, 2]))
+        res = campaign.run(grid(**SMALL_GRID))
         return res, out
 
     def test_one_record_per_run(self, result):
@@ -59,3 +65,62 @@ class TestCampaign:
     def test_invalid_name(self):
         with pytest.raises(ValueError):
             Campaign("")
+
+    def test_records_flushed_incrementally(self, result):
+        """Every per-run record is on disk, one JSON line per run."""
+        res, out = result
+        lines = (out / "unit-test.records.jsonl").read_text().splitlines()
+        assert [json.loads(l) for l in lines] == res.records
+
+    def test_aggregate_none_on_empty_filter_and_missing_metric(self, result):
+        res, _ = result
+        assert res.aggregate("avert", scheduler="no-such") is None
+        assert res.aggregate("no_such_metric") is None
+        assert res.aggregate("avert", scheduler="no-such", seed=123) is None
+
+    def test_serial_result_has_no_parallel_outcome(self, result):
+        res, _ = result
+        assert res.parallel is None
+
+
+class TestCampaignParallel:
+    @pytest.fixture(scope="class")
+    def pair(self, tmp_path_factory):
+        """The same grid run serially and with jobs=2."""
+        configs = grid(**SMALL_GRID)
+        serial = Campaign("serial").run(configs)
+        out = tmp_path_factory.mktemp("campaign-par")
+        par = Campaign("par", output_dir=out).run(configs, jobs=2)
+        return serial, par, out
+
+    def test_record_sets_identical(self, pair):
+        serial, par, _ = pair
+        assert [comparable(r) for r in par.records] == [
+            comparable(r) for r in serial.records
+        ]
+
+    def test_parallel_outcome_attached(self, pair):
+        _, par, out = pair
+        assert par.parallel is not None
+        assert len(par.parallel.executed) == len(par.records)
+        assert par.parallel.journal_path == (
+            out / "checkpoints" / "journal.jsonl"
+        )
+        assert par.parallel.journal_path.exists()
+
+    def test_artifacts_written(self, pair):
+        _, par, out = pair
+        payload = json.loads((out / "par.json").read_text())
+        assert len(payload["records"]) == len(par.records)
+        lines = (out / "par.records.jsonl").read_text().splitlines()
+        assert [json.loads(l) for l in lines] == par.records
+
+    def test_markdown_agrees_with_serial(self, pair):
+        serial, par, _ = pair
+        # Aggregates are computed from identical records, so the tables
+        # match except for the wall-time line.
+        strip = lambda md: [l for l in md.splitlines() if "wall time" not in l]
+        assert strip(
+            par.to_markdown().replace("par", "serial")
+        ) == strip(serial.to_markdown())
+

@@ -1,0 +1,60 @@
+"""Unit tests for job identity and record views."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, default_platform
+from repro.parallel import DuplicateJobError, RecordView, build_jobs, job_id
+
+
+class TestJobId:
+    def test_deterministic(self):
+        a = ExperimentConfig(scheduler="edf", num_tasks=50, seed=3)
+        b = ExperimentConfig(scheduler="edf", num_tasks=50, seed=3)
+        assert job_id(a) == job_id(b)
+
+    def test_sensitive_to_every_grid_axis(self):
+        base = ExperimentConfig(scheduler="edf", num_tasks=50, seed=3)
+        ids = {
+            job_id(base),
+            job_id(base.with_overrides(seed=4)),
+            job_id(base.with_overrides(num_tasks=51)),
+            job_id(base.with_overrides(scheduler="fcfs")),
+            job_id(
+                base.with_overrides(
+                    platform=default_platform(heterogeneity_cv=0.5)
+                )
+            ),
+        }
+        assert len(ids) == 5
+
+    def test_survives_serialization_round_trip(self):
+        cfg = ExperimentConfig(scheduler="edf", num_tasks=50, seed=3)
+        assert job_id(ExperimentConfig.from_dict(cfg.to_dict())) == job_id(cfg)
+
+
+class TestBuildJobs:
+    def test_indices_follow_input_order(self):
+        cfgs = [
+            ExperimentConfig(scheduler="edf", num_tasks=50, seed=s)
+            for s in (1, 2, 3)
+        ]
+        jobs = build_jobs(cfgs)
+        assert [j.index for j in jobs] == [0, 1, 2]
+        assert [j.config.seed for j in jobs] == [1, 2, 3]
+
+    def test_duplicate_configs_rejected(self):
+        cfg = ExperimentConfig(scheduler="edf", num_tasks=50, seed=1)
+        with pytest.raises(DuplicateJobError):
+            build_jobs([cfg, cfg.with_overrides()])
+
+
+class TestRecordView:
+    def test_attribute_access(self):
+        view = RecordView({"avert": 1.5, "ecs": 2e6, "seed": 7})
+        assert view.avert == 1.5
+        assert view.ecs == 2e6
+        assert view.seed == 7
+
+    def test_missing_field_is_attribute_error(self):
+        with pytest.raises(AttributeError, match="avert"):
+            RecordView({"ecs": 1.0}).avert

@@ -1,0 +1,107 @@
+"""Checkpoint/resume semantics: the ISSUE's exactly-once contract.
+
+Kill a campaign after k jobs, resume it, and assert that the resumed
+invocation re-executes only unfinished jobs and that the final record
+set equals an uninterrupted serial run.
+"""
+
+import pytest
+
+from repro.parallel import (
+    CampaignInterrupted,
+    CheckpointJournal,
+    JournalError,
+    run_parallel,
+)
+
+from .conftest import comparable, small_grid
+
+STOP_AFTER = 2
+
+
+class TestInterruptResume:
+    @pytest.fixture(scope="class")
+    def interrupted(self, tmp_path_factory):
+        """A campaign forcibly stopped after STOP_AFTER completions."""
+        ck = tmp_path_factory.mktemp("resume") / "ck"
+        with pytest.raises(CampaignInterrupted) as excinfo:
+            run_parallel(
+                small_grid(), jobs=2, checkpoint_dir=ck, stop_after=STOP_AFTER
+            )
+        return ck, excinfo.value
+
+    def test_interruption_reports_progress(self, interrupted):
+        _, exc = interrupted
+        assert exc.completed == STOP_AFTER
+        assert exc.remaining == len(small_grid()) - STOP_AFTER
+
+    def test_journal_holds_exactly_k_completions(self, interrupted):
+        ck, _ = interrupted
+        state = CheckpointJournal.load(ck / "journal.jsonl")
+        assert len(state.completed) == STOP_AFTER
+
+    def test_resume_executes_only_unfinished_jobs(
+        self, interrupted, serial_records
+    ):
+        ck, _ = interrupted
+        result = run_parallel(
+            small_grid(), jobs=2, checkpoint_dir=ck, resume=True
+        )
+        total = len(small_grid())
+        assert len(result.skipped) == STOP_AFTER
+        assert len(result.executed) == total - STOP_AFTER
+        assert set(result.skipped).isdisjoint(result.executed)
+
+        # Exactly-once across both invocations: one `done` per job id.
+        state = CheckpointJournal.load(ck / "journal.jsonl")
+        assert len(state.completed) == total
+
+        # Record equality with the uninterrupted serial run.
+        assert [comparable(r) for r in result.records] == serial_records
+
+    def test_second_resume_skips_everything(self, interrupted):
+        ck, _ = interrupted
+        result = run_parallel(
+            small_grid(), jobs=2, checkpoint_dir=ck, resume=True
+        )
+        assert result.executed == ()
+        assert len(result.skipped) == len(small_grid())
+
+
+class TestResumeEdgeCases:
+    def test_resume_with_no_journal_starts_fresh(self, tmp_path):
+        ck = tmp_path / "ck"
+        result = run_parallel(
+            small_grid()[:2], jobs=2, checkpoint_dir=ck, resume=True
+        )
+        assert len(result.executed) == 2
+        assert result.skipped == ()
+
+    def test_resume_against_foreign_journal_rejected(self, tmp_path):
+        ck = tmp_path / "ck"
+        # Journal a different grid, then resume with a disjoint one.
+        try:
+            run_parallel(
+                small_grid()[:2], jobs=2, checkpoint_dir=ck, stop_after=1
+            )
+        except CampaignInterrupted:
+            pass
+        foreign = [
+            c.with_overrides(seed=99 + i)
+            for i, c in enumerate(small_grid()[:2])
+        ]
+        with pytest.raises(JournalError, match="no journaled job"):
+            run_parallel(foreign, jobs=2, checkpoint_dir=ck, resume=True)
+
+    def test_fresh_run_truncates_stale_journal(self, tmp_path):
+        ck = tmp_path / "ck"
+        try:
+            run_parallel(
+                small_grid()[:2], jobs=2, checkpoint_dir=ck, stop_after=1
+            )
+        except CampaignInterrupted:
+            pass
+        result = run_parallel(small_grid()[:2], jobs=2, checkpoint_dir=ck)
+        assert len(result.executed) == 2  # no resume: everything re-ran
+        state = CheckpointJournal.load(ck / "journal.jsonl")
+        assert len(state.completed) == 2
