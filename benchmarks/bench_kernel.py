@@ -3,7 +3,29 @@
 These time the substrate itself (event throughput, process switching,
 store operations) so regressions in the kernel are visible independently
 of the scheduling experiments.
+
+Besides the pytest-benchmark cases, the module is directly runnable as
+the repo's kernel-throughput gate:
+
+    python benchmarks/bench_kernel.py                  # measure + report
+    python benchmarks/bench_kernel.py --check          # fail on >20% regression
+    python benchmarks/bench_kernel.py --update-baseline
+
+The headline numbers are **events/sec** (kernel events processed per
+wall second across a mixed timeout / process-switch / store-contention
+workload) and **decisions/sec** (scheduler passes driven per wall second
+through a full Adaptive-RL experiment).  A committed reference snapshot
+lives in ``benchmarks/baselines/kernel_baseline.json``; CI compares the
+current build against it.
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
 from repro.obs import NULL_TELEMETRY, capture
 from repro.sim import Environment, Store
@@ -134,3 +156,198 @@ def bench_kernel_store_contention(benchmark):
         return len(got)
 
     assert benchmark(run) == 2000
+
+
+# ---------------------------------------------------------------------------
+# Runnable throughput gate (events/sec, decisions/sec vs committed baseline)
+# ---------------------------------------------------------------------------
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "kernel_baseline.json"
+OUT_PATH = Path(__file__).parent / "out" / "kernel_throughput.json"
+
+#: Shape of the decisions/sec experiment (mirrors the golden-seed config).
+DECISION_CONFIG = dict(
+    scheduler="adaptive-rl", seed=11, num_tasks=300, arrival_period=600.0
+)
+
+
+def _scenario_timeouts(env: Environment) -> None:
+    """Bulk timeout create + drain at large-scale pending-event counts.
+
+    100k in-flight timeouts over ~10k distinct fire times — the shape of
+    a cluster simulation with thousands of tasks in service at once.
+    """
+    for i in range(100_000):
+        env.timeout(i % 9_973)
+    env.run()
+
+
+def _scenario_pingpong(env: Environment) -> None:
+    """Two processes rendezvous through capacity-1 stores (zero-delay)."""
+    a_to_b = Store(env, capacity=1)
+    b_to_a = Store(env, capacity=1)
+    count = 4000
+
+    def ping(env):
+        for i in range(count):
+            yield a_to_b.put(i)
+            yield b_to_a.get()
+
+    def pong(env):
+        for _ in range(count):
+            item = yield a_to_b.get()
+            yield b_to_a.put(item)
+
+    env.process(ping(env))
+    env.process(pong(env))
+    env.run()
+
+
+def _scenario_many_processes(env: Environment) -> None:
+    """5k concurrent clock processes, 20 ticks each (wide event front)."""
+    def clock(env, period):
+        for _ in range(20):
+            yield env.timeout(period)
+
+    for i in range(5000):
+        env.process(clock(env, 1.0 + (i % 7) * 0.1))
+    env.run()
+
+
+KERNEL_SCENARIOS = (
+    ("timeouts", _scenario_timeouts),
+    ("pingpong", _scenario_pingpong),
+    ("many_processes", _scenario_many_processes),
+)
+
+
+def _count_events(scenario) -> int:
+    """Exact kernel events processed by *scenario* (metered dry run)."""
+    tel = capture(trace=False, metrics=True)
+    env = Environment(telemetry=tel)
+    scenario(env)
+    return int(tel.metrics.get("sim.events_processed").value)
+
+
+def measure_events_per_sec(repeats: int = 5) -> dict:
+    """Best-of-*repeats* events/sec per scenario plus the pooled headline."""
+    per_scenario: dict[str, dict] = {}
+    total_events = 0
+    total_seconds = 0.0
+    for name, scenario in KERNEL_SCENARIOS:
+        events = _count_events(scenario)
+        best = float("inf")
+        for _ in range(repeats):
+            env = Environment(telemetry=NULL_TELEMETRY)
+            t0 = time.perf_counter()
+            scenario(env)
+            best = min(best, time.perf_counter() - t0)
+        per_scenario[name] = {
+            "events": events,
+            "seconds": round(best, 6),
+            "events_per_sec": round(events / best, 1),
+        }
+        total_events += events
+        total_seconds += best
+    return {
+        "scenarios": per_scenario,
+        "events_per_sec": round(total_events / total_seconds, 1),
+    }
+
+
+def measure_decisions_per_sec(repeats: int = 3) -> dict:
+    """Scheduler passes per wall second through a full experiment."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_experiment
+
+    config = ExperimentConfig(**DECISION_CONFIG)
+    best = float("inf")
+    cycles = groups = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = run_experiment(config)
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+            cycles = result.scheduler.learning_cycles
+            groups = sum(
+                a.groups_dispatched
+                for a in getattr(result.scheduler, "agents", {}).values()
+            ) or result.metrics.num_tasks
+    return {
+        "config": dict(DECISION_CONFIG),
+        "cycles": cycles,
+        "groups_dispatched": groups,
+        "seconds": round(best, 6),
+        "decisions_per_sec": round(cycles / best, 1),
+    }
+
+
+def run_throughput() -> dict:
+    """Measure both headline numbers and write them to ``benchmarks/out``."""
+    payload = {
+        "kernel": measure_events_per_sec(),
+        "decision_loop": measure_decisions_per_sec(),
+    }
+    payload["events_per_sec"] = payload["kernel"]["events_per_sec"]
+    payload["decisions_per_sec"] = payload["decision_loop"]["decisions_per_sec"]
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(payload, indent=1))
+    return payload
+
+
+def check_against_baseline(payload: dict, min_ratio: float = 0.8) -> list[str]:
+    """Compare *payload* to the committed baseline.
+
+    Returns a list of human-readable failures (empty = pass).  A headline
+    below ``min_ratio × baseline`` is a regression; the committed
+    baseline predates the kernel fast path, so healthy builds should sit
+    far above 1.0×.
+    """
+    if not BASELINE_PATH.exists():
+        return [f"no committed baseline at {BASELINE_PATH}"]
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = []
+    for key in ("events_per_sec", "decisions_per_sec"):
+        ref = baseline[key]
+        cur = payload[key]
+        ratio = cur / ref if ref else float("inf")
+        line = f"{key}: {cur:,.0f} vs baseline {ref:,.0f} ({ratio:.2f}x)"
+        print(line)
+        if ratio < min_ratio:
+            failures.append(f"regression: {line} < {min_ratio:.2f}x floor")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.8,
+        help="regression floor as a fraction of baseline (default 0.8)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the committed baseline from this run",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_throughput()
+    print(json.dumps(payload, indent=1))
+    if args.update_baseline:
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(payload, indent=1))
+        print(f"baseline updated: {BASELINE_PATH}")
+    if args.check:
+        failures = check_against_baseline(payload, args.min_ratio)
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -143,6 +143,30 @@ class ComputeNode:
         self.failures = 0
         self._repair_event: Event = Event(env)
 
+        # Static aggregates, frozen at construction.  Node membership is
+        # fixed for the lifetime of the simulation (failures crash and
+        # repair a node but never alter its processor set), so Eq. 2's
+        # ``PCc`` really is "static per node" as the NodeState docstring
+        # promises — freeze it here instead of recomputing per decision.
+        self._total_speed_mips = sum(p.speed_mips for p in self.processors)
+        self._processing_capacity = self._total_speed_mips / queue_slots
+
+        # Dirty-flag caches for the per-decision aggregates.  The cached
+        # values are recomputed with the exact same expressions as the
+        # original full scans, so cached and uncached runs are
+        # bit-identical; the flags are raised at every mutation point
+        # (admission, completion, failure, power transitions).
+        self._work_dirty = True
+        self._load_cache = 0.0
+        self._pending_tasks_cache = 0
+        self._pending_size_cache = 0.0
+        self._power_dirty = True
+        self._power_cache: tuple[float, ...] = ()
+        self._sleeping_cache = 0
+        self._state_cache: Optional[NodeState] = None
+        for proc in self.processors:
+            proc.on_power_change = self._mark_power_dirty
+
         self._feeder_proc: Process = env.process(self._feeder())
         self._worker_procs: list[Process] = [
             env.process(self._worker(proc)) for proc in self.processors
@@ -155,12 +179,18 @@ class ComputeNode:
 
     @property
     def total_speed_mips(self) -> float:
-        return sum(p.speed_mips for p in self.processors)
+        """Σ_j spj — fixed at construction (processor set is static)."""
+        return self._total_speed_mips
 
     @property
     def processing_capacity(self) -> float:
-        """``PCc = (1/qc) Σ_j spj`` (Eq. 2)."""
-        return self.total_speed_mips / self.queue_slots
+        """``PCc = (1/qc) Σ_j spj`` (Eq. 2) — static per node.
+
+        Both terms are construction-time constants: the processor set
+        never changes and ``qc`` is immutable, so this matches the
+        "static per node" contract documented on :class:`NodeState`.
+        """
+        return self._processing_capacity
 
     @property
     def max_group_size(self) -> int:
@@ -184,15 +214,52 @@ class ComputeNode:
         """True when the node is online and has a free queue slot."""
         return not self.failed and self.free_slots > 0
 
+    def _refresh_work_caches(self) -> None:
+        """Recompute the admitted-work aggregates from scratch.
+
+        Full rescans with the original expressions — not incremental
+        float updates — so cached results are bit-identical to the
+        uncached ones regardless of admission/completion order.
+        """
+        self._load_cache = sum(g.pw for g in self._active_groups)
+        self._pending_tasks_cache = sum(
+            g.remaining for g in self._active_groups
+        )
+        self._pending_size_cache = sum(
+            t.size_mi
+            for g in self._active_groups
+            for t in g.tasks
+            if not t.completed
+        )
+        self._work_dirty = False
+
+    def _refresh_power_caches(self) -> None:
+        """Recompute the per-processor power snapshot and sleep count."""
+        self._power_cache = tuple(
+            p.current_power_w for p in self.processors
+        )
+        self._sleeping_cache = sum(
+            1 for p in self.processors if p.state is ProcState.SLEEP
+        )
+        self._power_dirty = False
+
+    def _mark_power_dirty(self) -> None:
+        """Invalidate power-derived caches (meter or DVFS transition)."""
+        self._power_dirty = True
+
     @property
     def load(self) -> float:
         """Total processing weight of not-yet-completed admitted groups."""
-        return sum(g.pw for g in self._active_groups)
+        if self._work_dirty:
+            self._refresh_work_caches()
+        return self._load_cache
 
     @property
     def pending_tasks(self) -> int:
         """Tasks admitted to this node and not yet completed."""
-        return sum(g.remaining for g in self._active_groups)
+        if self._work_dirty:
+            self._refresh_work_caches()
+        return self._pending_tasks_cache
 
     @property
     def pending_task_list(self) -> list[Task]:
@@ -204,22 +271,46 @@ class ComputeNode:
     @property
     def pending_size_mi(self) -> float:
         """Total MI of tasks admitted to this node and not yet completed."""
-        return sum(
-            t.size_mi
-            for g in self._active_groups
-            for t in g.tasks
-            if not t.completed
-        )
+        if self._work_dirty:
+            self._refresh_work_caches()
+        return self._pending_size_cache
+
+    @property
+    def sleeping_processors(self) -> int:
+        """Processors currently power-gated (cached; see §IV placement)."""
+        if self._power_dirty:
+            self._refresh_power_caches()
+        return self._sleeping_cache
 
     def state(self) -> NodeState:
-        """Snapshot ``Sc(t)`` for the site agent (§IV.B)."""
-        return NodeState(
+        """Snapshot ``Sc(t)`` for the site agent (§IV.B).
+
+        The snapshot is cached: with many scheduling passes per
+        completion, most observations see an unchanged node, so the
+        previous (frozen, hence safely shared) ``NodeState`` is
+        returned instead of rebuilding one per decision.
+        """
+        load = self.load
+        free_slots = self.queue_slots - len(self.queue.items)
+        if self._power_dirty:
+            self._refresh_power_caches()
+        cached = self._state_cache
+        if (
+            cached is not None
+            and cached.load == load
+            and cached.free_slots == free_slots
+            and cached.processor_power_w is self._power_cache
+        ):
+            return cached
+        state = NodeState(
             node_id=self.node_id,
-            load=self.load,
-            free_slots=self.free_slots,
-            processor_power_w=tuple(p.current_power_w for p in self.processors),
-            processing_capacity=self.processing_capacity,
+            load=load,
+            free_slots=free_slots,
+            processor_power_w=self._power_cache,
+            processing_capacity=self._processing_capacity,
         )
+        self._state_cache = state
+        return state
 
     # -- callbacks ------------------------------------------------------------
     def on_task_complete(self, cb: Callable[[Task, "ComputeNode"], None]) -> None:
@@ -244,6 +335,7 @@ class ComputeNode:
         group.completion = Event(self.env)
         group.on_complete(self._group_done)
         self._active_groups.append(group)
+        self._work_dirty = True
         return self.queue.put(group)
 
     def try_submit(self, group: TaskGroup) -> bool:
@@ -320,10 +412,12 @@ class ComputeNode:
                     if not get_ev.triggered:
                         if not self.sleep_policy.allow_sleep:
                             proc.meter.set_state(ProcState.IDLE, env.now)
+                            self._power_dirty = True
                             yield env.timeout(policy.wake_latency)
                         continue
                     item = get_ev.value
                     proc.meter.set_state(ProcState.IDLE, env.now)
+                    self._power_dirty = True
                     yield env.timeout(policy.wake_latency)
                 elif policy.allow_sleep:
                     timeout = env.timeout(policy.idle_timeout)
@@ -336,6 +430,7 @@ class ComputeNode:
                         # processors are preferred for incoming work.
                         get_ev.cancel()
                         proc.meter.set_state(ProcState.SLEEP, env.now)
+                        self._power_dirty = True
                         get_ev = self._ready.get()
                         continue
                     item = get_ev.value
@@ -351,10 +446,13 @@ class ComputeNode:
                 proc.meter.set_state(
                     ProcState.BUSY, env.now, power_w=proc.busy_power_w
                 )
+                self._power_dirty = True
                 task.mark_started(env.now, proc.pid, self.site_id)
                 yield env.timeout(proc.execution_time(task.size_mi))
                 task.mark_finished(env.now)
                 proc.meter.set_state(ProcState.IDLE, env.now)
+                self._power_dirty = True
+                self._work_dirty = True
                 proc.tasks_completed += 1
                 self.tasks_completed += 1
                 for cb in self._task_callbacks:
@@ -367,8 +465,10 @@ class ComputeNode:
                 if not get_ev.triggered:
                     get_ev.cancel()
                 proc.meter.set_state(ProcState.SLEEP, env.now)
+                self._power_dirty = True
                 yield self._repair_event
                 proc.meter.set_state(ProcState.IDLE, env.now)
+                self._power_dirty = True
                 get_ev = self._ready.get()
 
     # -- failure injection ---------------------------------------------------
@@ -402,6 +502,7 @@ class ComputeNode:
                         task.reset_execution()
                     orphans.append(task)
         self._active_groups.clear()
+        self._work_dirty = True
         self.queue.items.clear()
         self._ready.items.clear()
 
@@ -429,6 +530,7 @@ class ComputeNode:
         self.groups_completed += 1
         if group in self._active_groups:
             self._active_groups.remove(group)
+        self._work_dirty = True
         for cb in self._group_callbacks:
             cb(group, self)
 

@@ -8,7 +8,7 @@ energy is integrated by an attached
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..energy.meter import ProcessorEnergyMeter, ProcState
 from ..energy.power_model import PowerProfile
@@ -48,6 +48,9 @@ class Processor:
         #: Count of tasks this processor has completed.
         self.tasks_completed = 0
         self._freq_scale = 1.0
+        #: Invalidation hook the owning node installs so cached power
+        #: snapshots track DVFS changes (frequency affects busy power).
+        self.on_power_change: Optional[Callable[[], None]] = None
 
     # -- DVFS -----------------------------------------------------------
     @property
@@ -60,6 +63,8 @@ class Processor:
         if theta <= 0:
             raise ValueError("frequency scale must be positive")
         self._freq_scale = min(max(theta, MIN_FREQUENCY_SCALE), 1.0)
+        if self.on_power_change is not None:
+            self.on_power_change()
 
     @property
     def effective_speed_mips(self) -> float:

@@ -26,6 +26,11 @@ class ResourceSite:
         self._by_id = {n.node_id: n for n in self.nodes}
         if len(self._by_id) != len(self.nodes):
             raise ValueError(f"site {site_id}: duplicate node ids")
+        # Topology is fixed after construction, so the structural
+        # aggregates observed every scheduling pass are frozen here.
+        self._num_processors = sum(n.num_processors for n in self.nodes)
+        self._total_speed_mips = sum(n.total_speed_mips for n in self.nodes)
+        self._max_group_size = max(n.max_group_size for n in self.nodes)
 
     def __iter__(self):
         return iter(self.nodes)
@@ -39,11 +44,11 @@ class ResourceSite:
     # -- aggregate views --------------------------------------------------
     @property
     def num_processors(self) -> int:
-        return sum(n.num_processors for n in self.nodes)
+        return self._num_processors
 
     @property
     def total_speed_mips(self) -> float:
-        return sum(n.total_speed_mips for n in self.nodes)
+        return self._total_speed_mips
 
     @property
     def total_free_slots(self) -> int:
@@ -60,7 +65,7 @@ class ResourceSite:
     @property
     def max_group_size(self) -> int:
         """Largest ``opnum`` any node in the site can accept."""
-        return max(n.max_group_size for n in self.nodes)
+        return self._max_group_size
 
     def states(self) -> list[NodeState]:
         """Per-node ``Sc(t)`` snapshots for the agent."""

@@ -118,6 +118,15 @@ class System:
         self.env = env
         self.sites = list(sites)
         self._by_id = {s.site_id: s for s in self.sites}
+        # The topology never changes after construction (failures toggle
+        # node availability, not membership), so the flattened views the
+        # metering and sampling loops walk every cycle are built once.
+        self._nodes = [n for s in self.sites for n in s.nodes]
+        self._processors = [p for n in self._nodes for p in n.processors]
+        self._num_processors = sum(n.num_processors for n in self._nodes)
+        self._slowest_speed_mips = min(
+            p.speed_mips for p in self._processors
+        )
 
     def __iter__(self):
         return iter(self.sites)
@@ -130,20 +139,22 @@ class System:
 
     @property
     def nodes(self) -> list[ComputeNode]:
-        return [n for s in self.sites for n in s.nodes]
+        """All nodes across all sites (shared list — do not mutate)."""
+        return self._nodes
 
     @property
     def processors(self) -> list[Processor]:
-        return [p for n in self.nodes for p in n.processors]
+        """All processors in topology order (shared list — do not mutate)."""
+        return self._processors
 
     @property
     def num_processors(self) -> int:
-        return sum(n.num_processors for n in self.nodes)
+        return self._num_processors
 
     @property
     def slowest_speed_mips(self) -> float:
         """Speed of the slowest processor — the reference for ``ACT``."""
-        return min(p.speed_mips for p in self.processors)
+        return self._slowest_speed_mips
 
     def energy(self, now: Optional[float] = None) -> SystemEnergy:
         """System energy aggregate ``ECS`` as of *now* (default: env.now)."""

@@ -22,7 +22,6 @@ from typing import Dict, Optional
 from ..cluster.node import ComputeNode
 from ..cluster.site import ResourceSite
 from ..cluster.taskgroup import TaskGroup
-from ..energy.meter import ProcState
 from ..obs import CAT_GROUP, CAT_MEMORY, CAT_RL, NULL_TELEMETRY, Telemetry
 from ..rl.exploration import EpsilonGreedy
 from ..workload.task import Task
@@ -295,9 +294,7 @@ class SiteAgent:
             # Marginal ECS of running this group here, relative to a
             # reference node (750 MIPS processors, 5 of them).
             energy_factor = (750.0 / mean_speed) * (5.0 / m)
-            sleeping_frac = sum(
-                1 for p in node.processors if p.state is ProcState.SLEEP
-            ) / m
+            sleeping_frac = node.sleeping_processors / m
             value = (
                 W_TIME * (est_wait + est_exec) / window
                 + W_ENERGY * energy_factor

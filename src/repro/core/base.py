@@ -51,12 +51,18 @@ class Scheduler(abc.ABC):
     name: str = "scheduler"
 
     def __init__(self) -> None:
+        # Imported here, not at module top: repro.metrics depends on this
+        # module for CycleSample, so a top-level import would be cyclic.
+        from ..metrics.streaming import StreamingRunStats
+
         self.env: Optional[Environment] = None
         self.system: Optional[System] = None
         self.streams: Optional[RandomStreams] = None
         #: Telemetry sink; adopted from the environment at attach time.
         self.telemetry: Telemetry = NULL_TELEMETRY
         self.completed: list[Task] = []
+        #: Scan-free metric aggregates folded in per completion.
+        self.stream = StreamingRunStats()
         self.cycle_log: list[CycleSample] = []
         self.learning_cycles = 0
         #: Tasks re-queued after node failures (failure injection).
@@ -132,6 +138,7 @@ class Scheduler(abc.ABC):
     # -- completion plumbing ----------------------------------------------
     def _task_completed(self, task: Task, node: ComputeNode) -> None:
         self.completed.append(task)
+        self.stream.record(task)
         tel = self.telemetry
         if tel.active:
             if tel.tracing:
@@ -194,9 +201,9 @@ class Scheduler(abc.ABC):
         busy = 0.0
         powered = 0.0
         for proc in self.system.processors:
-            b = proc.meter.snapshot(now)
-            busy += b.busy_time
-            powered += b.busy_time + b.idle_time
+            b_busy, b_idle = proc.meter.powered_times(now)
+            busy += b_busy
+            powered += b_busy + b_idle
         total = self.system.num_processors
         self.cycle_log.append(
             CycleSample(

@@ -75,11 +75,22 @@ def observe_site(
         raise ValueError("max_power_w must be positive")
     if total_queue_slots <= 0:
         raise ValueError("total_queue_slots must be positive")
-    total_load = sum(s.load for s in states)
-    total_capacity = sum(s.processing_capacity for s in states)
-    total_slots = sum(s.free_slots for s in states)
-    power = sum(s.total_power_w for s in states)
-    open_nodes = sum(1 for s in states if s.free_slots > 0)
+    # Single pass over the snapshots.  Each accumulator still adds its
+    # field in left-to-right state order, so the float sums are
+    # bit-identical to the previous one-generator-per-field version.
+    total_load = 0.0
+    total_capacity = 0.0
+    total_slots = 0
+    power = 0.0
+    open_nodes = 0
+    for s in states:
+        total_load += s.load
+        total_capacity += s.processing_capacity
+        free = s.free_slots
+        total_slots += free
+        power += s.total_power_w
+        if free > 0:
+            open_nodes += 1
     return SiteObservation(
         load_ratio=total_load / total_capacity if total_capacity > 0 else 0.0,
         free_slot_fraction=min(total_slots / total_queue_slots, 1.0),

@@ -145,6 +145,27 @@ class ProcessorEnergyMeter:
         self._finalized_at = now
         return self.snapshot()
 
+    def powered_times(self, now: float) -> tuple[float, float]:
+        """``(busy_time, idle_time)`` as of *now*, without allocation.
+
+        The learning-cycle sampler reads only these two fields from
+        every processor on every cycle; this accessor reproduces
+        :meth:`snapshot`'s arithmetic for them exactly (the accruing
+        span is added to the current state's total) while skipping the
+        dict copies and the :class:`EnergyBreakdown` construction.
+        """
+        busy = self._time[ProcState.BUSY]
+        idle = self._time[ProcState.IDLE]
+        if self._finalized_at is None:
+            if now < self._since:
+                raise ValueError("snapshot time precedes last transition")
+            span = now - self._since
+            if self._state is ProcState.BUSY:
+                busy += span
+            elif self._state is ProcState.IDLE:
+                idle += span
+        return busy, idle
+
     def snapshot(self, now: float | None = None) -> EnergyBreakdown:
         """Breakdown as of the last transition (or *now* if given).
 

@@ -31,6 +31,7 @@ from .schedulers import (
     SCHEDULER_NAMES,
     make_scheduler,
     register_scheduler,
+    unregister_scheduler,
 )
 from .sweeps import SweepPoint, ablation_table, sweep
 
@@ -42,6 +43,7 @@ __all__ = [
     "SimulationStalled",
     "make_scheduler",
     "register_scheduler",
+    "unregister_scheduler",
     "SCHEDULER_NAMES",
     "PAPER_COMPARISON",
     "FigureData",

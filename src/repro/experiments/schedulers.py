@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Iterator, Sequence
 
 from ..baselines import (
     EDFScheduler,
@@ -15,7 +15,12 @@ from ..baselines import (
 from ..core.adaptive_rl import AdaptiveRLConfig, AdaptiveRLScheduler
 from ..core.base import Scheduler
 
-__all__ = ["SCHEDULER_NAMES", "make_scheduler", "register_scheduler"]
+__all__ = [
+    "SCHEDULER_NAMES",
+    "make_scheduler",
+    "register_scheduler",
+    "unregister_scheduler",
+]
 
 
 def _make_adaptive(**kwargs: Any) -> AdaptiveRLScheduler:
@@ -32,8 +37,39 @@ _FACTORIES: Dict[str, Callable[..., Scheduler]] = {
     "random": RandomScheduler,
 }
 
-#: Names accepted by :func:`make_scheduler`.
-SCHEDULER_NAMES = tuple(sorted(_FACTORIES))
+#: Names present at import time — protected from unregistration.
+_BUILTIN_NAMES = frozenset(_FACTORIES)
+
+
+class _RegistryNames(Sequence[str]):
+    """Live, read-only, sorted view of the registered scheduler names.
+
+    ``SCHEDULER_NAMES`` used to be a module-global tuple rebound (via
+    ``global``) on every registration, so any module that imported the
+    name by value — including tests parametrizing over it — kept a
+    stale snapshot, and plugin registrations leaked into it with no way
+    to roll back.  The view always reflects the current registry and is
+    itself immutable.
+    """
+
+    def __len__(self) -> int:
+        return len(_FACTORIES)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return sorted(_FACTORIES)[index]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(_FACTORIES))
+
+    def __contains__(self, name: object) -> bool:
+        return name in _FACTORIES
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SCHEDULER_NAMES{tuple(sorted(_FACTORIES))!r}"
+
+
+#: Names accepted by :func:`make_scheduler` (live view of the registry).
+SCHEDULER_NAMES: Sequence[str] = _RegistryNames()
 
 #: The paper's Experiment 1 comparison set, in figure-legend order.
 PAPER_COMPARISON = ("adaptive-rl", "online-rl", "qplus", "prediction")
@@ -54,12 +90,26 @@ def register_scheduler(name: str, factory: Callable[..., Scheduler]) -> None:
     """Register a custom scheduler under *name* (plugin hook).
 
     Used by downstream code (see ``examples/custom_scheduler_plugin.py``)
-    to run its own policies through the experiment harness.
+    to run its own policies through the experiment harness.  Duplicate
+    names are rejected; remove a plugin registration first with
+    :func:`unregister_scheduler` to replace it.
     """
     if not name:
         raise ValueError("name must be non-empty")
     if name in _FACTORIES:
         raise ValueError(f"scheduler {name!r} is already registered")
     _FACTORIES[name] = factory
-    global SCHEDULER_NAMES
-    SCHEDULER_NAMES = tuple(sorted(_FACTORIES))
+
+
+def unregister_scheduler(name: str) -> None:
+    """Remove a plugin registration added by :func:`register_scheduler`.
+
+    Built-in schedulers cannot be removed.  Lets long-lived processes
+    (campaign drivers, notebooks) register, run, and cleanly
+    re-register plugin schedulers without leaking names.
+    """
+    if name in _BUILTIN_NAMES:
+        raise ValueError(f"cannot unregister built-in scheduler {name!r}")
+    if name not in _FACTORIES:
+        raise ValueError(f"scheduler {name!r} is not registered")
+    del _FACTORIES[name]

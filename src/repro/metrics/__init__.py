@@ -17,6 +17,7 @@ from .priority_report import (
     priority_report,
     render_priority_report,
 )
+from .streaming import StreamingRunStats
 from .success_rate import SuccessSummary, success_rate, summarize_success
 from .timeline import TimelineRecorder, TimelineSample
 from .utilization import UtilizationPoint, utilization_by_cycles
@@ -27,6 +28,7 @@ __all__ = [
     "ResponseTimeSummary",
     "average_response_time",
     "summarize_response_times",
+    "StreamingRunStats",
     "SuccessSummary",
     "success_rate",
     "summarize_success",

@@ -1,0 +1,86 @@
+"""O(1)-per-completion accumulation of run-level metrics.
+
+End-of-run reporting used to rescan the full completion list for every
+aggregate.  :class:`StreamingRunStats` maintains the scan-free subset —
+integer deadline counters, the running makespan maximum, and running
+response/wait sums — as tasks complete, so assembling
+:class:`~repro.metrics.collector.RunMetrics` no longer grows with task
+count for those fields.
+
+Only order-insensitive accumulators live here: integer counts are exact
+and ``max`` is associative, so the streamed values are bit-identical to
+the batch rescans they replace.  Distributional statistics (median, p95)
+still need the full sample and stay in
+:mod:`~repro.metrics.response_time`.
+"""
+
+from __future__ import annotations
+
+from ..workload.priorities import Priority
+from ..workload.task import Task
+from .success_rate import SuccessSummary
+
+__all__ = ["StreamingRunStats"]
+
+
+class StreamingRunStats:
+    """Incremental per-completion metric accumulator.
+
+    Call :meth:`record` exactly once per completed task (the scheduler
+    does this from its completion callback).  Tasks are recorded after
+    ``mark_finished``, so every observed field is final.
+    """
+
+    __slots__ = (
+        "completed",
+        "hits",
+        "makespan",
+        "response_sum",
+        "wait_sum",
+        "_per_priority",
+    )
+
+    def __init__(self) -> None:
+        self.completed = 0
+        #: Completions at or before their deadline (``rew_val``).
+        self.hits = 0
+        #: Latest finish time seen so far.
+        self.makespan = 0.0
+        self.response_sum = 0.0
+        self.wait_sum = 0.0
+        self._per_priority: dict[Priority, list[int]] = {
+            prio: [0, 0] for prio in Priority
+        }
+
+    def record(self, task: Task) -> None:
+        """Fold one completed *task* into the aggregates."""
+        self.completed += 1
+        met = task.met_deadline
+        if met:
+            self.hits += 1
+        counts = self._per_priority[task.priority]
+        counts[1] += 1
+        if met:
+            counts[0] += 1
+        finish = task.finish_time
+        if finish is not None and finish > self.makespan:
+            self.makespan = finish
+        self.response_sum += task.response_time
+        self.wait_sum += task.waiting_time
+
+    @property
+    def mean_response(self) -> float:
+        """Running ``AveRT`` (Eq. 4) over recorded completions."""
+        return self.response_sum / self.completed if self.completed else 0.0
+
+    def success_summary(self, submitted: int) -> SuccessSummary:
+        """Deadline outcomes so far, against *submitted* total tasks."""
+        return SuccessSummary(
+            submitted=submitted,
+            completed=self.completed,
+            hits=self.hits,
+            per_priority={
+                prio: (counts[0], counts[1])
+                for prio, counts in self._per_priority.items()
+            },
+        )

@@ -1,22 +1,60 @@
-"""The simulation environment: event heap, clock, and run loop."""
+"""The simulation environment: event scheduling structures, clock, run loop.
+
+Scheduling order contract
+-------------------------
+Events are processed in ascending ``(time, priority, insertion-order)``
+order — the *total order*.  Insertion order is a global monotonically
+increasing id (``_eid``), so the order is strict and deterministic: two
+runs that schedule the same events in the same program order process them
+identically.  Every optimisation below preserves this contract exactly;
+the golden-seed suite (``tests/integration/test_golden_seeds.py``) pins
+bit-identical end-to-end metrics against it.
+
+Fast-path layout
+----------------
+A single binary heap of ``(time, priority, eid, event)`` tuples is the
+textbook structure, but its push/pop cost grows with depth and every
+comparison is a tuple comparison.  Traffic here splits into three shapes,
+each with a cheaper sorted-by-construction home:
+
+- **Zero-delay entries** (store put/get handshakes, process bootstraps,
+  ``succeed()``/``fail()`` wakeups) go to two FIFO rings
+  (:class:`collections.deque`): ``_urgent`` for priority
+  :data:`URGENT`, ``_normal`` for priority :data:`NORMAL`.  Appended
+  keys are strictly increasing — ``now`` never decreases and ``_eid``
+  always increases — so each ring is sorted and its head is its minimum.
+- **Future-time NORMAL entries** (timeouts) go to a *calendar*: a dict
+  ``_buckets`` mapping absolute fire time → list of entries, plus a heap
+  ``_times`` of the distinct pending times.  Entries appended to one
+  bucket share the time and priority and carry increasing eids, so each
+  bucket is sorted by construction; the times heap holds bare floats,
+  whose comparisons are several times cheaper than tuple comparisons,
+  and its depth is the number of *distinct* times, not events.
+- **Everything else** (the below-URGENT stop sentinel of
+  :meth:`Environment.run`, exotic priorities passed to
+  :meth:`schedule`) falls back to the ``_queue`` heap, which therefore
+  stays tiny.
+
+The next event overall is the smallest head across these sources under
+plain tuple comparison — exactly the total order above.  The earliest
+calendar bucket is lazily merged into the ``_active`` ring when its time
+wins the comparison (prepended, since its keys are smaller than anything
+already there).
+"""
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
 from itertools import count
 from typing import Optional, Union
 
 from ..obs import NULL_TELEMETRY, Telemetry
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import NORMAL, URGENT, AllOf, AnyOf, Event, Timeout
 from .exceptions import EmptySchedule, SimulationError, StopSimulation
 from .process import Process, ProcessGenerator
 
 __all__ = ["Environment", "URGENT", "NORMAL"]
-
-#: Scheduling priority for urgent events (interrupts, process init).
-URGENT = 0
-#: Scheduling priority for ordinary events.
-NORMAL = 1
 
 
 class Environment:
@@ -33,7 +71,9 @@ class Environment:
     telemetry:
         Optional :class:`~repro.obs.Telemetry` observing this
         environment.  Components reach it through ``env.telemetry``;
-        the default null telemetry keeps the event loop unobserved.
+        the default null telemetry keeps the event loop unobserved —
+        :meth:`run` selects an instrumentation-free inner loop, so
+        disabled metering costs nothing per event.
     """
 
     def __init__(
@@ -42,7 +82,19 @@ class Environment:
         telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._now: float = float(initial_time)
+        #: Fallback heap: stop sentinels and exotic-priority entries.
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: Zero-delay URGENT entries, sorted by construction (see module
+        #: docstring).
+        self._urgent: deque[tuple[float, int, int, Event]] = deque()
+        #: Zero-delay NORMAL entries, sorted by construction.
+        self._normal: deque[tuple[float, int, int, Event]] = deque()
+        #: Calendar of future NORMAL entries: absolute time -> bucket.
+        self._buckets: dict[float, list[tuple[float, int, int, Event]]] = {}
+        #: Heap of the distinct pending bucket times.
+        self._times: list[float] = []
+        #: Ring holding the entries of already-merged calendar buckets.
+        self._active: deque[tuple[float, int, int, Event]] = deque()
         self._eid = count()
         self._active_proc: Optional[Process] = None
         self.telemetry: Telemetry = (
@@ -69,12 +121,27 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._queue[0][0] if self._queue else float("inf")
+        best = self._queue[0][0] if self._queue else float("inf")
+        if self._active and self._active[0][0] < best:
+            best = self._active[0][0]
+        if self._urgent and self._urgent[0][0] < best:
+            best = self._urgent[0][0]
+        if self._normal and self._normal[0][0] < best:
+            best = self._normal[0][0]
+        if self._times and self._times[0] < best:
+            best = self._times[0]
+        return best
 
     @property
     def queue_size(self) -> int:
         """Number of events currently scheduled."""
-        return len(self._queue)
+        return (
+            len(self._queue)
+            + len(self._active)
+            + len(self._urgent)
+            + len(self._normal)
+            + sum(len(bucket) for bucket in self._buckets.values())
+        )
 
     # -- factories -------------------------------------------------------
     def event(self) -> Event:
@@ -104,7 +171,74 @@ class Environment:
         """Queue *event* to be processed after *delay* time units."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        if delay == 0:
+            entry = (self._now, priority, next(self._eid), event)
+            if priority == NORMAL:
+                self._normal.append(entry)
+            elif priority == URGENT:
+                self._urgent.append(entry)
+            else:
+                # Exotic priorities must still interleave correctly with
+                # everything else at `now`: fallback heap.
+                heappush(self._queue, entry)
+            return
+        at = self._now + delay
+        if priority == NORMAL:
+            entry = (at, NORMAL, next(self._eid), event)
+            bucket = self._buckets.get(at)
+            if bucket is None:
+                self._buckets[at] = [entry]
+                heappush(self._times, at)
+            else:
+                bucket.append(entry)
+            return
+        heappush(self._queue, (at, priority, next(self._eid), event))
+
+    def _pop(self) -> Optional[tuple[float, int, int, Event]]:
+        """Pop the globally smallest scheduled entry, or None if empty."""
+        queue = self._queue
+        best = queue[0] if queue else None
+        source = 0
+        active = self._active
+        if active:
+            head = active[0]
+            if best is None or head < best:
+                best = head
+                source = 1
+        urgent = self._urgent
+        if urgent:
+            head = urgent[0]
+            if best is None or head < best:
+                best = head
+                source = 2
+        normal = self._normal
+        if normal:
+            head = normal[0]
+            if best is None or head < best:
+                best = head
+                source = 3
+        times = self._times
+        if times:
+            at = times[0]
+            # The earliest calendar bucket wins when its time beats the
+            # best head (ties resolved on the bucket head's full key).
+            if (
+                best is None
+                or at < best[0]
+                or (at == best[0] and self._buckets[at][0] < best)
+            ):
+                heappop(times)
+                active.extendleft(reversed(self._buckets.pop(at)))
+                return active.popleft()
+        if best is None:
+            return None
+        if source == 0:
+            return heappop(queue)
+        if source == 1:
+            return active.popleft()
+        if source == 2:
+            return urgent.popleft()
+        return normal.popleft()
 
     # -- execution ---------------------------------------------------------
     def step(self) -> None:
@@ -115,25 +249,22 @@ class Environment:
         EmptySchedule
             If no events remain.
         """
-        try:
-            self._now, _, _, event = heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule("no scheduled events left") from None
+        entry = self._pop()
+        if entry is None:
+            raise EmptySchedule("no scheduled events left")
+        self._now, _, _, event = entry
 
         if self._c_events is not None:
             self._c_events.value += 1
-            self._g_queue.set(len(self._queue))
+            self._g_queue.set(self.queue_size)
 
         callbacks, event.callbacks = event.callbacks, None
-        assert callbacks is not None
         for callback in callbacks:
             callback(event)
 
         if not event._ok and not event._defused:
             # An unhandled failure: surface it to the caller of run/step.
-            exc = event._value
-            assert isinstance(exc, BaseException)
-            raise exc
+            raise event._value
 
     def run(self, until: Union[None, float, Event] = None) -> object:
         """Run the simulation.
@@ -142,7 +273,9 @@ class Environment:
         ----------
         until:
             ``None`` — run until the event queue is exhausted;
-            a number — run until simulated time reaches it;
+            a number — run until simulated time reaches it (``until ==
+            now`` is allowed and returns immediately without processing
+            same-time events; only ``until < now`` is rejected);
             an :class:`Event` — run until that event is processed and
             return its value.
         """
@@ -156,32 +289,104 @@ class Environment:
                 at_event = until
             else:
                 at = float(until)
-                if at <= self._now:
+                if at < self._now:
                     raise ValueError(
-                        f"until ({at}) must be greater than the current time "
-                        f"({self._now})"
+                        f"until ({at}) must not be smaller than the current "
+                        f"time ({self._now})"
                     )
                 stop = Event(self)
                 stop._ok = True
                 stop._value = None
                 stop.callbacks.append(_stop_simulation)
-                # Highest urgency so the clock stops exactly at `at` before
-                # processing same-time events.
+                # Below-URGENT priority so the clock stops exactly at `at`
+                # before processing same-time events (including `at == now`,
+                # which supports resuming at an exact event timestamp after
+                # float accumulation).
                 heappush(self._queue, (at, URGENT - 1, next(self._eid), stop))
 
+        # The inner loops below are step() with _pop() inlined and every
+        # container bound to a local (all are mutated in place, never
+        # rebound, so the locals stay valid across callbacks); the metered
+        # variant exists so the common NULL_TELEMETRY path carries no
+        # instrumentation at all.
+        queue = self._queue
+        urgent = self._urgent
+        normal = self._normal
+        active = self._active
+        times = self._times
+        buckets = self._buckets
+        c_events = self._c_events
         try:
-            while True:
-                try:
-                    self.step()
-                except EmptySchedule:
-                    if at_event is not None:
-                        raise SimulationError(
-                            f"no scheduled events left but {at_event!r} was "
-                            "never triggered"
-                        ) from None
-                    return None
+            if c_events is None:
+                while True:
+                    best = queue[0] if queue else None
+                    source = 0
+                    if active:
+                        head = active[0]
+                        if best is None or head < best:
+                            best = head
+                            source = 1
+                    if urgent:
+                        head = urgent[0]
+                        if best is None or head < best:
+                            best = head
+                            source = 2
+                    if normal:
+                        head = normal[0]
+                        if best is None or head < best:
+                            best = head
+                            source = 3
+                    if times:
+                        at = times[0]
+                        if (
+                            best is None
+                            or at < best[0]
+                            or (at == best[0] and buckets[at][0] < best)
+                        ):
+                            heappop(times)
+                            active.extendleft(reversed(buckets.pop(at)))
+                            source = 1
+                    elif best is None:
+                        break
+                    if source == 1:
+                        entry = active.popleft()
+                    elif source == 2:
+                        entry = urgent.popleft()
+                    elif source == 3:
+                        entry = normal.popleft()
+                    else:
+                        entry = heappop(queue)
+                    self._now, _, _, event = entry
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+            else:
+                g_queue = self._g_queue
+                while True:
+                    entry = self._pop()
+                    if entry is None:
+                        break
+                    self._now, _, _, event = entry
+                    c_events.value += 1
+                    g_queue.set(
+                        len(queue) + len(active) + len(urgent) + len(normal)
+                        + sum(len(b) for b in buckets.values())
+                    )
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
         except StopSimulation as stop:
             return stop.value
+
+        if at_event is not None:
+            raise SimulationError(
+                f"no scheduled events left but {at_event!r} was never triggered"
+            )
+        return None
 
 
 def _stop_simulation(event: Event) -> None:

@@ -6,10 +6,24 @@ first *triggered* (scheduled with a value at a point in simulated time) and
 later *processed* (its callbacks run, at which point waiting processes
 resume).  Composite events (:class:`AnyOf`, :class:`AllOf`) build fan-in
 synchronization from these primitives.
+
+Hot-path notes
+--------------
+Every class here declares ``__slots__`` — events are the kernel's unit of
+allocation and a per-instance ``__dict__`` costs both memory and attribute-
+lookup time.  Triggering (``succeed``/``fail``/``trigger``/``Timeout``)
+writes directly into the environment's scheduling structures: zero-delay
+entries go to the FIFO ring for the matching priority, delayed entries to
+the time-keyed calendar bucket.  Both paths produce exactly the same
+``(time, priority,
+insertion-order)`` total order as routing through
+:meth:`Environment.schedule` — see :mod:`repro.sim.core` for the ordering
+contract.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -17,6 +31,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "PENDING",
+    "URGENT",
+    "NORMAL",
     "Event",
     "Timeout",
     "ConditionValue",
@@ -25,9 +41,16 @@ __all__ = [
     "AllOf",
 ]
 
+#: Scheduling priority for urgent events (interrupts, process init).
+URGENT = 0
+#: Scheduling priority for ordinary events.
+NORMAL = 1
+
 
 class _Pending:
     """Sentinel for the value of an event that has not been triggered."""
+
+    __slots__ = ()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "<PENDING>"
@@ -50,13 +73,15 @@ class Event:
     re-raised inside every waiting process.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: object = PENDING
         self._ok: bool = True
-        #: Set when a failure's exception was delivered to at least one
-        #: waiter (or explicitly acknowledged via :attr:`defused`).
+        # _defused: set when a failure's exception was delivered to at
+        # least one waiter (or explicitly acknowledged via `defused`).
         self._defused: bool = False
 
     # -- inspection ----------------------------------------------------
@@ -73,7 +98,7 @@ class Event:
     @property
     def ok(self) -> bool:
         """True if the event succeeded.  Only valid once triggered."""
-        if not self.triggered:
+        if self._value is PENDING:
             raise AttributeError("value of event is not yet available")
         return self._ok
 
@@ -101,26 +126,29 @@ class Event:
         """
         self._ok = event._ok
         self._value = event._value
-        self.env.schedule(self)
+        env = self.env
+        env._normal.append((env._now, NORMAL, next(env._eid), self))
 
     def succeed(self, value: object = None) -> "Event":
         """Trigger the event successfully with *value*."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        env._normal.append((env._now, NORMAL, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed with *exception*."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._normal.append((env._now, NORMAL, next(env._eid), self))
         return self
 
     # -- composition ---------------------------------------------------
@@ -144,14 +172,29 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated-time delay."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self._delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + Environment.schedule: timeouts are the
+        # single most-allocated object in a simulation run.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self._delay = delay
+        if delay == 0:
+            env._normal.append((env._now, NORMAL, next(env._eid), self))
+        else:
+            at = env._now + delay
+            bucket = env._buckets.get(at)
+            if bucket is None:
+                env._buckets[at] = [(at, NORMAL, next(env._eid), self)]
+                heappush(env._times, at)
+            else:
+                bucket.append((at, NORMAL, next(env._eid), self))
 
     @property
     def delay(self) -> float:
@@ -163,6 +206,8 @@ class Timeout(Event):
 
 class ConditionValue:
     """Ordered mapping of triggered events collected by a condition."""
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: list[Event] = []
@@ -211,6 +256,8 @@ class Condition(Event):
     True, where *count* is the number of constituent events triggered so
     far.  Failed constituent events fail the condition immediately.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -277,12 +324,16 @@ class Condition(Event):
 class AnyOf(Condition):
     """Condition that triggers when any constituent event triggers."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)
 
 
 class AllOf(Condition):
     """Condition that triggers when all constituent events trigger."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)

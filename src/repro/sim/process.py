@@ -11,7 +11,7 @@ from __future__ import annotations
 from types import GeneratorType
 from typing import TYPE_CHECKING, Generator, Optional
 
-from .events import Event, PENDING
+from .events import NORMAL, PENDING, URGENT, Event
 from .exceptions import Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -24,6 +24,8 @@ ProcessGenerator = Generator[Event, object, object]
 
 class _InterruptEvent(Event):
     """Internal urgent event used to deliver an interrupt to a process."""
+
+    __slots__ = ("process",)
 
     def __init__(self, process: "Process", cause: object) -> None:
         super().__init__(process.env)
@@ -42,21 +44,26 @@ class Process(Event):
     unhandled exception for crashed processes.
     """
 
+    __slots__ = ("_generator", "_target", "_resume_cb")
+
     def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
         if not isinstance(generator, GeneratorType):
             raise ValueError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        #: Pre-bound resume callback — binding a method allocates, and
+        #: this one is subscribed on every yield.
+        self._resume_cb = self._resume
         #: The event this process is currently waiting on (None while the
         #: process is being resumed or after it terminated).
         self._target: Optional[Event] = None
-        # Bootstrap: resume the generator at time env.now via an
+        # Bootstrap: resume the generator at time env.now via an urgent
         # initialization event.
         init = Event(env)
         init._ok = True
         init._value = None
-        init.callbacks.append(self._resume)  # type: ignore[union-attr]
-        env.schedule(init, priority=0)
+        init.callbacks.append(self._resume_cb)  # type: ignore[union-attr]
+        env._urgent.append((env._now, URGENT, next(env._eid), init))
         self._target = init
 
     # -- inspection ----------------------------------------------------
@@ -106,24 +113,26 @@ class Process(Event):
         env = self.env
         env._active_proc = self
         self._target = None
+        generator = self._generator
 
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # The event failed: throw its exception into the
                     # generator and mark it defused.
                     event._defused = True
                     exc = event._value
                     assert isinstance(exc, BaseException)
-                    next_event = self._generator.throw(exc)
+                    next_event = generator.throw(exc)
             except StopIteration as stop:
-                # Process finished.
+                # Process finished: trigger this process event (zero-delay
+                # NORMAL, like Event.succeed).
                 event = None  # type: ignore[assignment]
                 self._ok = True
                 self._value = stop.value
-                env.schedule(self)
+                env._normal.append((env._now, NORMAL, next(env._eid), self))
                 break
             except BaseException as exc:
                 # Process crashed: fail the process event.  If nobody
@@ -131,7 +140,7 @@ class Process(Event):
                 event = None  # type: ignore[assignment]
                 self._ok = False
                 self._value = exc
-                env.schedule(self)
+                env._normal.append((env._now, NORMAL, next(env._eid), self))
                 break
 
             if not isinstance(next_event, Event):
@@ -142,9 +151,10 @@ class Process(Event):
                 )
                 continue
 
-            if next_event.callbacks is not None:
+            callbacks = next_event.callbacks
+            if callbacks is not None:
                 # Event not yet processed: subscribe and suspend.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume_cb)
                 self._target = next_event
                 break
             # Event already processed: loop and resume immediately with

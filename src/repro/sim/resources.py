@@ -10,7 +10,7 @@ from __future__ import annotations
 import heapq
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from .events import Event
+from .events import NORMAL, PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .core import Environment
@@ -38,8 +38,16 @@ __all__ = [
 class StorePut(Event):
     """Request to put *item* into a store."""
 
+    __slots__ = ("item", "store")
+
     def __init__(self, store: "Store", item: Any) -> None:
-        super().__init__(store.env)
+        # Inlined Event.__init__ — put/get requests are allocated on
+        # every store operation.
+        self.env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.item = item
         self.store = store
         store._put_queue.append(self)
@@ -54,8 +62,14 @@ class StorePut(Event):
 class StoreGet(Event):
     """Request to take one item from a store."""
 
+    __slots__ = ("store",)
+
     def __init__(self, store: "Store") -> None:
-        super().__init__(store.env)
+        self.env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.store = store
         store._get_queue.append(self)
         store._trigger_events()
@@ -112,21 +126,56 @@ class Store:
 
     def _trigger_events(self) -> None:
         # Alternate put/get fulfillment until neither side can progress.
+        # This specialized loop inlines _do_put/_do_get/succeed for the
+        # plain FIFO store (it runs on every put/get); subclasses with
+        # different item disciplines override it with the generic
+        # polymorphic loop (`_trigger_events_generic`).
+        items = self.items
+        capacity = self._capacity
+        put_queue = self._put_queue
+        get_queue = self._get_queue
+        env = self.env
         progressed = True
         while progressed:
             progressed = False
-            while self._put_queue and not self._put_queue[0].triggered:
-                if self._do_put(self._put_queue[0]):
-                    self._put_queue.pop(0)
-                    progressed = True
-                else:
+            while put_queue:
+                head = put_queue[0]
+                if head._value is not PENDING or len(items) >= capacity:
                     break
-            while self._get_queue and not self._get_queue[0].triggered:
-                if self._do_get(self._get_queue[0]):
-                    self._get_queue.pop(0)
-                    progressed = True
-                else:
+                items.append(head.item)
+                head._value = None  # succeed(); _ok is already True
+                env._normal.append((env._now, NORMAL, next(env._eid), head))
+                put_queue.pop(0)
+                progressed = True
+            while get_queue:
+                head = get_queue[0]
+                if head._value is not PENDING or not items:
                     break
+                head._value = items.pop(0)  # succeed(item)
+                env._normal.append((env._now, NORMAL, next(env._eid), head))
+                get_queue.pop(0)
+                progressed = True
+
+    def _trigger_events_generic(self) -> None:
+        # Polymorphic fulfillment through _do_put/_do_get, for stores
+        # that override the item discipline.
+        put_queue = self._put_queue
+        get_queue = self._get_queue
+        progressed = True
+        while progressed:
+            progressed = False
+            while put_queue:
+                head = put_queue[0]
+                if head._value is not PENDING or not self._do_put(head):
+                    break
+                put_queue.pop(0)
+                progressed = True
+            while get_queue:
+                head = get_queue[0]
+                if head._value is not PENDING or not self._do_get(head):
+                    break
+                get_queue.pop(0)
+                progressed = True
 
 
 class PriorityItem:
@@ -156,6 +205,8 @@ class PriorityStore(Store):
     Items must be mutually comparable; use :class:`PriorityItem` to attach
     explicit priorities to arbitrary payloads.
     """
+
+    _trigger_events = Store._trigger_events_generic
 
     def _do_put(self, event: StorePut) -> bool:
         if len(self.items) < self._capacity:
@@ -190,20 +241,22 @@ class FilterStore(Store):
         progressed = True
         while progressed:
             progressed = False
-            while self._put_queue and not self._put_queue[0].triggered:
-                if self._do_put(self._put_queue[0]):
-                    self._put_queue.pop(0)
-                    progressed = True
-                else:
+            while self._put_queue:
+                head = self._put_queue[0]
+                if head._value is not PENDING or not self._do_put(head):
                     break
+                self._put_queue.pop(0)
+                progressed = True
             for event in list(self._get_queue):
-                if not event.triggered and self._do_get(event):
+                if event._value is PENDING and self._do_get(event):
                     self._get_queue.remove(event)
                     progressed = True
 
 
 class FilterStoreGet(StoreGet):
     """Get request with an item predicate."""
+
+    __slots__ = ("filter",)
 
     def __init__(self, store: FilterStore, filter: Callable[[Any], bool]) -> None:
         self.filter = filter
@@ -212,6 +265,8 @@ class FilterStoreGet(StoreGet):
 
 class ContainerPut(Event):
     """Request to add *amount* to a container."""
+
+    __slots__ = ("amount", "container")
 
     def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
@@ -225,6 +280,8 @@ class ContainerPut(Event):
 
 class ContainerGet(Event):
     """Request to remove *amount* from a container."""
+
+    __slots__ = ("amount", "container")
 
     def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
@@ -297,6 +354,8 @@ class Container:
 class Request(Event):
     """Request for one slot of a :class:`Resource` (context-manager aware)."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -317,6 +376,8 @@ class Request(Event):
 
 class Release(Event):
     """Event returned by :meth:`Resource.release`; triggers immediately."""
+
+    __slots__ = ("request",)
 
     def __init__(self, resource: "Resource", request: Request) -> None:
         super().__init__(resource.env)
@@ -384,6 +445,8 @@ class Preempted(Exception):
 
 class PriorityRequest(Request):
     """Resource request with a priority (lower = more important)."""
+
+    __slots__ = ("priority", "preempt", "time", "process")
 
     def __init__(
         self,

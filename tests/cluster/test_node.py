@@ -47,6 +47,28 @@ class TestBasics:
     def test_max_group_size_is_proc_count(self, env):
         assert make_node(env, n_procs=2).max_group_size == 2
 
+    def test_processing_capacity_at_queue_bounds(self, env):
+        # qc = 1: the whole aggregate speed backs a single slot.
+        node = make_node(env, n_procs=3, speed=800.0, queue_slots=1)
+        assert node.processing_capacity == pytest.approx(2400.0)
+        # Large qc: capacity dilutes as 1/qc (Eq. 2).
+        node = make_node(env, n_procs=3, speed=800.0, queue_slots=64)
+        assert node.processing_capacity == pytest.approx(2400.0 / 64)
+
+    def test_processing_capacity_is_static(self, env):
+        """Eq. 2 ``PCc`` is frozen at construction — admitted work and
+        executing tasks never change it (the semantics NodeState
+        documents as "static per node")."""
+        node = make_node(env, n_procs=2, speed=1000.0, queue_slots=2)
+        before = node.processing_capacity
+        group = TaskGroup([make_task(1), make_task(2)], created_at=0.0)
+        node.submit(group)
+        env.run(until=0.5)
+        assert node.processing_capacity == before
+        assert node.state().processing_capacity == before
+        env.run()
+        assert node.processing_capacity == before
+
     def test_state_snapshot(self, env):
         node = make_node(env)
         s = node.state()

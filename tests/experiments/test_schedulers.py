@@ -9,6 +9,7 @@ from repro.experiments import (
     SCHEDULER_NAMES,
     make_scheduler,
     register_scheduler,
+    unregister_scheduler,
 )
 
 
@@ -39,10 +40,50 @@ class TestRegistry:
             with pytest.raises(ValueError, match="already registered"):
                 register_scheduler("custom-test-xyz", Custom)
         finally:
-            from repro.experiments import schedulers as mod
-
-            mod._FACTORIES.pop("custom-test-xyz", None)
+            unregister_scheduler("custom-test-xyz")
 
     def test_register_empty_name(self):
         with pytest.raises(ValueError):
             register_scheduler("", FCFSScheduler)
+
+    def test_names_view_is_live(self):
+        """SCHEDULER_NAMES tracks (un)registration without rebinding."""
+        view = SCHEDULER_NAMES  # imported-by-value references stay live
+        before = list(view)
+        register_scheduler("live-view-test", FCFSScheduler)
+        try:
+            assert "live-view-test" in view
+            assert list(view) == sorted(before + ["live-view-test"])
+        finally:
+            unregister_scheduler("live-view-test")
+        assert "live-view-test" not in view
+        assert list(view) == before
+
+    def test_register_run_reregister(self):
+        """A plugin can be registered, run, removed, and re-registered."""
+        from repro.experiments import ExperimentConfig, run_experiment
+
+        class Custom(FCFSScheduler):
+            name = "reregister-test"
+
+        config = ExperimentConfig(
+            scheduler="reregister-test", seed=5, num_tasks=20
+        )
+        for _ in range(2):
+            register_scheduler("reregister-test", Custom)
+            try:
+                result = run_experiment(config)
+                assert result.metrics.num_tasks == 20
+            finally:
+                unregister_scheduler("reregister-test")
+            assert "reregister-test" not in SCHEDULER_NAMES
+            with pytest.raises(ValueError, match="unknown scheduler"):
+                make_scheduler("reregister-test")
+
+    def test_unregister_builtin_rejected(self):
+        with pytest.raises(ValueError, match="built-in"):
+            unregister_scheduler("fcfs")
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(ValueError, match="not registered"):
+            unregister_scheduler("never-registered")

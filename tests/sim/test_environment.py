@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import EmptySchedule, Environment, Event, SimulationError
+from repro.sim import URGENT, EmptySchedule, Environment, Event, SimulationError
 
 
 class TestClock:
@@ -35,6 +35,27 @@ class TestRun:
         env.run(until=5)
         with pytest.raises(ValueError):
             env.run(until=3)
+
+    def test_run_until_current_time_is_noop(self, env):
+        """``until == now`` (e.g. ``now + 0.0``) must be accepted.
+
+        Regression test: the boundary used to be rejected along with
+        genuinely past times, breaking drivers that compute a resume
+        point landing exactly on the current timestamp.
+        """
+        env.run(until=0.0)
+        assert env.now == 0.0
+        fired = []
+        t = env.timeout(5)
+        t.callbacks.append(lambda e: fired.append("timeout"))
+        env.run(until=5)
+        env.run(until=env.now + 0.0)
+        assert env.now == 5
+        # Same-time pending events stay pending: the stop sentinel is
+        # more urgent than anything else at the boundary.
+        assert fired == []
+        env.run()
+        assert fired == ["timeout"]
 
     def test_run_until_event_returns_value(self, env):
         t = env.timeout(2, value="v")
@@ -85,6 +106,42 @@ class TestRun:
             ev.callbacks.append(lambda e: order.append(e.value))
         env.run()
         assert order == [0, 1, 2, 3, 4]
+
+    def test_urgent_precedes_normal_at_same_future_time(self, env):
+        """URGENT beats NORMAL on the timestamp tie even when the
+        urgent event was scheduled later (larger sequence number)."""
+        order = []
+        normal = env.timeout(5)
+        normal.callbacks.append(lambda e: order.append("normal"))
+        urgent = Event(env)
+        urgent.callbacks.append(lambda e: order.append("urgent"))
+        env.schedule(urgent, priority=URGENT, delay=5)
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_urgent_precedes_normal_zero_delay(self, env):
+        order = []
+        normal = Event(env)
+        normal.callbacks.append(lambda e: order.append("normal"))
+        normal.succeed()  # zero-delay NORMAL
+        urgent = Event(env)
+        urgent.callbacks.append(lambda e: order.append("urgent"))
+        env.schedule(urgent, priority=URGENT)
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_stop_sentinel_precedes_urgent_at_same_time(self, env):
+        """run(until=t) stops before processing anything at t — the
+        sentinel's ``URGENT - 1`` priority wins every same-time tie."""
+        order = []
+        urgent = Event(env)
+        urgent.callbacks.append(lambda e: order.append("urgent"))
+        env.schedule(urgent, priority=URGENT, delay=5)
+        env.run(until=5)
+        assert env.now == 5
+        assert order == []
+        env.run()
+        assert order == ["urgent"]
 
 
 class TestFactories:
