@@ -1,0 +1,339 @@
+"""Micro-benchmarks of the Adaptive-RL learning core.
+
+These time the learning-side hot paths — Q-value lookup/greedy
+selection, shared-learning-memory queries, workload synthesis, and the
+end-to-end Adaptive-RL learning cycle — so regressions in the RL fast
+path are visible independently of the simulation kernel (which
+``bench_kernel.py`` guards).
+
+Besides the pytest-benchmark cases, the module is directly runnable as
+the repo's RL-throughput gate:
+
+    python benchmarks/bench_rl.py                  # measure + report
+    python benchmarks/bench_rl.py --check          # fail on >20% regression
+    python benchmarks/bench_rl.py --update-baseline
+
+The headline numbers are **q_ops_per_sec** (Q-table update + greedy
+selection operations per wall second over the Adaptive-RL state/action
+space), **memory_ops_per_sec** (shared-memory record + best-experience
+queries per wall second), **workload_tasks_per_sec** (synthetic tasks
+generated per wall second), and **learning_cycles_per_sec** (Adaptive-RL
+learning cycles driven per wall second through a full experiment).  The
+committed reference snapshot in ``benchmarks/baselines/rl_baseline.json``
+was captured on the pre-optimisation dict/scan implementations; CI
+compares the current build against it with a 0.8x floor, mirroring the
+kernel-bench gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "rl_baseline.json"
+OUT_PATH = Path(__file__).parent / "out" / "rl_throughput.json"
+
+#: Shape of the end-to-end experiment (mirrors the golden-seed config).
+SIM_CONFIG = dict(
+    scheduler="adaptive-rl", seed=11, num_tasks=300, arrival_period=600.0
+)
+
+#: Headline keys compared against the committed baseline (higher=better).
+HEADLINES = (
+    "q_ops_per_sec",
+    "memory_ops_per_sec",
+    "workload_tasks_per_sec",
+    "learning_cycles_per_sec",
+)
+
+
+# ---------------------------------------------------------------------------
+# Q-table update + greedy-selection throughput
+# ---------------------------------------------------------------------------
+
+def _make_value_model():
+    """The tabular value model exactly as the Adaptive-RL agent uses it."""
+    from repro.core.actions import action_space
+    from repro.core.value_models import TabularValueModel
+
+    actions = action_space(6)  # 2 modes x opnum 1..6 = 12 actions
+    try:
+        model = TabularValueModel(alpha=0.2, gamma=0.6, actions=actions)
+    except TypeError:  # pre-fast-path signature (dict backend only)
+        model = TabularValueModel(alpha=0.2, gamma=0.6)
+    return model, actions
+
+
+def _q_workload(table, actions, rounds: int) -> int:
+    """Mixed update / greedy / lookup traffic over the ternary state cube.
+
+    Returns the number of Q operations performed (the unit of the
+    ``q_ops_per_sec`` headline).  The access pattern mirrors a learning
+    cycle: observe (values + best_action), learn (update with a
+    bootstrapped next state).
+    """
+    states = [(a, b, c) for a in range(3) for b in range(3) for c in range(3)]
+    n_actions = len(actions)
+    ops = 0
+    for r in range(rounds):
+        for i, state in enumerate(states):
+            action = actions[(r + i) % n_actions]
+            next_state = states[(i + 7) % len(states)]
+            table.values(state, actions)
+            table.best_action(state, actions)
+            table.update(
+                state,
+                action,
+                reward=float((r * 31 + i) % 11) - 5.0,
+                next_state=next_state,
+                next_actions=actions,
+            )
+            table.best_value(next_state, actions)
+            ops += 4
+    return ops
+
+
+def measure_q_ops(rounds: int = 400, repeats: int = 5) -> dict:
+    """Best-of-*repeats* Q-table operations per wall second."""
+    best = float("inf")
+    ops = 0
+    for _ in range(repeats):
+        model, actions = _make_value_model()
+        t0 = time.perf_counter()
+        ops = _q_workload(model.table, actions, rounds)
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "backend": type(model.table).__name__,
+        "ops": ops,
+        "seconds": round(best, 6),
+        "q_ops_per_sec": round(ops / best, 1),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Shared-learning-memory throughput
+# ---------------------------------------------------------------------------
+
+def _memory_workload(memory, rounds: int) -> int:
+    """Record + query traffic shaped like the SS IV.C decision loop.
+
+    Each round records one experience per agent and issues the same
+    memory queries the agent issues per feedback/selection: a
+    state-scoped ``best_experience``, a global ``best_action``, and the
+    telemetry ``len()`` probe.
+    """
+    from repro.core.actions import GroupingAction, GroupingMode
+    from repro.core.shared_memory import Experience
+
+    states = [(a, b, c) for a in range(3) for b in range(3) for c in range(3)]
+    agents = [f"agent.site{i:02d}" for i in range(32)]
+    modes = (GroupingMode.MIXED, GroupingMode.IDENTICAL)
+    ops = 0
+    for r in range(rounds):
+        for i, agent_id in enumerate(agents):
+            k = r * len(agents) + i
+            state = states[k % len(states)]
+            memory.record(
+                Experience(
+                    agent_id=agent_id,
+                    cycle=r,
+                    state=state,
+                    action=GroupingAction(modes[k % 2], 1 + k % 6),
+                    l_val=float((k * 37) % 101) / 7.0,
+                    reward=k % 5,
+                    error=float(k % 13),
+                    time=float(k),
+                )
+            )
+            memory.best_experience(states[(k + 5) % len(states)])
+            memory.best_action()
+            len(memory)
+            ops += 4
+    return ops
+
+
+def measure_memory_ops(rounds: int = 120, repeats: int = 5) -> dict:
+    """Best-of-*repeats* shared-memory operations per wall second."""
+    from repro.core.shared_memory import SharedLearningMemory
+
+    best = float("inf")
+    ops = 0
+    for _ in range(repeats):
+        memory = SharedLearningMemory()
+        t0 = time.perf_counter()
+        ops = _memory_workload(memory, rounds)
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "ops": ops,
+        "seconds": round(best, 6),
+        "memory_ops_per_sec": round(ops / best, 1),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Workload-generation throughput
+# ---------------------------------------------------------------------------
+
+def measure_workload(num_tasks: int = 200_000, repeats: int = 5) -> dict:
+    """Best-of-*repeats* synthetic tasks generated per wall second."""
+    from repro.sim.rng import RandomStreams
+    from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+    spec = WorkloadSpec(num_tasks=num_tasks)
+    best = float("inf")
+    for _ in range(repeats):
+        gen = WorkloadGenerator(spec, RandomStreams(seed=7))
+        t0 = time.perf_counter()
+        tasks = gen.generate()
+        best = min(best, time.perf_counter() - t0)
+    assert len(tasks) == num_tasks
+    return {
+        "tasks": num_tasks,
+        "seconds": round(best, 6),
+        "workload_tasks_per_sec": round(num_tasks / best, 1),
+    }
+
+
+# ---------------------------------------------------------------------------
+# End-to-end Adaptive-RL simulation wallclock
+# ---------------------------------------------------------------------------
+
+def measure_sim(repeats: int = 3) -> dict:
+    """Learning cycles per wall second through a full Adaptive-RL run."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_experiment
+
+    config = ExperimentConfig(**SIM_CONFIG)
+    best = float("inf")
+    cycles = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = run_experiment(config)
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+            cycles = result.scheduler.learning_cycles
+    return {
+        "config": dict(SIM_CONFIG),
+        "cycles": cycles,
+        "seconds": round(best, 6),
+        "learning_cycles_per_sec": round(cycles / best, 1),
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark cases (picked up by benchmarks/conftest.py)
+# ---------------------------------------------------------------------------
+
+def bench_rl_q_table_ops(benchmark):
+    """Update + greedy selection over the ternary state cube."""
+    model, actions = _make_value_model()
+    assert benchmark(lambda: _q_workload(model.table, actions, rounds=50)) > 0
+
+
+def bench_rl_shared_memory_ops(benchmark):
+    """Record + best-experience queries across 32 agent rings."""
+    from repro.core.shared_memory import SharedLearningMemory
+
+    memory = SharedLearningMemory()
+    assert benchmark(lambda: _memory_workload(memory, rounds=20)) > 0
+
+
+def bench_rl_workload_generation(benchmark):
+    """Synthesize a 50k-task workload from one seed."""
+    from repro.sim.rng import RandomStreams
+    from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+    spec = WorkloadSpec(num_tasks=50_000)
+
+    def run():
+        return len(WorkloadGenerator(spec, RandomStreams(seed=7)).generate())
+
+    assert benchmark(run) == 50_000
+
+
+# ---------------------------------------------------------------------------
+# Runnable throughput gate
+# ---------------------------------------------------------------------------
+
+def run_throughput() -> dict:
+    """Measure every headline and write them to ``benchmarks/out``."""
+    payload = {
+        "q_table": measure_q_ops(),
+        "shared_memory": measure_memory_ops(),
+        "workload": measure_workload(),
+        "simulation": measure_sim(),
+    }
+    payload["q_ops_per_sec"] = payload["q_table"]["q_ops_per_sec"]
+    payload["memory_ops_per_sec"] = payload["shared_memory"][
+        "memory_ops_per_sec"
+    ]
+    payload["workload_tasks_per_sec"] = payload["workload"][
+        "workload_tasks_per_sec"
+    ]
+    payload["learning_cycles_per_sec"] = payload["simulation"][
+        "learning_cycles_per_sec"
+    ]
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(payload, indent=1))
+    return payload
+
+
+def check_against_baseline(payload: dict, min_ratio: float = 0.8) -> list[str]:
+    """Compare *payload* to the committed baseline.
+
+    Returns a list of human-readable failures (empty = pass).  A headline
+    below ``min_ratio x baseline`` is a regression; the committed
+    baseline predates the RL fast path, so healthy builds should sit far
+    above 1.0x.
+    """
+    if not BASELINE_PATH.exists():
+        return [f"no committed baseline at {BASELINE_PATH}"]
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = []
+    for key in HEADLINES:
+        ref = baseline[key]
+        cur = payload[key]
+        ratio = cur / ref if ref else float("inf")
+        line = f"{key}: {cur:,.0f} vs baseline {ref:,.0f} ({ratio:.2f}x)"
+        print(line)
+        if ratio < min_ratio:
+            failures.append(f"regression: {line} < {min_ratio:.2f}x floor")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.8,
+        help="regression floor as a fraction of baseline (default 0.8)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the committed baseline from this run",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_throughput()
+    print(json.dumps(payload, indent=1))
+    if args.update_baseline:
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(payload, indent=1))
+        print(f"baseline updated: {BASELINE_PATH}")
+    if args.check:
+        failures = check_against_baseline(payload, args.min_ratio)
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

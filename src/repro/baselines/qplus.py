@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..cluster.node import ComputeNode
-from ..rl.qlearning import MultiRateQTable
+from ..rl.dense import DenseMultiRateQTable
 from ..workload.task import Task
 from .common import SingletonScheduler, shortest_queue_node
 
@@ -32,7 +32,7 @@ ACTIONS = ("go_active", "go_sleep")
 class _NodeAgent:
     """Per-node active/sleep power manager."""
 
-    def __init__(self, node: ComputeNode, table: MultiRateQTable) -> None:
+    def __init__(self, node: ComputeNode, table: DenseMultiRateQTable) -> None:
         self.node = node
         self.table = table
         self._active_policy = node.sleep_policy
@@ -147,7 +147,8 @@ class QPlusLearningScheduler(SingletonScheduler):
         for node in self.system.nodes:
             self.node_agents[node.node_id] = _NodeAgent(
                 node,
-                MultiRateQTable(
+                DenseMultiRateQTable(
+                    ACTIONS,
                     alpha=self._alpha,
                     gamma=self._gamma,
                     neighbor_rate=self._neighbor_rate,

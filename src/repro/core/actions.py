@@ -10,6 +10,7 @@ product ``mode × opnum``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 __all__ = ["GroupingMode", "GroupingAction", "action_space"]
 
@@ -39,11 +40,14 @@ class GroupingAction:
         return f"{self.mode}/{self.opnum}"
 
 
+@lru_cache(maxsize=None)
 def action_space(max_opnum: int) -> tuple[GroupingAction, ...]:
     """All grouping actions with ``opnum ∈ {1..max_opnum}``.
 
     ``max_opnum`` "must not exceed the maximum number of processors in a
     node" (§IV.D.1); the agent passes its site's largest node size.
+    Memoized so every caller shares one tuple per size — identity, not
+    equality, is what the dense Q-table's canonical fast path checks.
     """
     if max_opnum < 1:
         raise ValueError("max_opnum must be at least 1")

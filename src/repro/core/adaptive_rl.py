@@ -31,6 +31,9 @@ class AdaptiveRLConfig:
 
     #: "tabular" (default) or "neural" (DESIGN.md A6).
     value_model: str = "tabular"
+    #: Q-store for the tabular model: "dense" (array fast path, default)
+    #: or "dict" (reference).  Bit-identical results either way.
+    q_backend: str = "dense"
     #: Disable to ablate the TG technique (singleton groups only).
     grouping_enabled: bool = True
     #: Disable to ablate the shared-learning memory.
@@ -54,6 +57,8 @@ class AdaptiveRLConfig:
     def __post_init__(self) -> None:
         if self.value_model not in ("tabular", "neural"):
             raise ValueError(f"unknown value model {self.value_model!r}")
+        if self.q_backend not in ("dense", "dict"):
+            raise ValueError(f"unknown q backend {self.q_backend!r}")
         if self.memory_cycles <= 0:
             raise ValueError("memory_cycles must be positive")
         if self.backlog_patience < 0:
@@ -93,6 +98,8 @@ class AdaptiveRLScheduler(Scheduler):
         self._routing = make_routing(
             cfg.routing, self.streams["core.routing"]
         )
+        from .actions import GroupingAction, GroupingMode, action_space
+
         for site in self.system.sites:
             exploration = EpsilonGreedy(
                 self.streams[f"core.explore.{site.site_id}"],
@@ -100,16 +107,19 @@ class AdaptiveRLScheduler(Scheduler):
                 min_epsilon=cfg.min_epsilon,
                 decay=cfg.epsilon_decay,
             )
+            actions = (
+                action_space(site.max_group_size)
+                if cfg.grouping_enabled
+                else (GroupingAction(GroupingMode.MIXED, 1),)
+            )
             if cfg.value_model == "tabular":
-                model = TabularValueModel(alpha=cfg.alpha, gamma=cfg.gamma)
-            else:
-                from .actions import GroupingAction, GroupingMode, action_space
-
-                actions = (
-                    action_space(site.max_group_size)
-                    if cfg.grouping_enabled
-                    else (GroupingAction(GroupingMode.MIXED, 1),)
+                model = TabularValueModel(
+                    alpha=cfg.alpha,
+                    gamma=cfg.gamma,
+                    actions=actions,
+                    backend=cfg.q_backend,
                 )
+            else:
                 model = NeuralValueModel(
                     actions,
                     rng=self.streams[f"core.neural.{site.site_id}"],

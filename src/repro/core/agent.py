@@ -134,9 +134,16 @@ class SiteAgent:
             if remembered is not None and remembered in self.actions:
                 self._action_source = "memory-seed"
                 return remembered
-        values = self.value_model.values(state, obs, self.actions)
+        # ε-greedy, unrolled so the greedy branch can use the value
+        # model's O(1) best_action instead of materializing all values.
+        # RNG-stream identical to ``exploration.select``: one uniform
+        # draw, plus one integer draw only when exploring.
         self._action_source = "policy"
-        return self.exploration.select(self.actions, values)
+        if self.exploration.explore():
+            return self.actions[
+                self.exploration.random_index(len(self.actions))
+            ]
+        return self.value_model.best_action(state, obs, self.actions)
 
     # -- scheduling pass ---------------------------------------------------
     def run_pass(self, now: float, backlog_patience: float) -> int:

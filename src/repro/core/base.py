@@ -17,6 +17,7 @@ from typing import Optional
 from ..cluster.node import ComputeNode
 from ..cluster.system import System
 from ..cluster.taskgroup import TaskGroup
+from ..energy.meter import ProcState
 from ..obs import CAT_TASK, NULL_TELEMETRY, Telemetry
 from ..sim.core import Environment
 from ..sim.events import Event
@@ -68,6 +69,9 @@ class Scheduler(abc.ABC):
         #: Tasks re-queued after node failures (failure injection).
         self.tasks_resubmitted = 0
         self._wakeup: Optional[Event] = None
+        #: Meters in topology order, prebound at attach time so the
+        #: per-cycle sampler skips the processor indirection.
+        self._meters: list = []
         self._expected: Optional[int] = None
         #: Triggered when `expect(n)` tasks have completed.
         self.all_done: Optional[Event] = None
@@ -85,6 +89,7 @@ class Scheduler(abc.ABC):
         self.telemetry = env.telemetry
         self._wakeup = Event(env)
         self.all_done = Event(env)
+        self._meters = [p.meter for p in system.processors]
         for node in system.nodes:
             node.on_task_complete(self._task_completed)
             node.on_slot_freed(lambda n: self.kick())
@@ -200,10 +205,25 @@ class Scheduler(abc.ABC):
         now = self.env.now
         busy = 0.0
         powered = 0.0
-        for proc in self.system.processors:
-            b_busy, b_idle = proc.meter.powered_times(now)
-            busy += b_busy
-            powered += b_busy + b_idle
+        busy_count = 0
+        # One fused pass over the prebound meters, reading the plain
+        # accumulator attributes directly: the same per-processor sums
+        # (and float bits) as meter.powered_times + busy_processors(),
+        # without two scans and a method call per processor.
+        is_busy = ProcState.BUSY
+        is_idle = ProcState.IDLE
+        for m in self._meters:
+            b = m._busy_time
+            i = m._idle_time
+            state = m._state
+            if state is is_busy:
+                busy_count += 1
+                if m._finalized_at is None:
+                    b += now - m._since
+            elif state is is_idle and m._finalized_at is None:
+                i += now - m._since
+            busy += b
+            powered += b + i
         total = self.system.num_processors
         self.cycle_log.append(
             CycleSample(
@@ -212,7 +232,7 @@ class Scheduler(abc.ABC):
                 busy_time=busy,
                 powered_time=powered,
                 completed_tasks=len(self.completed),
-                busy_fraction=self.system.busy_processors() / total,
+                busy_fraction=busy_count / total,
             )
         )
 

@@ -36,17 +36,40 @@ class RoutingPolicy(abc.ABC):
 
 
 class LeastLoadedRouting(RoutingPolicy):
-    """Route to the site with the least pending work per unit speed."""
+    """Route to the site with the least pending work per unit speed.
+
+    Site backlogs change far less often than tasks arrive, so the
+    headroom score is cached per site and recomputed — by the identical
+    expression, for identical results — only when the site's (cached,
+    PR-3) pending count has moved.  Ties break to the lexicographically
+    first ``site_id``, as the original ``min`` over ``(score, site_id)``
+    keys did.
+    """
 
     name = "least-loaded"
+
+    def __init__(self) -> None:
+        self._scores: dict[str, tuple[int, float]] = {}
 
     def select(self, sites, task):
         if not sites:
             raise ValueError("no sites")
-        return min(
-            sites,
-            key=lambda s: ((s.pending_tasks + 1) / s.total_speed_mips, s.site_id),
-        )
+        scores = self._scores
+        best_site = None
+        best_key = None
+        for site in sites:
+            pending = site.pending_tasks
+            cached = scores.get(site.site_id)
+            if cached is not None and cached[0] == pending:
+                score = cached[1]
+            else:
+                score = (pending + 1) / site.total_speed_mips
+                scores[site.site_id] = (pending, score)
+            key = (score, site.site_id)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_site = site
+        return best_site
 
 
 class RoundRobinRouting(RoutingPolicy):
@@ -60,9 +83,11 @@ class RoundRobinRouting(RoutingPolicy):
     def select(self, sites, task):
         if not sites:
             raise ValueError("no sites")
-        site = sites[self._next % len(sites)]
-        self._next += 1
-        return site
+        # Wrap on increment so the cursor stays bounded over arbitrarily
+        # long campaigns instead of growing without limit.
+        idx = self._next % len(sites)
+        self._next = (idx + 1) % len(sites)
+        return sites[idx]
 
 
 class RandomRouting(RoutingPolicy):

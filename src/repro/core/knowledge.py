@@ -105,12 +105,13 @@ def import_knowledge(scheduler: "AdaptiveRLScheduler", payload: dict) -> None:
             raise NotImplementedError(
                 "only the tabular value model can import knowledge"
             )
+        entries = []
         for state_list, action_list, value in agent_payload.get("q", []):
             action = _action_from_list(action_list)
             if action not in agent.actions:
                 continue
-            state = tuple(state_list)
-            model.table._q[(state, action)] = float(value)
+            entries.append(((tuple(state_list), action), float(value)))
+        model.table.bulk_load(entries)
         epsilon = agent_payload.get("epsilon")
         if epsilon is not None:
             agent.exploration.epsilon = max(

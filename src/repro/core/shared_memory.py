@@ -8,6 +8,16 @@ The memory stores one :class:`Experience` per completed action per agent
 in a 15-slot ring; any agent can query the best (maximum learning value,
 Eq. 7) experience — optionally restricted to a matching discrete state —
 which is exactly what §IV.C prescribes on reward regression.
+
+Best-experience queries are served from an incrementally maintained
+index: one maximum-``l_val`` entry per discrete state plus a global
+maximum, both updated on ring insert and rebuilt (with exact scan
+semantics) on the rare evictions that remove an indexed winner.  The
+original full scan is kept as the reference oracle
+(:meth:`SharedLearningMemory.scan_best_experience`, also selectable with
+``indexed=False``); the two answer identically, including the
+"first maximum in agent-creation/ring order wins" tie-break — see
+``tests/core/test_shared_memory.py``.
 """
 
 from __future__ import annotations
@@ -42,11 +52,22 @@ class Experience:
 class SharedLearningMemory:
     """Cross-agent experience store with per-agent ring eviction."""
 
-    def __init__(self, cycles_per_agent: int = AGENT_MEMORY_CYCLES) -> None:
+    def __init__(
+        self,
+        cycles_per_agent: int = AGENT_MEMORY_CYCLES,
+        indexed: bool = True,
+    ) -> None:
         if cycles_per_agent <= 0:
             raise ValueError("cycles_per_agent must be positive")
         self.cycles_per_agent = cycles_per_agent
+        self.indexed = indexed
         self._rings: Dict[str, ReplayRing[Experience]] = {}
+        #: Agent-creation order; the scan's tie-break ("first maximum in
+        #: iteration order wins") reduces to comparing these indices.
+        self._order: Dict[str, int] = {}
+        self._count = 0
+        self._best_by_state: Dict[DiscreteState, Experience] = {}
+        self._best_global: Optional[Experience] = None
         self.total_records = 0
 
     def record(self, experience: Experience) -> None:
@@ -55,11 +76,19 @@ class SharedLearningMemory:
         if ring is None:
             ring = ReplayRing(self.cycles_per_agent)
             self._rings[experience.agent_id] = ring
+            self._order[experience.agent_id] = len(self._order)
+        evicted: Optional[Experience] = None
+        if len(ring) == ring.capacity:
+            evicted = ring.oldest()
+        else:
+            self._count += 1
         ring.append(experience)
         self.total_records += 1
+        if self.indexed:
+            self._index_insert(experience, evicted)
 
     def __len__(self) -> int:
-        return sum(len(r) for r in self._rings.values())
+        return self._count
 
     def __iter__(self) -> Iterator[Experience]:
         for ring in self._rings.values():
@@ -91,6 +120,18 @@ class SharedLearningMemory:
         self, state: Optional[DiscreteState] = None
     ) -> Optional[Experience]:
         """The maximum-``l_val`` experience (state-matching preferred)."""
+        if not self.indexed:
+            return self.scan_best_experience(state)
+        if state is not None:
+            match = self._best_by_state.get(state)
+            if match is not None:
+                return match
+        return self._best_global
+
+    def scan_best_experience(
+        self, state: Optional[DiscreteState] = None
+    ) -> Optional[Experience]:
+        """Reference full-scan query the index must agree with."""
         best_match: Optional[Experience] = None
         best_any: Optional[Experience] = None
         for exp in self:
@@ -100,3 +141,54 @@ class SharedLearningMemory:
                 if best_match is None or exp.l_val > best_match.l_val:
                     best_match = exp
         return best_match if best_match is not None else best_any
+
+    # -- index maintenance ---------------------------------------------------
+    def _index_insert(
+        self, experience: Experience, evicted: Optional[Experience]
+    ) -> None:
+        # Rebuild stale winners first.  The new experience is already in
+        # its ring, so these rescans see exactly what a query-time scan
+        # would; identity (not equality) pins the evicted winner.
+        if evicted is not None:
+            if self._best_by_state.get(evicted.state) is evicted:
+                best = self._rescan_state(evicted.state)
+                if best is None:
+                    del self._best_by_state[evicted.state]
+                else:
+                    self._best_by_state[evicted.state] = best
+            if self._best_global is evicted:
+                self._best_global = self._rescan_global()
+        cur = self._best_by_state.get(experience.state)
+        if cur is None or self._beats(experience, cur):
+            self._best_by_state[experience.state] = experience
+        if self._best_global is None or self._beats(
+            experience, self._best_global
+        ):
+            self._best_global = experience
+
+    def _beats(self, new: Experience, cur: Experience) -> bool:
+        """True when *new* would displace *cur* under scan semantics.
+
+        The scan keeps the first maximum in iteration order (rings in
+        agent-creation order, oldest → newest within a ring).  A freshly
+        recorded experience is the newest entry of its ring, so on an
+        ``l_val`` tie it only precedes *cur* when its agent's ring was
+        created earlier.
+        """
+        if new.l_val != cur.l_val:
+            return new.l_val > cur.l_val
+        return self._order[new.agent_id] < self._order[cur.agent_id]
+
+    def _rescan_state(self, state: DiscreteState) -> Optional[Experience]:
+        best: Optional[Experience] = None
+        for exp in self:
+            if exp.state == state and (best is None or exp.l_val > best.l_val):
+                best = exp
+        return best
+
+    def _rescan_global(self) -> Optional[Experience]:
+        best: Optional[Experience] = None
+        for exp in self:
+            if best is None or exp.l_val > best.l_val:
+                best = exp
+        return best

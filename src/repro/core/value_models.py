@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..rl.dense import DenseQTable
 from ..rl.neural import MLP
 from ..rl.qlearning import QTable
 from .actions import GroupingAction
@@ -38,6 +39,15 @@ class ValueModel(abc.ABC):
         """Estimated value of each action in the observed state."""
 
     @abc.abstractmethod
+    def best_action(
+        self,
+        state: DiscreteState,
+        obs: SiteObservation,
+        actions: Sequence[GroupingAction],
+    ) -> GroupingAction:
+        """Greedy action for the observed state (ties → first)."""
+
+    @abc.abstractmethod
     def update(
         self,
         state: DiscreteState,
@@ -56,13 +66,36 @@ class ValueModel(abc.ABC):
 
 
 class TabularValueModel(ValueModel):
-    """Q-table over the discrete ternary site state."""
+    """Q-table over the discrete ternary site state.
 
-    def __init__(self, alpha: float = 0.2, gamma: float = 0.6) -> None:
-        self.table = QTable(alpha=alpha, gamma=gamma)
+    With a canonical *actions* tuple the table is the array-backed
+    :class:`~repro.rl.dense.DenseQTable` fast path (O(1) greedy reads,
+    bit-identical to the dict reference); without one — or with
+    ``backend="dict"`` — it is the dict-backed
+    :class:`~repro.rl.qlearning.QTable`.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        gamma: float = 0.6,
+        actions: Optional[Sequence[GroupingAction]] = None,
+        backend: str = "auto",
+    ) -> None:
+        if backend not in ("auto", "dict", "dense"):
+            raise ValueError(f"unknown tabular backend {backend!r}")
+        if backend == "dense" and actions is None:
+            raise ValueError("the dense backend needs a canonical action tuple")
+        if actions is not None and backend != "dict":
+            self.table = DenseQTable(tuple(actions), alpha=alpha, gamma=gamma)
+        else:
+            self.table = QTable(alpha=alpha, gamma=gamma)
 
     def values(self, state, obs, actions):
         return self.table.values(state, actions)
+
+    def best_action(self, state, obs, actions):
+        return self.table.best_action(state, actions)
 
     def update(self, state, obs, action, reward, next_state, next_obs, actions):
         self.table.update(
@@ -74,7 +107,7 @@ class TabularValueModel(ValueModel):
         )
 
     def knows(self, state, actions):
-        return any((state, a) in self.table for a in actions)
+        return self.table.state_known(state, actions)
 
 
 class NeuralValueModel(ValueModel):
@@ -108,6 +141,12 @@ class NeuralValueModel(ValueModel):
     def values(self, state, obs, actions):
         x = np.stack([self._encode(obs, a) for a in actions])
         return [float(v) for v in self.net.predict(x)[:, 0]]
+
+    def best_action(self, state, obs, actions):
+        if not actions:
+            raise ValueError("no actions")
+        vals = self.values(state, obs, actions)
+        return actions[int(np.argmax(vals))]
 
     def update(self, state, obs, action, reward, next_state, next_obs, actions):
         target = reward

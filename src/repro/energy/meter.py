@@ -68,8 +68,15 @@ class ProcessorEnergyMeter:
         self.profile = profile
         self._state = ProcState.IDLE
         self._since = float(start_time)
-        self._time = {s: 0.0 for s in ProcState}
-        self._energy = {s: 0.0 for s in ProcState}
+        # Per-state accumulators as plain attributes: the learning-cycle
+        # sampler reads these for every processor on every cycle, and
+        # attribute access beats enum-keyed dict lookups there.
+        self._busy_time = 0.0
+        self._idle_time = 0.0
+        self._sleep_time = 0.0
+        self._busy_energy = 0.0
+        self._idle_energy = 0.0
+        self._sleep_energy = 0.0
         self._finalized_at: float | None = None
         self._power_override: Optional[float] = None
         # Optional observability hookup (None keeps set_state at one
@@ -135,8 +142,17 @@ class ProcessorEnergyMeter:
             )
         span = now - self._since
         if span > 0:
-            self._time[self._state] += span
-            self._energy[self._state] += span * self._current_power()
+            energy = span * self._current_power()
+            state = self._state
+            if state is ProcState.BUSY:
+                self._busy_time += span
+                self._busy_energy += energy
+            elif state is ProcState.IDLE:
+                self._idle_time += span
+                self._idle_energy += energy
+            else:
+                self._sleep_time += span
+                self._sleep_energy += energy
         self._since = now
 
     def finalize(self, now: float) -> EnergyBreakdown:
@@ -154,8 +170,8 @@ class ProcessorEnergyMeter:
         span is added to the current state's total) while skipping the
         dict copies and the :class:`EnergyBreakdown` construction.
         """
-        busy = self._time[ProcState.BUSY]
-        idle = self._time[ProcState.IDLE]
+        busy = self._busy_time
+        idle = self._idle_time
         if self._finalized_at is None:
             if now < self._since:
                 raise ValueError("snapshot time precedes last transition")
@@ -172,19 +188,32 @@ class ProcessorEnergyMeter:
         Passing *now* includes the currently accruing span without
         mutating the meter.
         """
-        time = dict(self._time)
-        energy = dict(self._energy)
+        busy_time = self._busy_time
+        idle_time = self._idle_time
+        sleep_time = self._sleep_time
+        busy_energy = self._busy_energy
+        idle_energy = self._idle_energy
+        sleep_energy = self._sleep_energy
         if now is not None and self._finalized_at is None:
             if now < self._since:
                 raise ValueError("snapshot time precedes last transition")
             span = now - self._since
-            time[self._state] += span
-            energy[self._state] += span * self._current_power()
+            accrued = span * self._current_power()
+            state = self._state
+            if state is ProcState.BUSY:
+                busy_time += span
+                busy_energy += accrued
+            elif state is ProcState.IDLE:
+                idle_time += span
+                idle_energy += accrued
+            else:
+                sleep_time += span
+                sleep_energy += accrued
         return EnergyBreakdown(
-            busy_time=time[ProcState.BUSY],
-            idle_time=time[ProcState.IDLE],
-            sleep_time=time[ProcState.SLEEP],
-            busy_energy=energy[ProcState.BUSY],
-            idle_energy=energy[ProcState.IDLE],
-            sleep_energy=energy[ProcState.SLEEP],
+            busy_time=busy_time,
+            idle_time=idle_time,
+            sleep_time=sleep_time,
+            busy_energy=busy_energy,
+            idle_energy=idle_energy,
+            sleep_energy=sleep_energy,
         )

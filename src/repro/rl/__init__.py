@@ -6,14 +6,18 @@ variant), ε-greedy / softmax / random-walk exploration, a small NumPy MLP
 value approximator, and a replay ring buffer.
 """
 
+from .dense import DenseMultiRateQTable, DenseQTable
 from .exploration import EpsilonGreedy, RandomWalk, SoftmaxExploration
 from .neural import MLP
-from .qlearning import MultiRateQTable, QTable
+from .qlearning import MultiRateMixin, MultiRateQTable, QTable
 from .replay import ReplayRing
 
 __all__ = [
     "QTable",
     "MultiRateQTable",
+    "MultiRateMixin",
+    "DenseQTable",
+    "DenseMultiRateQTable",
     "EpsilonGreedy",
     "SoftmaxExploration",
     "RandomWalk",

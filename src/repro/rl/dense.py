@@ -1,0 +1,339 @@
+"""Array-backed tabular Q-learning (the RL fast path).
+
+:class:`DenseQTable` implements the exact :class:`~repro.rl.qlearning.QTable`
+interface over a NumPy value matrix instead of a tuple-keyed dict:
+
+- **State interning** — each state is mapped to a row index on first
+  touch; the action space is interned to column indices up front (the
+  Adaptive-RL action space is fixed per site, so columns never move).
+- **O(1) greedy selection** — a per-state ``(best value, best column)``
+  pair is maintained incrementally on every update, so ``best_action``
+  and ``best_value`` over the canonical action tuple are dictionary-free
+  constant-time reads instead of a rebuild-a-list-and-max per call.
+- **Bit-identical results** — the TD(0) arithmetic is performed in the
+  same order with the same IEEE-754 double operations as the dict
+  backend, greedy ties break to the *first* maximal action exactly like
+  ``QTable.best_action``/``np.argmax``, and unseen entries read as
+  ``initial_q``.  The golden-seed digests do not move when the backends
+  are swapped (see ``tests/property/test_qtable_equivalence.py``).
+
+Queries over a *non-canonical* action sequence (different order, subset,
+or foreign actions) transparently fall back to the dict-equivalent scalar
+path, so the class is a drop-in replacement everywhere a ``QTable`` is
+accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .qlearning import MultiRateMixin
+
+__all__ = ["DenseQTable", "DenseMultiRateQTable"]
+
+State = Hashable
+Action = Hashable
+
+#: Initial row capacity; the matrix doubles as states are interned.
+_INITIAL_ROWS = 32
+
+
+class DenseQTable:
+    """NumPy-matrix Q(s, a) store with incrementally maintained argmax.
+
+    Parameters
+    ----------
+    actions:
+        The canonical action tuple.  Every action is interned to a fixed
+        column at construction; greedy queries over this exact sequence
+        take the O(1) fast path.
+    alpha, gamma, initial_q:
+        As for :class:`~repro.rl.qlearning.QTable`.
+    """
+
+    def __init__(
+        self,
+        actions: Sequence[Action],
+        alpha: float = 0.1,
+        gamma: float = 0.9,
+        initial_q: float = 0.0,
+    ) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must lie in (0, 1]")
+        if not 0 <= gamma < 1:
+            raise ValueError("gamma must lie in [0, 1)")
+        if not actions:
+            raise ValueError("need at least one canonical action")
+        self.alpha = alpha
+        self.gamma = gamma
+        self.initial_q = initial_q
+        self.updates = 0
+
+        self._canonical: Tuple[Action, ...] = tuple(actions)
+        self._action_index: Dict[Action, int] = {
+            a: i for i, a in enumerate(self._canonical)
+        }
+        if len(self._action_index) != len(self._canonical):
+            raise ValueError("canonical actions must be unique")
+        #: True while the column set is exactly the canonical tuple; an
+        #: update against a foreign action grows a column and drops the
+        #: O(1) fast path (correctness is preserved via the scalar path).
+        self._columns_are_canonical = True
+
+        self._state_index: Dict[State, int] = {}
+        n_cols = len(self._canonical)
+        self._values = np.full(
+            (_INITIAL_ROWS, n_cols), initial_q, dtype=np.float64
+        )
+        self._set = np.zeros((_INITIAL_ROWS, n_cols), dtype=bool)
+        self._row_nset = np.zeros(_INITIAL_ROWS, dtype=np.int64)
+        self._nset = 0
+        #: Per-row running max over *all* columns (unset cells read as
+        #: ``initial_q``) and the lowest column index attaining it.
+        self._best_val = np.full(_INITIAL_ROWS, initial_q, dtype=np.float64)
+        self._best_col = np.zeros(_INITIAL_ROWS, dtype=np.int64)
+
+    # -- interning ---------------------------------------------------------
+    def _row(self, state: State) -> Optional[int]:
+        return self._state_index.get(state)
+
+    def _intern_state(self, state: State) -> int:
+        row = self._state_index.get(state)
+        if row is None:
+            row = len(self._state_index)
+            if row >= self._values.shape[0]:
+                self._grow_rows()
+            self._state_index[state] = row
+        return row
+
+    def _grow_rows(self) -> None:
+        rows, cols = self._values.shape
+        new_values = np.full((rows * 2, cols), self.initial_q, dtype=np.float64)
+        new_values[:rows] = self._values
+        self._values = new_values
+        new_set = np.zeros((rows * 2, cols), dtype=bool)
+        new_set[:rows] = self._set
+        self._set = new_set
+        new_nset = np.zeros(rows * 2, dtype=np.int64)
+        new_nset[:rows] = self._row_nset
+        self._row_nset = new_nset
+        new_best = np.full(rows * 2, self.initial_q, dtype=np.float64)
+        new_best[:rows] = self._best_val
+        self._best_val = new_best
+        new_col = np.zeros(rows * 2, dtype=np.int64)
+        new_col[:rows] = self._best_col
+        self._best_col = new_col
+
+    def _intern_action(self, action: Action) -> int:
+        col = self._action_index.get(action)
+        if col is None:
+            col = len(self._action_index)
+            self._action_index[action] = col
+            rows = self._values.shape[0]
+            self._values = np.concatenate(
+                [
+                    self._values,
+                    np.full((rows, 1), self.initial_q, dtype=np.float64),
+                ],
+                axis=1,
+            )
+            self._set = np.concatenate(
+                [self._set, np.zeros((rows, 1), dtype=bool)], axis=1
+            )
+            # Foreign column: the maintained row argmax would no longer
+            # match "first max over the canonical sequence".
+            self._columns_are_canonical = False
+        return col
+
+    def _is_canonical(self, actions: Sequence[Action]) -> bool:
+        """True when *actions* is the canonical tuple (fast-path check)."""
+        if not self._columns_are_canonical:
+            return False
+        canon = self._canonical
+        return actions is canon or (
+            len(actions) == len(canon) and tuple(actions) == canon
+        )
+
+    # -- reads -------------------------------------------------------------
+    def q(self, state: State, action: Action) -> float:
+        """Current value estimate for (state, action)."""
+        row = self._state_index.get(state)
+        if row is None:
+            return self.initial_q
+        col = self._action_index.get(action)
+        if col is None:
+            return self.initial_q
+        return float(self._values[row, col])
+
+    def values(self, state: State, actions: Sequence[Action]) -> list[float]:
+        """Value estimates for *actions* in *state* (generator-safe)."""
+        if self._is_canonical(actions):
+            row = self._state_index.get(state)
+            if row is None:
+                return [self.initial_q] * len(self._canonical)
+            return self._values[row].tolist()
+        return [self.q(state, a) for a in actions]
+
+    def best_action(self, state: State, actions: Sequence[Action]) -> Action:
+        """Greedy action for *state* among *actions* (ties -> first)."""
+        if not actions:
+            raise ValueError("no actions")
+        if self._is_canonical(actions):
+            row = self._state_index.get(state)
+            if row is None:
+                return self._canonical[0]
+            return self._canonical[self._best_col[row]]
+        vals = [self.q(state, a) for a in actions]
+        return actions[max(range(len(actions)), key=vals.__getitem__)]
+
+    def best_value(self, state: State, actions: Sequence[Action]) -> float:
+        """max_a Q(state, a) over *actions* (0 target for empty action set)."""
+        if not actions:
+            return 0.0
+        if self._is_canonical(actions):
+            row = self._state_index.get(state)
+            if row is None:
+                return self.initial_q
+            return float(self._best_val[row])
+        return max(self.q(state, a) for a in actions)
+
+    # -- updates -----------------------------------------------------------
+    def update(
+        self,
+        state: State,
+        action: Action,
+        reward: float,
+        next_state: Optional[State] = None,
+        next_actions: Sequence[Action] = (),
+        alpha: Optional[float] = None,
+    ) -> float:
+        """TD(0) update; returns the new Q(state, action).
+
+        Identical arithmetic to :meth:`QTable.update` — same operation
+        order, same doubles — so both backends produce bit-equal tables
+        from equal update sequences.
+        """
+        a = self.alpha if alpha is None else alpha
+        if not 0 < a <= 1:
+            raise ValueError("alpha must lie in (0, 1]")
+        target = reward
+        if next_state is not None:
+            target += self.gamma * self.best_value(next_state, next_actions)
+        row = self._intern_state(state)
+        col = self._intern_action(action)
+        old = float(self._values[row, col])
+        new = old + a * (target - old)
+        self._values[row, col] = new
+        self._mark_set(row, col)
+        self.updates += 1
+        self._maintain_argmax(row, col, new)
+        return new
+
+    def _maintain_argmax(self, row: int, col: int, new: float) -> None:
+        """Restore the per-row (best value, first best column) invariant."""
+        best_col = self._best_col[row]
+        best_val = self._best_val[row]
+        if col == best_col:
+            if new >= best_val:
+                self._best_val[row] = new
+            else:
+                self._rescan_row(row)
+        elif new > best_val or (new == best_val and col < best_col):
+            self._best_val[row] = new
+            self._best_col[row] = col
+
+    def _rescan_row(self, row: int) -> None:
+        row_vals = self._values[row]
+        col = int(np.argmax(row_vals))  # first max, like the dict path
+        self._best_col[row] = col
+        self._best_val[row] = row_vals[col]
+
+    def _mark_set(self, row: int, col: int) -> None:
+        if not self._set[row, col]:
+            self._set[row, col] = True
+            self._row_nset[row] += 1
+            self._nset += 1
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        """Number of explicitly set (state, action) entries."""
+        return self._nset
+
+    def __contains__(self, key: Tuple[State, Action]) -> bool:
+        state, action = key
+        row = self._state_index.get(state)
+        if row is None:
+            return False
+        col = self._action_index.get(action)
+        if col is None:
+            return False
+        return bool(self._set[row, col])
+
+    def state_known(self, state: State, actions: Sequence[Action]) -> bool:
+        """True if any (state, action) entry has been learned."""
+        if self._is_canonical(actions):
+            row = self._state_index.get(state)
+            return row is not None and self._row_nset[row] > 0
+        return any((state, a) in self for a in actions)
+
+    # -- bulk I/O ----------------------------------------------------------
+    def snapshot(self) -> Dict[Tuple[State, Action], float]:
+        """Copy of the explicitly set entries (for export/inspection)."""
+        out: Dict[Tuple[State, Action], float] = {}
+        actions = list(self._action_index)
+        for state, row in self._state_index.items():
+            set_row = self._set[row]
+            vals = self._values[row]
+            for col, action in enumerate(actions):
+                if set_row[col]:
+                    out[(state, action)] = float(vals[col])
+        return out
+
+    def bulk_load(
+        self,
+        entries: Union[
+            Mapping[Tuple[State, Action], float],
+            Iterable[Tuple[Tuple[State, Action], float]],
+        ],
+    ) -> None:
+        """Load ``(state, action) -> value`` pairs verbatim.
+
+        The inverse of :meth:`snapshot`: values are written directly
+        (no TD step, no ``updates`` increment), as knowledge import
+        requires.  Greedy argmaxes are rebuilt for every touched row.
+        """
+        if isinstance(entries, Mapping):
+            entries = entries.items()
+        touched = set()
+        for (state, action), value in entries:
+            row = self._intern_state(state)
+            col = self._intern_action(action)
+            self._values[row, col] = float(value)
+            self._mark_set(row, col)
+            touched.add(row)
+        for row in touched:
+            self._rescan_row(row)
+
+
+class DenseMultiRateQTable(MultiRateMixin, DenseQTable):
+    """Array-backed variant of :class:`~repro.rl.qlearning.MultiRateQTable`.
+
+    Same multi-rate neighbor refresh (the Q+ baseline's speed-up trick
+    [12]) over the dense store; results are bit-identical to the dict
+    variant for equal update sequences.
+    """
+
+    def __init__(
+        self,
+        actions: Sequence[Action],
+        alpha: float = 0.1,
+        gamma: float = 0.9,
+        initial_q: float = 0.0,
+        neighbor_rate: float = 0.25,
+    ) -> None:
+        DenseQTable.__init__(
+            self, actions, alpha=alpha, gamma=gamma, initial_q=initial_q
+        )
+        self._init_multirate(neighbor_rate)

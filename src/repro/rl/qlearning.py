@@ -9,9 +9,18 @@ learning process" [12].
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Hashable, Iterable, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-__all__ = ["QTable", "MultiRateQTable"]
+__all__ = ["QTable", "MultiRateQTable", "MultiRateMixin"]
 
 State = Hashable
 Action = Hashable
@@ -91,28 +100,47 @@ class QTable:
     def __contains__(self, key: Tuple[State, Action]) -> bool:
         return key in self._q
 
+    def state_known(self, state: State, actions: Sequence[Action]) -> bool:
+        """True if any (state, action) entry has been learned."""
+        return any((state, a) in self for a in actions)
+
     def snapshot(self) -> Dict[Tuple[State, Action], float]:
         """Copy of the raw table (for inspection/tests)."""
         return dict(self._q)
 
+    def bulk_load(
+        self,
+        entries: Union[
+            Mapping[Tuple[State, Action], float],
+            Iterable[Tuple[Tuple[State, Action], float]],
+        ],
+    ) -> None:
+        """Load ``(state, action) -> value`` pairs verbatim.
 
-class MultiRateQTable(QTable):
-    """Q-table that also refreshes *related* entries at reduced rates.
+        The inverse of :meth:`snapshot`: values are written directly (no
+        TD step, no ``updates`` increment).  Knowledge import goes
+        through this instead of reaching into the private store, so any
+        backend implementing the :class:`QTable` interface can restore a
+        serialized table.
+        """
+        if isinstance(entries, Mapping):
+            entries = entries.items()
+        for (state, action), value in entries:
+            self._q[(state, action)] = float(value)
+
+
+class MultiRateMixin:
+    """Multi-rate neighbor refresh over any Q-table backend.
 
     On each update the entry itself learns at ``alpha``; every other
     action recorded for the same state learns toward the same target at
     ``alpha × neighbor_rate``, propagating information faster in slowly
     revisited state spaces (the Q+ baseline's speed-up trick [12]).
+    Mix in *before* the backend class and call :meth:`_init_multirate`
+    from the subclass constructor.
     """
 
-    def __init__(
-        self,
-        alpha: float = 0.1,
-        gamma: float = 0.9,
-        initial_q: float = 0.0,
-        neighbor_rate: float = 0.25,
-    ) -> None:
-        super().__init__(alpha=alpha, gamma=gamma, initial_q=initial_q)
+    def _init_multirate(self, neighbor_rate: float) -> None:
         if not 0 <= neighbor_rate <= 1:
             raise ValueError("neighbor_rate must lie in [0, 1]")
         self.neighbor_rate = neighbor_rate
@@ -140,3 +168,17 @@ class MultiRateQTable(QTable):
                     )
         self._actions_seen[state].add(action)
         return result
+
+
+class MultiRateQTable(MultiRateMixin, QTable):
+    """Dictionary-backed Q-table with multi-rate neighbor updates."""
+
+    def __init__(
+        self,
+        alpha: float = 0.1,
+        gamma: float = 0.9,
+        initial_q: float = 0.0,
+        neighbor_rate: float = 0.25,
+    ) -> None:
+        QTable.__init__(self, alpha=alpha, gamma=gamma, initial_q=initial_q)
+        self._init_multirate(neighbor_rate)

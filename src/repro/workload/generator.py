@@ -135,25 +135,33 @@ class WorkloadGenerator:
         prio_idx = self._slack.choice(3, size=n, p=list(spec.priority_mix))
         slack_u = self._slack.uniform(0.0, 1.0, size=n)
 
+        # Batched tail: the same IEEE-754 double expressions as the
+        # original per-task loop, evaluated elementwise, so every task
+        # field is bit-identical (see tests/workload/test_generator.py).
         priorities = (Priority.HIGH, Priority.MEDIUM, Priority.LOW)
-        tasks: list[Task] = []
-        for i in range(n):
-            prio = priorities[int(prio_idx[i])]
-            lo, hi = slack_band(prio)
-            slack_fraction = lo + (hi - lo) * float(slack_u[i])
-            act = float(sizes[i]) / spec.reference_speed_mips
-            arrival = float(arrivals[i])
-            deadline = arrival + act * (1.0 + slack_fraction)
-            tasks.append(
-                Task(
-                    tid=i,
-                    size_mi=float(sizes[i]),
-                    arrival_time=arrival,
-                    act=act,
-                    deadline=deadline,
-                )
+        bands = np.array(
+            [slack_band(p) for p in priorities], dtype=np.float64
+        )
+        lo = bands[prio_idx, 0]
+        hi = bands[prio_idx, 1]
+        slack_fraction = lo + (hi - lo) * slack_u
+        act = sizes / spec.reference_speed_mips
+        deadline = arrivals + act * (1.0 + slack_fraction)
+
+        size_list = sizes.tolist()
+        arrival_list = arrivals.tolist()
+        act_list = act.tolist()
+        deadline_list = deadline.tolist()
+        return [
+            Task(
+                tid=i,
+                size_mi=size_list[i],
+                arrival_time=arrival_list[i],
+                act=act_list[i],
+                deadline=deadline_list[i],
             )
-        return tasks
+            for i in range(n)
+        ]
 
     def __iter__(self) -> Iterator[Task]:
         return iter(self.generate())

@@ -77,6 +77,38 @@ def test_golden_seed_digest(scheduler: str, seed: int) -> None:
     )
 
 
+@pytest.mark.parametrize("seed", SEEDS)
+def test_dict_backend_matches_golden_digest(seed: int) -> None:
+    """The dict Q-store reference produces the exact pinned digests.
+
+    The default run uses the dense (array-backed) fast path; this guard
+    proves the two backends are interchangeable bit for bit, which is
+    the determinism contract the fast path was built under.
+    """
+    config = ExperimentConfig(
+        scheduler="adaptive-rl",
+        seed=seed,
+        num_tasks=NUM_TASKS,
+        arrival_period=ARRIVAL_PERIOD,
+        scheduler_kwargs={"q_backend": "dict"},
+    )
+    metrics = run_experiment(config).metrics
+    payload = "|".join(
+        [
+            metrics.avert.hex(),
+            metrics.ecs.hex(),
+            float(metrics.success_rate).hex(),
+        ]
+    )
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+    expected = GOLDEN_DIGESTS[f"adaptive-rl/seed{seed}"]
+    assert digest == expected, (
+        f"dict backend seed={seed}: digest {digest} != pinned {expected} "
+        f"(AveRT|ECS|success = {payload}); the dense and dict Q backends "
+        "have diverged"
+    )
+
+
 def test_golden_table_is_complete() -> None:
     """Every (scheduler, seed) cell has exactly one pinned digest."""
     expected_keys = {f"{s}/seed{d}" for s in SCHEDULERS for d in SEEDS}

@@ -1,0 +1,148 @@
+"""Unit tests for the array-backed Q-table (repro.rl.dense)."""
+
+import pytest
+
+from repro.rl import DenseMultiRateQTable, DenseQTable
+
+ACTIONS = ("left", "right", "up")
+
+
+class TestConstruction:
+    def test_requires_actions(self):
+        with pytest.raises(ValueError):
+            DenseQTable(())
+
+    def test_rejects_duplicate_actions(self):
+        with pytest.raises(ValueError):
+            DenseQTable(("a", "a"))
+
+    def test_validates_rates(self):
+        with pytest.raises(ValueError):
+            DenseQTable(ACTIONS, alpha=0.0)
+        with pytest.raises(ValueError):
+            DenseQTable(ACTIONS, gamma=1.0)
+
+
+class TestReadsAndUpdates:
+    def test_unseen_reads_initial_q(self):
+        t = DenseQTable(ACTIONS, initial_q=0.25)
+        assert t.q("s", "left") == 0.25
+        assert t.values("s", ACTIONS) == [0.25, 0.25, 0.25]
+        assert t.best_value("s", ACTIONS) == 0.25
+        assert t.best_action("s", ACTIONS) == "left"
+
+    def test_update_moves_toward_target(self):
+        t = DenseQTable(ACTIONS, alpha=0.5)
+        assert t.update("s", "left", 10.0) == 5.0
+        assert t.q("s", "left") == 5.0
+        assert t.updates == 1
+
+    def test_bootstrapped_target_uses_next_state_max(self):
+        t = DenseQTable(ACTIONS, alpha=1.0, gamma=0.5)
+        t.update("s2", "up", 8.0)  # Q(s2, up) = 8
+        t.update("s1", "left", 1.0, next_state="s2", next_actions=ACTIONS)
+        assert t.q("s1", "left") == 1.0 + 0.5 * 8.0
+
+    def test_empty_next_actions_bootstrap_zero(self):
+        t = DenseQTable(ACTIONS, alpha=1.0, gamma=0.9)
+        t.update("s", "left", 3.0, next_state="s2", next_actions=())
+        assert t.q("s", "left") == 3.0
+
+    def test_best_action_requires_actions(self):
+        with pytest.raises(ValueError):
+            DenseQTable(ACTIONS).best_action("s", ())
+
+    def test_greedy_tracks_decreasing_best(self):
+        """Lowering the current best re-scans and finds the runner-up."""
+        t = DenseQTable(ACTIONS, alpha=1.0)
+        t.update("s", "up", 9.0)
+        t.update("s", "right", 5.0)
+        assert t.best_action("s", ACTIONS) == "up"
+        # Contract the leader below the runner-up (alpha=1 → Q = reward).
+        t.update("s", "up", 1.0)
+        assert t.best_action("s", ACTIONS) == "right"
+        assert t.best_value("s", ACTIONS) == 5.0
+
+    def test_state_rows_grow_past_initial_capacity(self):
+        t = DenseQTable(ACTIONS, alpha=1.0)
+        n = 100  # > the initial row allocation
+        for i in range(n):
+            t.update(("s", i), "left", float(i))
+        for i in range(n):
+            assert t.q(("s", i), "left") == float(i)
+        assert len(t) == n
+
+
+class TestContainerProtocol:
+    def test_contains_tracks_explicit_entries(self):
+        t = DenseQTable(ACTIONS)
+        assert ("s", "left") not in t
+        t.update("s", "left", 1.0)
+        assert ("s", "left") in t
+        assert ("s", "right") not in t
+        assert ("other", "left") not in t
+
+    def test_len_counts_set_entries_once(self):
+        t = DenseQTable(ACTIONS, alpha=0.5)
+        t.update("s", "left", 1.0)
+        t.update("s", "left", 2.0)
+        t.update("s", "right", 1.0)
+        assert len(t) == 2
+
+    def test_state_known(self):
+        t = DenseQTable(ACTIONS)
+        assert not t.state_known("s", ACTIONS)
+        t.update("s", "up", 0.0)
+        assert t.state_known("s", ACTIONS)
+        assert not t.state_known("other", ACTIONS)
+
+
+class TestForeignActions:
+    def test_foreign_action_update_disables_fast_path_not_correctness(self):
+        t = DenseQTable(ACTIONS, alpha=1.0)
+        t.update("s", "teleport", 4.0)  # not in the canonical tuple
+        t.update("s", "left", 2.0)
+        assert t.q("s", "teleport") == 4.0
+        # Greedy over canonical actions must NOT see the foreign column.
+        assert t.best_action("s", ACTIONS) == "left"
+        assert t.best_value("s", ACTIONS) == 2.0
+        # Greedy over a set including it does.
+        all_actions = ACTIONS + ("teleport",)
+        assert t.best_action("s", all_actions) == "teleport"
+
+    def test_snapshot_includes_foreign_entries(self):
+        t = DenseQTable(ACTIONS, alpha=1.0)
+        t.update("s", "teleport", 4.0)
+        assert t.snapshot() == {("s", "teleport"): 4.0}
+
+
+class TestBulkLoad:
+    def test_bulk_load_writes_verbatim(self):
+        t = DenseQTable(ACTIONS, alpha=0.5)
+        t.bulk_load({("s", "left"): 3.0, ("s2", "up"): -1.0})
+        assert t.q("s", "left") == 3.0
+        assert t.q("s2", "up") == -1.0
+        assert t.updates == 0  # no TD steps
+        assert t.best_action("s", ACTIONS) == "left"
+        assert t.best_action("s2", ACTIONS) == "left"  # -1 < initial 0
+
+    def test_bulk_load_accepts_pairs(self):
+        t = DenseQTable(ACTIONS)
+        t.bulk_load([(("s", "right"), 2.0)])
+        assert t.q("s", "right") == 2.0
+
+
+class TestDenseMultiRate:
+    def test_neighbor_entries_updated_at_side_rate(self):
+        t = DenseMultiRateQTable(
+            ("on", "off"), alpha=1.0, gamma=0.0, neighbor_rate=0.5
+        )
+        t.update("s", "on", 10.0)
+        t.update("s", "off", 4.0)
+        # The second update also moved "on" toward 4 at alpha*0.5.
+        assert t.q("s", "off") == 4.0
+        assert t.q("s", "on") == 10.0 + 0.5 * (4.0 - 10.0)
+
+    def test_validates_neighbor_rate(self):
+        with pytest.raises(ValueError):
+            DenseMultiRateQTable(("a", "b"), neighbor_rate=1.5)

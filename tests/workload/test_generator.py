@@ -98,3 +98,57 @@ class TestGeneration:
         spec = WorkloadSpec(num_tasks=10)
         gen = WorkloadGenerator(spec, RandomStreams(seed=1))
         assert len(list(gen)) == 10
+
+
+class TestBatchedTailBitIdentity:
+    """The vectorized generation tail must reproduce the scalar loop
+    bit for bit — same RNG stream consumption, same IEEE-754 doubles."""
+
+    @staticmethod
+    def _reference_tasks(spec, seed):
+        """The original per-task scalar loop, kept as the oracle."""
+        from repro.workload.priorities import slack_band
+        from repro.workload.task import Task
+
+        streams = RandomStreams(seed=seed)
+        arrivals_rng = streams["workload.arrivals"]
+        sizes_rng = streams["workload.sizes"]
+        slack_rng = streams["workload.slack"]
+        n = spec.num_tasks
+        iats = arrivals_rng.exponential(spec.mean_interarrival, size=n)
+        arrivals = spec.first_arrival + np.cumsum(iats)
+        sizes = sizes_rng.uniform(*spec.size_range_mi, size=n)
+        prio_idx = slack_rng.choice(3, size=n, p=list(spec.priority_mix))
+        slack_u = slack_rng.uniform(0.0, 1.0, size=n)
+        priorities = (Priority.HIGH, Priority.MEDIUM, Priority.LOW)
+        tasks = []
+        for i in range(n):
+            lo, hi = slack_band(priorities[int(prio_idx[i])])
+            slack_fraction = lo + (hi - lo) * float(slack_u[i])
+            act = float(sizes[i]) / spec.reference_speed_mips
+            arrival = float(arrivals[i])
+            deadline = arrival + act * (1.0 + slack_fraction)
+            tasks.append(
+                Task(
+                    tid=i,
+                    size_mi=float(sizes[i]),
+                    arrival_time=arrival,
+                    act=act,
+                    deadline=deadline,
+                )
+            )
+        return tasks
+
+    @pytest.mark.parametrize("seed", [1, 77, 2024])
+    def test_bit_identical_to_scalar_reference(self, seed):
+        spec = WorkloadSpec(num_tasks=400, priority_mix=(0.6, 0.3, 0.1))
+        got = WorkloadGenerator(spec, RandomStreams(seed=seed)).generate()
+        want = self._reference_tasks(spec, seed)
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert g.tid == w.tid
+            assert g.size_mi.hex() == w.size_mi.hex()
+            assert g.arrival_time.hex() == w.arrival_time.hex()
+            assert g.act.hex() == w.act.hex()
+            assert g.deadline.hex() == w.deadline.hex()
+            assert g.priority is w.priority
