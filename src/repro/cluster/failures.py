@@ -52,16 +52,27 @@ class FailureInjector:
         model: FailureModel,
         rng: np.random.Generator,
         start_after: float = 0.0,
+        until: Optional[float] = None,
     ) -> None:
         if not nodes:
             raise ValueError("no nodes to inject failures into")
         if start_after < 0:
             raise ValueError("start_after must be non-negative")
+        if until is not None and until < start_after:
+            raise ValueError("until must not precede start_after")
         self.env = env
         self.nodes = list(nodes)
         self.model = model
         self._rng = rng
         self.start_after = start_after
+        #: Injection horizon: no fail/repair event is scheduled past
+        #: this time.  Without a horizon, lifecycles kept scheduling
+        #: beyond the run's stop sentinel; those events never fired
+        #: under ``run(until=...)`` but inflated ``queue_size`` and —
+        #: for callers stepping the environment manually — injected
+        #: failures outside the window they asked for.  ``None`` keeps
+        #: the unbounded behavior.
+        self.until = until
         self.failures_injected = 0
         self.repairs_completed = 0
         self.log: list[tuple[float, str, str]] = []
@@ -70,12 +81,15 @@ class FailureInjector:
 
     def _node_lifecycle(self, node: ComputeNode):
         env = self.env
+        until = self.until
         if self.start_after > 0:
             yield env.timeout(self.start_after)
         while True:
             uptime = float(
                 self._rng.exponential(self.model.mean_time_between_failures)
             )
+            if until is not None and env.now + uptime > until:
+                return
             yield env.timeout(uptime)
             if not node.failed:
                 node.fail()
@@ -85,6 +99,8 @@ class FailureInjector:
             downtime = float(
                 self._rng.exponential(self.model.mean_time_to_repair)
             )
+            if until is not None and env.now + downtime > until:
+                return
             yield env.timeout(downtime)
             if node.failed:
                 node.repair()

@@ -67,6 +67,9 @@ class ProcessorEnergyMeter:
     def __init__(self, profile: PowerProfile, start_time: float = 0.0) -> None:
         self.profile = profile
         self._state = ProcState.IDLE
+        #: Time metering began — kept so auditors can check time closure
+        #: (``busy + idle + sleep == last_transition − start_time``).
+        self.start_time = float(start_time)
         self._since = float(start_time)
         # Per-state accumulators as plain attributes: the learning-cycle
         # sampler reads these for every processor on every cycle, and

@@ -119,6 +119,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip sweep jobs already journaled under --checkpoint-dir",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="run every simulation under the invariant auditor "
+        "(repro.validate); any invariant violation aborts the run",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -134,6 +140,17 @@ def main(argv: list[str] | None = None) -> int:
     task_counts = QUICK_TASK_COUNTS if args.quick else PAPER_TASK_COUNTS
     heavy = QUICK_HEAVY if args.quick else HEAVY_TASKS
     seeds = tuple(args.seeds)
+
+    if args.strict:
+        import os
+
+        from ..validate import set_strict
+
+        # The env var (not just the in-process flag) so --jobs worker
+        # processes inherit strict mode too.
+        os.environ["REPRO_STRICT"] = "1"
+        set_strict(True)
+        print("strict mode: invariant auditor attached to every run")
 
     # Fail before the (potentially minutes-long) runs, not after, if an
     # output path cannot be written.

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..metrics.stats import relative_difference
 from .figures import FigureData
 
 __all__ = ["render_figure", "ShapeCheck", "shape_checks"]
@@ -84,17 +85,30 @@ def _checks_fig7(fig: FigureData) -> list[ShapeCheck]:
     # The gap widens with load: relative gap at max N > gap at min N.
     def rel_gap(i: int) -> float:
         best_other = min(ys[i] for ys in others.values())
-        return (best_other - adaptive[i]) / adaptive[i]
-
-    checks.append(
-        _check(
-            "fig7",
-            "Adaptive-RL's margin grows as the number of tasks increases",
-            rel_gap(len(fig.x_values) - 1) > rel_gap(0),
-            f"margin {rel_gap(0):+.1%} at N={fig.x_values[0]} → "
-            f"{rel_gap(len(fig.x_values) - 1):+.1%} at N={fig.x_values[-1]}",
+        return relative_difference(
+            best_other,
+            adaptive[i],
+            context=f"fig7 AveRT margin at N={fig.x_values[i]} "
+            "(reference: Adaptive-RL)",
         )
-    )
+
+    claim = "Adaptive-RL's margin grows as the number of tasks increases"
+    try:
+        checks.append(
+            _check(
+                "fig7",
+                claim,
+                rel_gap(len(fig.x_values) - 1) > rel_gap(0),
+                f"margin {rel_gap(0):+.1%} at N={fig.x_values[0]} → "
+                f"{rel_gap(len(fig.x_values) - 1):+.1%} at N={fig.x_values[-1]}",
+            )
+        )
+    except ValueError as exc:
+        # A zero Adaptive-RL aggregate (degenerate run, e.g. an empty
+        # workload) makes the margin undefined; report the check as
+        # failed with the attributable message rather than crashing
+        # figure generation.
+        checks.append(_check("fig7", claim, False, str(exc)))
     return checks
 
 
@@ -107,15 +121,30 @@ def _checks_fig8(fig: FigureData) -> list[ShapeCheck]:
         if not (n.startswith("Adaptive") or n.startswith("Online"))
     }
     checks = []
-    diffs = [abs(o - a) / a for a, o in zip(adaptive, online)]
-    checks.append(
-        _check(
-            "fig8",
-            "Online RL's energy is comparable to Adaptive-RL's (≈5% differences)",
-            max(diffs) <= 0.15,
-            f"max |Online − Adaptive| / Adaptive = {max(diffs):.1%}",
+    claim = "Online RL's energy is comparable to Adaptive-RL's (≈5% differences)"
+    try:
+        diffs = [
+            abs(
+                relative_difference(
+                    o,
+                    a,
+                    context=f"fig8 ECS comparison at N={fig.x_values[i]} "
+                    "(reference: Adaptive-RL)",
+                )
+            )
+            for i, (a, o) in enumerate(zip(adaptive, online))
+        ]
+        checks.append(
+            _check(
+                "fig8",
+                claim,
+                max(diffs) <= 0.15,
+                f"max |Online − Adaptive| / Adaptive = {max(diffs):.1%}",
+            )
         )
-    )
+    except ValueError as exc:
+        # Zero reference energy (see _checks_fig7): fail attributably.
+        checks.append(_check("fig8", claim, False, str(exc)))
     last = len(fig.x_values) - 1
     checks.append(
         _check(

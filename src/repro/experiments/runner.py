@@ -23,6 +23,7 @@ from ..obs import (
 from ..sim.core import Environment
 from ..sim.events import AnyOf
 from ..sim.rng import RandomStreams
+from ..validate import AuditReport, InvariantAuditor, strict_mode_enabled
 from ..workload.generator import WorkloadGenerator, WorkloadSpec
 from ..workload.task import Task
 from .config import ExperimentConfig
@@ -46,12 +47,15 @@ class RunResult:
     tasks: Sequence[Task]
     #: The telemetry that observed the run (NULL_TELEMETRY when off).
     telemetry: Telemetry = NULL_TELEMETRY
+    #: The invariant auditor's findings (None unless strict mode ran).
+    audit: Optional[AuditReport] = None
 
 
 def run_experiment(
     config: ExperimentConfig,
     scheduler: Optional[Scheduler] = None,
     telemetry: Optional[Telemetry] = None,
+    strict: Optional[bool] = None,
 ) -> RunResult:
     """Execute one configured simulation run to completion.
 
@@ -67,6 +71,13 @@ def run_experiment(
         omitted, the ambient telemetry (``repro.obs.use(...)`` /
         ``set_telemetry``) applies — the null telemetry by default, so
         uninstrumented callers pay nothing.
+    strict:
+        Run under the :class:`~repro.validate.InvariantAuditor` —
+        violations raise :class:`~repro.validate.InvariantViolationError`
+        and the report lands in ``RunResult.audit``.  ``None`` (default)
+        defers to :func:`repro.validate.strict_mode_enabled`
+        (the ``REPRO_STRICT`` env var / ``set_strict``), so the common
+        path stays audit-free.
     """
     tel = telemetry if telemetry is not None else get_telemetry()
     wall0 = tel.profiler.start() if tel.profiling else 0.0
@@ -113,6 +124,12 @@ def run_experiment(
     scheduler.attach(env, system, streams)
     done = scheduler.expect(len(tasks))
 
+    # The run horizon, needed here so the failure injector can clamp
+    # its lifecycles to it; the cap *event* is still created after the
+    # arrival process below, preserving historical event ordering.
+    arrival_span = tasks[-1].arrival_time
+    time_cap = max(arrival_span, 1.0) * config.sim_time_factor
+
     if config.failure_mtbf is not None:
         from ..cluster.failures import FailureInjector, FailureModel
 
@@ -121,7 +138,13 @@ def run_experiment(
             system.nodes,
             FailureModel(config.failure_mtbf, config.failure_mttr),
             streams["failures"],
+            until=time_cap,
         )
+
+    strict_on = strict if strict is not None else strict_mode_enabled()
+    auditor = (
+        InvariantAuditor(env, system, scheduler) if strict_on else None
+    )
 
     def arrivals():
         tracing = tel.tracing
@@ -142,8 +165,6 @@ def run_experiment(
 
     env.process(arrivals())
 
-    arrival_span = tasks[-1].arrival_time
-    time_cap = max(arrival_span, 1.0) * config.sim_time_factor
     cap_event = env.timeout(time_cap)
     env.run(until=AnyOf(env, [done, cap_event]))
     if not done.triggered:
@@ -157,6 +178,7 @@ def run_experiment(
     for proc in system.processors:
         proc.meter.finalize(now)
 
+    audit = auditor.finalize() if auditor is not None else None
     metrics = collect_metrics(scheduler, system, tasks)
     if tel.metering:
         registry = tel.metrics
@@ -193,4 +215,5 @@ def run_experiment(
         system=system,
         tasks=tasks,
         telemetry=tel,
+        audit=audit,
     )

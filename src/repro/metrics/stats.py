@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -41,10 +41,26 @@ class MeanCI:
 
 
 def mean_ci(values: Sequence[float]) -> MeanCI:
-    """95 % t-confidence interval for the mean of *values*."""
+    """95 % t-confidence interval for the mean of *values*.
+
+    Raises
+    ------
+    ValueError
+        If the sample is empty or contains a non-finite value (NaN or
+        ±inf).  Multi-seed aggregation indexes samples by seed, so the
+        error names the offending index instead of letting the NaN
+        propagate silently into a figure table.
+    """
     if len(values) == 0:
         raise ValueError("empty sample")
     arr = np.asarray(values, dtype=float)
+    finite = np.isfinite(arr)
+    if not finite.all():
+        bad = int(np.flatnonzero(~finite)[0])
+        raise ValueError(
+            f"non-finite sample at index {bad} (seed index {bad}): "
+            f"{arr[bad]!r} — refusing to aggregate into a mean/CI"
+        )
     n = len(arr)
     mean = float(arr.mean())
     if n == 1:
@@ -54,8 +70,26 @@ def mean_ci(values: Sequence[float]) -> MeanCI:
     return MeanCI(mean=mean, half_width=t * sem, n=n)
 
 
-def relative_difference(a: float, b: float) -> float:
-    """``(a − b) / b`` — signed relative difference of *a* versus *b*."""
+def relative_difference(
+    a: float, b: float, context: Optional[str] = None
+) -> float:
+    """``(a − b) / b`` — signed relative difference of *a* versus *b*.
+
+    Parameters
+    ----------
+    a, b:
+        The compared value and the reference value.
+    context:
+        Optional description of what is being compared (metric name,
+        figure, comparison point).  A zero reference raises
+        ``ValueError`` — the *context* is included in the message so
+        the failure is attributable when it surfaces deep inside
+        figure generation (e.g. an empty-workload energy aggregate).
+    """
     if b == 0:
-        raise ValueError("reference value is zero")
+        detail = f" while computing {context}" if context else ""
+        raise ValueError(
+            f"reference value is zero{detail} (cannot take a relative "
+            f"difference of {a!r} against 0)"
+        )
     return (a - b) / b

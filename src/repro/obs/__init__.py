@@ -8,6 +8,7 @@ instrumented hot paths cost a single boolean check per operation; see
 """
 
 from .events import (
+    CAT_AUDIT,
     CAT_ENERGY,
     CAT_GROUP,
     CAT_MEMORY,
@@ -47,6 +48,7 @@ __all__ = [
     "CAT_MEMORY",
     "CAT_ENERGY",
     "CAT_NODE",
+    "CAT_AUDIT",
     "TraceRecorder",
     "NullRecorder",
     "InMemoryRecorder",

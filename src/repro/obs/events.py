@@ -16,6 +16,7 @@ rl        action, reward, regression      ``core.agent`` (ε-greedy + Eqs. 7–9
 memory    seed, override                  ``core.agent`` (shared memory, §IV.C)
 energy    state, dvfs                     ``energy.meter`` / ``core.dvfs``
 node      fail, repair                    ``cluster.failures``
+audit     <invariant name>                ``validate.auditor`` (strict mode)
 ========  ==============================  =====================================
 """
 
@@ -34,6 +35,7 @@ __all__ = [
     "CAT_MEMORY",
     "CAT_ENERGY",
     "CAT_NODE",
+    "CAT_AUDIT",
 ]
 
 CAT_RUN = "run"
@@ -43,6 +45,7 @@ CAT_RL = "rl"
 CAT_MEMORY = "memory"
 CAT_ENERGY = "energy"
 CAT_NODE = "node"
+CAT_AUDIT = "audit"
 
 #: Every category the instrumented codebase emits.
 CATEGORIES = (
@@ -53,6 +56,7 @@ CATEGORIES = (
     CAT_MEMORY,
     CAT_ENERGY,
     CAT_NODE,
+    CAT_AUDIT,
 )
 
 

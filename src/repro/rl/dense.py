@@ -278,6 +278,29 @@ class DenseQTable:
             return row is not None and self._row_nset[row] > 0
         return any((state, a) in self for a in actions)
 
+    # -- self-validation ----------------------------------------------------
+    def audit_argmax(self) -> list[tuple[State, int, float, int, float]]:
+        """Rows whose maintained ``(best value, first best col)`` pair
+        disagrees with a fresh :func:`numpy.argmax` rescan.
+
+        The incremental argmax maintenance (:meth:`_maintain_argmax`) is
+        what makes greedy reads O(1); this check re-derives every row's
+        winner with the reference scan and returns the discrepancies as
+        ``(state, cached_col, cached_val, true_col, true_val)`` tuples —
+        empty when the invariant holds.  Used by the strict-mode
+        invariant auditor (:mod:`repro.validate`).
+        """
+        bad: list[tuple[State, int, float, int, float]] = []
+        for state, row in self._state_index.items():
+            row_vals = self._values[row]
+            col = int(np.argmax(row_vals))
+            val = float(row_vals[col])
+            cached_col = int(self._best_col[row])
+            cached_val = float(self._best_val[row])
+            if col != cached_col or val != cached_val:
+                bad.append((state, cached_col, cached_val, col, val))
+        return bad
+
     # -- bulk I/O ----------------------------------------------------------
     def snapshot(self) -> Dict[Tuple[State, Action], float]:
         """Copy of the explicitly set entries (for export/inspection)."""

@@ -97,6 +97,15 @@ class Environment:
         self._active: deque[tuple[float, int, int, Event]] = deque()
         self._eid = count()
         self._active_proc: Optional[Process] = None
+        #: Optional per-event observer for strict-mode validation
+        #: (:mod:`repro.validate`).  Called with each popped entry
+        #: *before* the clock advances, so it can compare the entry
+        #: against the previous time and the remaining queue heads.
+        #: Must be installed before :meth:`run` — the run loop selects
+        #: its unhooked fast path once per call.  ``None`` (the
+        #: default) keeps the fast path selected: disabled auditing
+        #: costs one attribute check per run() call, not per event.
+        self._audit_hook = None
         self.telemetry: Telemetry = (
             telemetry if telemetry is not None else NULL_TELEMETRY
         )
@@ -252,6 +261,8 @@ class Environment:
         entry = self._pop()
         if entry is None:
             raise EmptySchedule("no scheduled events left")
+        if self._audit_hook is not None:
+            self._audit_hook(entry)
         self._now, _, _, event = entry
 
         if self._c_events is not None:
@@ -308,7 +319,9 @@ class Environment:
         # container bound to a local (all are mutated in place, never
         # rebound, so the locals stay valid across callbacks); the metered
         # variant exists so the common NULL_TELEMETRY path carries no
-        # instrumentation at all.
+        # instrumentation at all.  An installed audit hook also forces
+        # the general loop — the choice is made once here, never per
+        # event, so disabled auditing is free.
         queue = self._queue
         urgent = self._urgent
         normal = self._normal
@@ -316,8 +329,9 @@ class Environment:
         times = self._times
         buckets = self._buckets
         c_events = self._c_events
+        audit = self._audit_hook
         try:
-            if c_events is None:
+            if c_events is None and audit is None:
                 while True:
                     best = queue[0] if queue else None
                     source = 0
@@ -368,12 +382,16 @@ class Environment:
                     entry = self._pop()
                     if entry is None:
                         break
+                    if audit is not None:
+                        audit(entry)
                     self._now, _, _, event = entry
-                    c_events.value += 1
-                    g_queue.set(
-                        len(queue) + len(active) + len(urgent) + len(normal)
-                        + sum(len(b) for b in buckets.values())
-                    )
+                    if c_events is not None:
+                        c_events.value += 1
+                        g_queue.set(
+                            len(queue) + len(active) + len(urgent)
+                            + len(normal)
+                            + sum(len(b) for b in buckets.values())
+                        )
                     callbacks, event.callbacks = event.callbacks, None
                     for callback in callbacks:
                         callback(event)

@@ -1,0 +1,77 @@
+"""Strict-mode invariant auditing for the simulation core.
+
+Opt-in sanitizer-style validation: an :class:`InvariantAuditor` attaches
+to an experiment before it runs and independently re-checks the physics
+the paper defines — clock/dispatch order, the Eq. 2 queue bound, task
+conservation, Eq. 5 energy closure, Eq. 1 priority classes, the
+15-cycle shared-memory cap, and dense-vs-dict Q-table parity.  See
+``docs/architecture.md`` ("Strict mode") for the full catalogue.
+
+Three ways to turn it on:
+
+- ``run_experiment(config, strict=True)`` — explicit per call;
+- ``repro.experiments.cli ... --strict`` — for figure regeneration;
+- ``REPRO_STRICT=1`` in the environment — picked up by
+  :func:`strict_mode_enabled` (and by the test suite through the
+  fixture in ``tests/conftest.py``), so CI can run the whole tier-1
+  suite under audit without touching any call site.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .auditor import (
+    INV_CLOCK,
+    INV_CONSERVATION,
+    INV_ENERGY,
+    INV_MEMORY,
+    INV_ORDER,
+    INV_PRIORITY,
+    INV_QPARITY,
+    INV_QUEUE,
+    InvariantAuditor,
+)
+from .report import AuditReport, InvariantViolationError, Violation
+
+__all__ = [
+    "InvariantAuditor",
+    "AuditReport",
+    "Violation",
+    "InvariantViolationError",
+    "strict_mode_enabled",
+    "set_strict",
+    "INV_CLOCK",
+    "INV_ORDER",
+    "INV_QUEUE",
+    "INV_CONSERVATION",
+    "INV_ENERGY",
+    "INV_PRIORITY",
+    "INV_MEMORY",
+    "INV_QPARITY",
+]
+
+#: Process-wide override; ``None`` defers to the REPRO_STRICT env var.
+_STRICT_OVERRIDE: Optional[bool] = None
+
+
+def set_strict(enabled: Optional[bool]) -> None:
+    """Force strict mode on/off for this process (``None`` = defer to
+    the ``REPRO_STRICT`` environment variable)."""
+    global _STRICT_OVERRIDE
+    _STRICT_OVERRIDE = enabled
+
+
+def strict_mode_enabled() -> bool:
+    """Should experiments run under the invariant auditor?
+
+    :func:`set_strict` wins when called; otherwise ``REPRO_STRICT``
+    decides (any value except empty/``0``/``false``/``no`` enables).
+    The env-var path means worker processes spawned by the parallel
+    campaign engine inherit strict mode automatically.
+    """
+    if _STRICT_OVERRIDE is not None:
+        return _STRICT_OVERRIDE
+    raw = os.environ.get("REPRO_STRICT", "")
+    return raw.strip().lower() not in ("", "0", "false", "no")

@@ -1,0 +1,92 @@
+"""Structured audit findings: violations, errors, and the run report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+__all__ = ["Violation", "AuditReport", "InvariantViolationError"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, pinned to a time and a subject.
+
+    Parameters
+    ----------
+    invariant:
+        Which invariant broke (one of the ``INV_*`` names in
+        :mod:`repro.validate.auditor`).
+    time:
+        Simulated time at which the breach was detected.
+    subject:
+        The entity that broke it (a node/processor/task/agent id, or
+        ``"env"`` for kernel-level invariants).
+    message:
+        Human-readable description of the breach.
+    details:
+        Structured payload (expected vs observed values, indices, …).
+    """
+
+    invariant: str
+    time: float
+    subject: str
+    message: str
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.invariant}] t={self.time:g} {self.subject}: "
+            f"{self.message}"
+        )
+
+
+class InvariantViolationError(RuntimeError):
+    """Raised by the auditor (in ``on_violation="raise"`` mode) at the
+    moment an invariant breaks; carries the structured finding."""
+
+    def __init__(self, violation: Violation, report: "AuditReport") -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+        self.report = report
+
+
+@dataclass
+class AuditReport:
+    """Everything one audited run produced: counts plus findings."""
+
+    #: Breaches in detection order.
+    violations: list[Violation] = field(default_factory=list)
+    #: Number of checks performed, keyed by invariant name.
+    checks: Dict[str, int] = field(default_factory=dict)
+    #: Events that passed through the dispatch-order/clock hook.
+    events_audited: int = 0
+    #: Structural sweeps performed.
+    sweeps: int = 0
+    #: True once the end-of-run checks have been applied.
+    finalized: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant was violated."""
+        return not self.violations
+
+    def count(self, invariant: str, n: int = 1) -> None:
+        """Record that *n* checks of *invariant* were performed."""
+        self.checks[invariant] = self.checks.get(invariant, 0) + n
+
+    def add(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"audit: {len(self.violations)} violation(s), "
+            f"{self.events_audited} events audited, {self.sweeps} sweeps"
+            + ("" if self.finalized else " (not finalized)")
+        ]
+        for name in sorted(self.checks):
+            lines.append(f"  checked {name}: {self.checks[name]}")
+        for v in self.violations:
+            lines.append(f"  VIOLATION {v}")
+        return "\n".join(lines)

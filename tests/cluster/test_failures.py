@@ -35,6 +35,21 @@ class TestFailureModel:
         m = FailureModel(90.0, 10.0)
         assert m.availability == pytest.approx(0.9)
 
+    @pytest.mark.parametrize(
+        "mtbf,mttr,expected",
+        [
+            (100.0, 100.0, 0.5),       # equal up/down halves availability
+            (999.0, 1.0, 0.999),       # near-perfect availability
+            (1.0, 9.0, 0.1),           # mostly-down population
+        ],
+    )
+    def test_availability_is_mtbf_over_total(self, mtbf, mttr, expected):
+        assert FailureModel(mtbf, mttr).availability == pytest.approx(expected)
+
+    def test_availability_bounded(self):
+        m = FailureModel(3.7, 12.9)
+        assert 0.0 < m.availability < 1.0
+
     @pytest.mark.parametrize("mtbf,mttr", [(0, 1), (1, 0), (-1, 1)])
     def test_invalid(self, mtbf, mttr):
         with pytest.raises(ValueError):
@@ -151,6 +166,72 @@ class TestInjector:
                 streams["failures"],
                 start_after=-1,
             )
+
+    def test_until_before_start_after_rejected(self, env, streams):
+        with pytest.raises(ValueError):
+            FailureInjector(
+                env,
+                [make_node(env)],
+                FailureModel(1, 1),
+                streams["failures"],
+                start_after=10.0,
+                until=5.0,
+            )
+
+    def test_until_clamps_lifecycle_to_horizon(self, env, streams):
+        """Regression: lifecycles used to schedule fail/repair events past
+        the run horizon; with ``until`` no log entry may exceed it."""
+        nodes = [make_node(env) for _ in range(4)]
+        horizon = 60.0
+        inj = FailureInjector(
+            env, nodes, FailureModel(5.0, 1.0), streams["failures"], until=horizon
+        )
+        env.run(until=1000.0)
+        assert inj.log, "expected at least one failure within the horizon"
+        assert all(t <= horizon for t, _, _ in inj.log)
+        # Every lifecycle retired at the horizon, so running far past it
+        # injects nothing more.
+        count = len(inj.log)
+        env.run(until=5000.0)
+        assert len(inj.log) == count
+
+    def test_until_preserves_in_horizon_schedule(self, env, streams):
+        """Clamping only drops draws past the horizon: within it, the
+        injected schedule is identical to the unbounded injector's."""
+        from repro.sim import Environment, RandomStreams
+
+        horizon = 40.0
+
+        def run(until):
+            e = Environment()
+            s = RandomStreams(seed=1234)
+            nodes = [make_node(e) for _ in range(3)]
+            inj = FailureInjector(
+                e, nodes, FailureModel(5.0, 1.0), s["failures"], until=until
+            )
+            e.run(until=horizon)
+            return inj.log
+
+        bounded = run(horizon)
+        unbounded = run(None)
+        assert bounded == [entry for entry in unbounded if entry[0] <= horizon]
+
+    def test_same_seed_runs_are_identical(self, env, streams):
+        """Injector determinism: two same-seed runs produce the same log."""
+        from repro.sim import Environment, RandomStreams
+
+        def run():
+            e = Environment()
+            s = RandomStreams(seed=777)
+            nodes = [make_node(e) for _ in range(3)]
+            inj = FailureInjector(e, nodes, FailureModel(5.0, 1.0), s["failures"])
+            e.run(until=200.0)
+            return inj.log, inj.failures_injected, inj.repairs_completed
+
+        first = run()
+        second = run()
+        assert first == second
+        assert first[0], "expected a non-empty failure log"
 
 
 class TestSchedulerResilience:

@@ -2,11 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cluster import PlatformSpec, SleepPolicy, build_system
 from repro.sim import Environment, RandomStreams
 from repro.workload import WorkloadGenerator, WorkloadSpec
+
+
+@pytest.fixture(scope="session", autouse=True)
+def strict_mode_from_env():
+    """``REPRO_STRICT=1 pytest`` runs every ``run_experiment`` in the
+    suite under the invariant auditor (see docs/architecture.md,
+    "Strict mode").  Violations raise, failing the responsible test."""
+    from repro.validate import set_strict, strict_mode_enabled
+
+    if os.environ.get("REPRO_STRICT"):
+        set_strict(strict_mode_enabled())
+        yield
+        set_strict(None)
+    else:
+        yield
 
 
 @pytest.fixture

@@ -36,6 +36,18 @@ class TestMeanCI:
         with pytest.raises(ValueError):
             mean_ci([])
 
+    def test_nan_rejected_with_offending_index(self):
+        with pytest.raises(ValueError, match=r"index 2"):
+            mean_ci([1.0, 2.0, float("nan"), 4.0])
+
+    def test_inf_rejected_with_offending_index(self):
+        with pytest.raises(ValueError, match=r"index 0.*inf"):
+            mean_ci([float("inf"), 2.0])
+
+    def test_negative_inf_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            mean_ci([1.0, float("-inf")])
+
     def test_large_n_uses_z(self):
         ci = mean_ci(list(range(100)))
         assert ci.n == 100
@@ -50,3 +62,14 @@ class TestRelativeDifference:
     def test_zero_reference_rejected(self):
         with pytest.raises(ValueError):
             relative_difference(1.0, 0.0)
+
+    def test_zero_reference_error_names_context(self):
+        with pytest.raises(
+            ValueError, match="while computing fig8 ECS at N=500"
+        ):
+            relative_difference(1.0, 0.0, context="fig8 ECS at N=500")
+
+    def test_context_unused_on_success(self):
+        assert relative_difference(
+            11.0, 10.0, context="irrelevant"
+        ) == pytest.approx(0.1)
