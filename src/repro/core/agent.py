@@ -102,6 +102,11 @@ class SiteAgent:
         self.cycles = 0
         self.groups_dispatched = 0
         self.feedbacks: int = 0
+        #: Cumulative feedback signals, folded in only while telemetry is
+        #: active — the flight recorder's convergence probe reads them as
+        #: windowed means (repro.obs.convergence).
+        self.reward_sum: float = 0.0
+        self.l_val_sum: float = 0.0
 
     # -- observation -------------------------------------------------------
     def observe(self) -> tuple[DiscreteState, SiteObservation]:
@@ -366,6 +371,8 @@ class SiteAgent:
 
         tel = self.telemetry
         if tel.active:
+            self.reward_sum += record.reward
+            self.l_val_sum += record.l_val
             if tel.tracing:
                 tel.emit(
                     CAT_GROUP,

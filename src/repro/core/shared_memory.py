@@ -69,6 +69,12 @@ class SharedLearningMemory:
         self._best_by_state: Dict[DiscreteState, Experience] = {}
         self._best_global: Optional[Experience] = None
         self.total_records = 0
+        #: Ring-eviction and query traffic counters (plain int adds on
+        #: non-hot paths) — the flight recorder's convergence probe turns
+        #: them into hit/evict-rate series (repro.obs.convergence).
+        self.evictions = 0
+        self.queries = 0
+        self.state_hits = 0
 
     def record(self, experience: Experience) -> None:
         """Store *experience* in its agent's ring (evicting the oldest)."""
@@ -80,6 +86,7 @@ class SharedLearningMemory:
         evicted: Optional[Experience] = None
         if len(ring) == ring.capacity:
             evicted = ring.oldest()
+            self.evictions += 1
         else:
             self._count += 1
         ring.append(experience)
@@ -120,11 +127,16 @@ class SharedLearningMemory:
         self, state: Optional[DiscreteState] = None
     ) -> Optional[Experience]:
         """The maximum-``l_val`` experience (state-matching preferred)."""
+        self.queries += 1
         if not self.indexed:
-            return self.scan_best_experience(state)
+            best = self.scan_best_experience(state)
+            if state is not None and best is not None and best.state == state:
+                self.state_hits += 1
+            return best
         if state is not None:
             match = self._best_by_state.get(state)
             if match is not None:
+                self.state_hits += 1
                 return match
         return self._best_global
 

@@ -150,9 +150,11 @@ class Campaign:
         telemetry:
             One shared :class:`~repro.obs.Telemetry` observing every run.
             Serially it observes in-process; with ``jobs > 1`` each
-            worker records its own telemetry and the merged trace is
-            replayed into *telemetry*'s recorder at the end (merged
-            metrics land in ``<checkpoint>/metrics.json``).
+            worker records its own telemetry and, at the end, the merged
+            trace is replayed into *telemetry*'s recorder and the merged
+            flight-recorder bank folds into *telemetry*'s series bank
+            (merged metrics land in ``<checkpoint>/metrics.json``,
+            merged series in ``<checkpoint>/series.json``).
         jobs:
             Worker processes.  ``1`` runs serially in-process;
             ``jobs > 1`` (or ``resume=True`` / an explicit
@@ -241,6 +243,11 @@ class Campaign:
             checkpoint_dir = self.output_dir / "checkpoints"
         capture_obs = telemetry is not None and checkpoint_dir is not None
 
+        sample_every = (
+            telemetry.sample_every
+            if capture_obs and telemetry is not None and telemetry.sampling
+            else None
+        )
         parallel = run_parallel(
             configs,
             jobs=max(1, jobs),
@@ -249,6 +256,7 @@ class Campaign:
             campaign_name=self.name,
             max_retries=max_retries,
             capture_obs=capture_obs,
+            sample_every=sample_every,
         )
         result = CampaignResult(
             name=self.name,
@@ -274,4 +282,18 @@ class Campaign:
 
             for ev in load_jsonl(parallel.trace_path):
                 telemetry.emit(ev.category, ev.name, ev.t, **ev.fields)
+        if (
+            telemetry is not None
+            and telemetry.sampling
+            and parallel.series_path is not None
+        ):
+            from ..obs import SeriesBank
+
+            telemetry.series.merge_from(
+                SeriesBank.from_dict(
+                    json.loads(
+                        parallel.series_path.read_text(encoding="utf-8")
+                    )
+                )
+            )
         return result

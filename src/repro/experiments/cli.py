@@ -12,7 +12,19 @@ Observability (see docs/observability.md)::
     ... fig7 --quick --trace run.jsonl         # JSONL event trace
     ... fig7 --quick --chrome-trace run.json   # chrome://tracing view
     ... fig7 --quick --metrics-out m.json      # counters/gauges/histograms
+    ... fig7 --quick --metrics-text m.prom     # Prometheus exposition text
     ... fig7 --quick --profile                 # hot-path wall-time table
+
+Flight recorder (time-series telemetry; see docs/observability.md)::
+
+    ... fig7 --quick --dashboard run.html      # self-contained HTML report
+    ... fig7 --quick --series-out series.json  # raw sampled series bank
+    ... fig7 --quick --sample-every 25         # sampling cadence (sim time)
+    ... fig7 --quick --serve-metrics 9100      # live /metrics + /dashboard
+
+``--metrics-out -`` and ``--dashboard -`` (and ``--metrics-text -``,
+``--series-out -``) write to stdout; parent directories of output paths
+are created when missing.
 
 Parallel execution (see docs/parallel.md)::
 
@@ -34,9 +46,11 @@ import sys
 import time
 
 from ..obs import (
+    DEFAULT_SAMPLE_EVERY,
     InMemoryRecorder,
     MetricsRegistry,
     Profiler,
+    SeriesBank,
     Telemetry,
     export_chrome_trace,
     save_jsonl,
@@ -97,6 +111,44 @@ def main(argv: list[str] | None = None) -> int:
         help="write the metrics registry (counters/gauges/histograms) to FILE",
     )
     parser.add_argument(
+        "--metrics-text",
+        metavar="FILE",
+        default=None,
+        help="write the metrics registry as Prometheus exposition text "
+        "to FILE (- for stdout)",
+    )
+    parser.add_argument(
+        "--sample-every",
+        type=float,
+        metavar="T",
+        default=None,
+        help="flight-recorder sampling cadence in simulated time units "
+        "(arms the recorder; default cadence "
+        f"{DEFAULT_SAMPLE_EVERY:g} when another recorder flag arms it)",
+    )
+    parser.add_argument(
+        "--series-out",
+        metavar="FILE",
+        default=None,
+        help="write the flight recorder's sampled series bank as JSON "
+        "to FILE (- for stdout)",
+    )
+    parser.add_argument(
+        "--dashboard",
+        metavar="FILE",
+        default=None,
+        help="render the run as a self-contained HTML dashboard "
+        "to FILE (- for stdout)",
+    )
+    parser.add_argument(
+        "--serve-metrics",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="serve live /metrics, /series.json and /dashboard over "
+        "http.server on PORT (0 picks an ephemeral port)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="profile scheduler hot paths and print a wall-time table",
@@ -152,31 +204,83 @@ def main(argv: list[str] | None = None) -> int:
         set_strict(True)
         print("strict mode: invariant auditor attached to every run")
 
+    if args.sample_every is not None and args.sample_every <= 0:
+        parser.error("--sample-every must be positive")
+
     # Fail before the (potentially minutes-long) runs, not after, if an
-    # output path cannot be written.
-    for path in (args.trace, args.chrome_trace, args.metrics_out):
-        if path is not None:
-            try:
-                with open(path, "a"):
-                    pass
-            except OSError as exc:
-                parser.error(f"cannot write {path}: {exc}")
+    # output path cannot be written; create missing parent directories.
+    from pathlib import Path
+
+    for path in (
+        args.trace,
+        args.chrome_trace,
+        args.metrics_out,
+        args.metrics_text,
+        args.series_out,
+        args.dashboard,
+    ):
+        if path is None or path == "-":
+            continue
+        try:
+            parent = Path(path).parent
+            if str(parent) not in ("", "."):
+                parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "a"):
+                pass
+        except OSError as exc:
+            parser.error(f"cannot write {path}: {exc}")
 
     want_trace = args.trace is not None or args.chrome_trace is not None
+    want_metrics = (
+        args.metrics_out is not None
+        or args.metrics_text is not None
+        or args.serve_metrics is not None
+    )
+    # Any flag that consumes the series bank arms the flight recorder.
+    want_series = (
+        args.series_out is not None
+        or args.dashboard is not None
+        or args.sample_every is not None
+        or args.serve_metrics is not None
+    )
     telemetry = Telemetry(
         trace=InMemoryRecorder() if want_trace else None,
-        metrics=MetricsRegistry() if args.metrics_out is not None else None,
+        metrics=MetricsRegistry() if want_metrics else None,
         profiler=Profiler() if args.profile else None,
+        series=SeriesBank() if want_series else None,
+        sample_every=args.sample_every,
     )
     if args.jobs > 1 and telemetry.active:
         print(
             "note: with --jobs > 1 the parallelized sweeps (fig7/8, "
-            "fig11/12) run in worker processes outside this process's "
-            "telemetry; trace/metrics/profile cover the serial parts only."
+            "fig11/12) run in worker processes; their sampled series "
+            "merge back into this process's flight recorder, but "
+            "trace/metrics/profile cover the serial parts only."
         )
 
-    with use(telemetry):
-        rc = _run_figures(args, wanted, task_counts, heavy, seeds)
+    server = None
+    if args.serve_metrics is not None:
+        from ..obs import MetricsServer
+
+        server = MetricsServer(telemetry, port=args.serve_metrics).start()
+        print(
+            f"serving live telemetry on http://127.0.0.1:{server.port} "
+            "(/metrics, /series.json, /dashboard)"
+        )
+
+    try:
+        with use(telemetry):
+            rc = _run_figures(args, wanted, task_counts, heavy, seeds)
+    finally:
+        if server is not None:
+            server.stop()
+
+    def _emit(path: str, text: str, label: str) -> None:
+        if path == "-":
+            sys.stdout.write(text if text.endswith("\n") else text + "\n")
+        else:
+            Path(path).write_text(text, encoding="utf-8")
+            print(f"{label} -> {path}")
 
     if args.trace is not None:
         n = save_jsonl(telemetry.trace.events(), args.trace)
@@ -185,12 +289,37 @@ def main(argv: list[str] | None = None) -> int:
         export_chrome_trace(telemetry.trace.events(), args.chrome_trace)
         print(f"chrome trace -> {args.chrome_trace}")
     if args.metrics_out is not None:
-        from pathlib import Path
-
-        Path(args.metrics_out).write_text(
-            json.dumps(telemetry.metrics.as_dict(), indent=1)
+        _emit(
+            args.metrics_out,
+            json.dumps(telemetry.metrics.as_dict(), indent=1),
+            f"metrics: {len(telemetry.metrics)} instruments",
         )
-        print(f"metrics: {len(telemetry.metrics)} instruments -> {args.metrics_out}")
+    if args.metrics_text is not None:
+        from ..obs import render_prometheus
+
+        _emit(
+            args.metrics_text,
+            render_prometheus(telemetry.metrics),
+            f"exposition: {len(telemetry.metrics)} instruments",
+        )
+    if args.series_out is not None:
+        _emit(
+            args.series_out,
+            json.dumps(telemetry.series.as_dict()),
+            f"series: {len(telemetry.series)} recorded",
+        )
+    if args.dashboard is not None:
+        from ..obs import render_dashboard
+
+        _emit(
+            args.dashboard,
+            render_dashboard(
+                telemetry.series,
+                metrics=telemetry.metrics,
+                title="repro run dashboard",
+            ),
+            f"dashboard: {len(telemetry.series)} series",
+        )
     if args.profile:
         print()
         print(telemetry.profiler.render())

@@ -98,16 +98,47 @@ def _parallel_sweep(
     The views expose ``avert`` / ``ecs`` / ``success_rate`` /
     ``utilization`` like :class:`~repro.metrics.collector.RunMetrics`,
     so the figure aggregators consume serial and parallel sweeps alike.
+
+    When the ambient telemetry's flight recorder is armed, each worker
+    samples its own series bank and the merged bank folds back into the
+    ambient one — a ``--jobs N`` sweep still yields one dashboard.
     """
+    import json as _json
+    import tempfile
+
+    from ..obs import get_telemetry
     from ..parallel import RecordView, run_parallel
 
-    result = run_parallel(
-        configs,
-        jobs=max(1, jobs),
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
-        campaign_name=campaign_name,
-    )
+    tel = get_telemetry()
+    sample_every = tel.sample_every if tel.sampling else None
+    scratch = None
+    if sample_every is not None and checkpoint_dir is None:
+        # The per-worker banks need a directory; without a user
+        # checkpoint, a throwaway one serves and is cleaned up below.
+        scratch = tempfile.TemporaryDirectory(prefix="repro-series-")
+        checkpoint_dir = scratch.name
+    try:
+        result = run_parallel(
+            configs,
+            jobs=max(1, jobs),
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            campaign_name=campaign_name,
+            sample_every=sample_every,
+        )
+        if tel.sampling and result.series_path is not None:
+            from ..obs import SeriesBank
+
+            tel.series.merge_from(
+                SeriesBank.from_dict(
+                    _json.loads(
+                        result.series_path.read_text(encoding="utf-8")
+                    )
+                )
+            )
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
     return [RecordView(record) for record in result.records]
 
 

@@ -165,6 +165,21 @@ def run_experiment(
 
     env.process(arrivals())
 
+    if tel.sampling:
+        # Flight recorder: a kernel-level periodic sampler records the
+        # platform and RL series bank on the telemetry's cadence.  Its
+        # self-rescheduling timeouts shift other events' ids uniformly
+        # (total order preserved) and its probes are read-only, so the
+        # run's trajectory — and the golden digests — are unchanged.
+        from ..obs.timeseries import PeriodicSampler, make_run_probes
+
+        PeriodicSampler(
+            tel.series,
+            every=tel.sample_every,
+            until=time_cap,
+            probes=make_run_probes(system, scheduler, env),
+        ).attach(env)
+
     cap_event = env.timeout(time_cap)
     env.run(until=AnyOf(env, [done, cap_event]))
     if not done.triggered:

@@ -19,8 +19,29 @@ from .events import (
     CATEGORIES,
     TraceEvent,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .convergence import ConvergenceProbes
+from .dashboard import render_dashboard
+from .exposition import (
+    MetricsServer,
+    check_exposition,
+    parse_prometheus,
+    render_prometheus,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    estimate_bucket_quantiles,
+)
 from .profiler import Profiler, SpanStats
+from .timeseries import (
+    DEFAULT_SAMPLE_EVERY,
+    PeriodicSampler,
+    SeriesBank,
+    TimeSeries,
+    make_run_probes,
+)
 from .telemetry import (
     NULL_TELEMETRY,
     Telemetry,
@@ -59,8 +80,20 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "estimate_bucket_quantiles",
     "Profiler",
     "SpanStats",
+    "TimeSeries",
+    "SeriesBank",
+    "PeriodicSampler",
+    "DEFAULT_SAMPLE_EVERY",
+    "make_run_probes",
+    "ConvergenceProbes",
+    "render_prometheus",
+    "parse_prometheus",
+    "check_exposition",
+    "MetricsServer",
+    "render_dashboard",
     "Telemetry",
     "NULL_TELEMETRY",
     "capture",

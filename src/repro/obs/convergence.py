@@ -1,0 +1,153 @@
+"""RL convergence probes for the flight recorder.
+
+One :class:`ConvergenceProbes` instance rides a
+:class:`~repro.obs.timeseries.PeriodicSampler` and, each tick, diffs the
+learning state of every site agent against the previous tick:
+
+- ``rl.q_delta_norm`` — L2 norm of the Q-table change since the last
+  sample (union of set entries; unseen entries read as the table's
+  initial value), summed over agents.  A run has converged when this
+  decays toward zero.
+- ``rl.q_updates`` — cumulative TD updates across agents.
+- ``rl.policy_churn`` — number of (agent, state) greedy actions that
+  changed since the last sample: the paper's "schedule as the learned
+  action" stabilizing.
+- ``rl.epsilon.mean`` — mean exploration rate across agents.
+- ``rl.reward.mean`` / ``rl.l_val.mean`` — reward and learning-value
+  (Eq. 7) per feedback since the last sample (windowed means).
+- ``rl.memory.records`` / ``rl.memory.evictions`` — shared-memory ring
+  traffic; ``rl.memory.hit_rate`` — fraction of best-experience queries
+  answered by a state-matching entry since the last sample.
+
+Everything is computed *at sample time* from state the learning core
+already maintains — diffing :meth:`snapshot` copies between ticks rather
+than instrumenting ``update()`` — so the decision hot path carries no
+new work.  The probe is duck-typed against
+:class:`~repro.core.adaptive_rl.AdaptiveRLScheduler` (an ``agents``
+mapping of :class:`~repro.core.agent.SiteAgent`); value models without a
+``table`` (the neural model) simply skip the table-derived series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, Hashable, Tuple
+
+from .timeseries import SeriesBank
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.agent import SiteAgent
+
+__all__ = ["ConvergenceProbes"]
+
+
+class ConvergenceProbes:
+    """Per-sample learning diagnostics for a multi-agent RL scheduler."""
+
+    def __init__(self, scheduler) -> None:
+        self._scheduler = scheduler
+        #: Previous Q snapshot per agent id.
+        self._last_q: Dict[str, Dict[Tuple[Hashable, Hashable], float]] = {}
+        #: Previous greedy action per (agent id, state).
+        self._last_policy: Dict[str, Dict[Hashable, Hashable]] = {}
+        self._last_reward_sum = 0.0
+        self._last_l_val_sum = 0.0
+        self._last_feedbacks = 0
+        self._last_queries = 0
+        self._last_state_hits = 0
+
+    # -- per-agent helpers -------------------------------------------------
+    @staticmethod
+    def _table(agent: "SiteAgent"):
+        """The agent's Q store, when its value model has one."""
+        table = getattr(agent.value_model, "table", None)
+        if table is not None and hasattr(table, "snapshot"):
+            return table
+        return None
+
+    @staticmethod
+    def _delta_norm(
+        old: Dict[Tuple[Hashable, Hashable], float],
+        new: Dict[Tuple[Hashable, Hashable], float],
+        initial_q: float,
+    ) -> float:
+        total = 0.0
+        for key, value in new.items():
+            diff = value - old.get(key, initial_q)
+            total += diff * diff
+        for key, value in old.items():
+            if key not in new:  # pragma: no cover - entries never unset
+                diff = value - initial_q
+                total += diff * diff
+        return total
+
+    # -- the probe ---------------------------------------------------------
+    def __call__(self, bank: SeriesBank, now: float) -> None:
+        agents = self._scheduler.agents
+        sq_norm = 0.0
+        updates = 0
+        churn = 0
+        epsilon_sum = 0.0
+        reward_sum = 0.0
+        l_val_sum = 0.0
+        feedbacks = 0
+        for agent in agents.values():
+            epsilon_sum += agent.exploration.epsilon
+            reward_sum += agent.reward_sum
+            l_val_sum += agent.l_val_sum
+            feedbacks += agent.feedbacks
+            table = self._table(agent)
+            if table is None:
+                updates += getattr(agent.value_model, "_updates", 0)
+                continue
+            updates += table.updates
+            snap = table.snapshot()
+            initial_q = getattr(table, "initial_q", 0.0)
+            sq_norm += self._delta_norm(
+                self._last_q.get(agent.agent_id, {}), snap, initial_q
+            )
+            policy = {
+                state: table.best_action(state, agent.actions)
+                for state in {s for s, _ in snap}
+            }
+            last_policy = self._last_policy.get(agent.agent_id, {})
+            churn += sum(
+                1
+                for state, action in policy.items()
+                if last_policy.get(state, action) != action
+            )
+            self._last_q[agent.agent_id] = snap
+            self._last_policy[agent.agent_id] = policy
+
+        bank.record("rl.q_delta_norm", now, math.sqrt(sq_norm))
+        bank.record("rl.q_updates", now, updates)
+        bank.record("rl.policy_churn", now, churn)
+        if agents:
+            bank.record("rl.epsilon.mean", now, epsilon_sum / len(agents))
+
+        window = feedbacks - self._last_feedbacks
+        bank.record(
+            "rl.reward.mean",
+            now,
+            (reward_sum - self._last_reward_sum) / window if window else 0.0,
+        )
+        bank.record(
+            "rl.l_val.mean",
+            now,
+            (l_val_sum - self._last_l_val_sum) / window if window else 0.0,
+        )
+        self._last_reward_sum = reward_sum
+        self._last_l_val_sum = l_val_sum
+        self._last_feedbacks = feedbacks
+
+        memory = getattr(self._scheduler, "memory", None)
+        if memory is not None:
+            bank.record("rl.memory.records", now, memory.total_records)
+            bank.record("rl.memory.evictions", now, memory.evictions)
+            queries = memory.queries - self._last_queries
+            hits = memory.state_hits - self._last_state_hits
+            bank.record(
+                "rl.memory.hit_rate", now, hits / queries if queries else 0.0
+            )
+            self._last_queries = memory.queries
+            self._last_state_hits = memory.state_hits

@@ -1,0 +1,505 @@
+"""Self-contained HTML dashboard rendered from a flight-recorder bank.
+
+:func:`render_dashboard` turns a :class:`~repro.obs.timeseries.SeriesBank`
+(one run's, or a campaign's merged bank) into a single HTML file with no
+external assets: KPI stat tiles, inline-SVG line charts for the platform
+and RL-convergence series, and a small-multiples grid for everything
+else.  Open it from disk, attach it to CI, or fetch it live from
+``/dashboard`` on the :class:`~repro.obs.exposition.MetricsServer`.
+
+Chart conventions (one axis per chart, 2px lines, hairline gridlines,
+recessive axes, categorical hues in fixed order, text in ink tokens,
+legend for multi-series charts, light/dark via CSS custom properties
+honouring ``prefers-color-scheme`` and a ``data-theme`` override) follow
+the repo's report style; the palette is embedded below so the file stays
+dependency-free.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import List, Optional, Sequence, Tuple
+
+from .timeseries import SeriesBank
+
+__all__ = ["render_dashboard"]
+
+#: Max polyline points per series; denser series are strided down.
+_MAX_POINTS = 800
+
+# Plot geometry (viewBox units).
+_W, _H = 640, 220
+_ML, _MR, _MT, _MB = 52, 14, 12, 26
+_SPARK_W, _SPARK_H = 120, 30
+
+_CSS = """
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a; --s4: #eda100;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--ink-1);
+  margin: 0; padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19; --page: #0d0d0d;
+  --ink-1: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+  --grid: #2c2c2a; --axis: #383835;
+  --border: rgba(255,255,255,0.10);
+  --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 2px; }
+.viz-root .sub { color: var(--ink-2); font-size: 13px; margin: 0 0 18px; }
+.viz-root .tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 0 0 18px; }
+.viz-root .tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 150px;
+}
+.viz-root .tile .label { color: var(--ink-2); font-size: 12px; }
+.viz-root .tile .value { font-size: 28px; margin: 2px 0 4px; }
+.viz-root .tile .delta { color: var(--ink-2); font-size: 12px; }
+.viz-root .charts { display: grid; gap: 14px;
+  grid-template-columns: repeat(auto-fill, minmax(420px, 1fr)); }
+.viz-root .card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 14px 16px; position: relative;
+}
+.viz-root .card h2 { font-size: 14px; margin: 0 0 2px; }
+.viz-root .card .unit { color: var(--muted); font-size: 12px; margin: 0 0 6px; }
+.viz-root .legend { display: flex; flex-wrap: wrap; gap: 12px;
+  font-size: 12px; color: var(--ink-2); margin: 0 0 4px; }
+.viz-root .legend .chip { display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 5px; vertical-align: -1px; }
+.viz-root svg { display: block; width: 100%; height: auto; }
+.viz-root .grid-line { stroke: var(--grid); stroke-width: 1; }
+.viz-root .axis-line { stroke: var(--axis); stroke-width: 1; }
+.viz-root .tick { fill: var(--muted); font-size: 10px; }
+.viz-root .dlabel { fill: var(--ink-2); font-size: 10px; }
+.viz-root .mini { display: grid; gap: 12px;
+  grid-template-columns: repeat(auto-fill, minmax(200px, 1fr)); }
+.viz-root .mini .name { color: var(--ink-2); font-size: 12px;
+  overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+.viz-root .crosshair { stroke: var(--axis); stroke-width: 1; opacity: 0; }
+.viz-root .tip { position: absolute; pointer-events: none; display: none;
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 6px; padding: 6px 9px; font-size: 12px; color: var(--ink-2);
+  box-shadow: 0 2px 8px rgba(0,0,0,0.12); z-index: 2; }
+.viz-root .tip b { color: var(--ink-1); font-weight: 600; }
+.viz-root footer { color: var(--muted); font-size: 12px; margin-top: 18px; }
+"""
+
+_JS = """
+(function () {
+  function fmt(v) {
+    if (!isFinite(v)) return String(v);
+    if (Math.abs(v) >= 1000) return v.toLocaleString(undefined, {maximumFractionDigits: 0});
+    return Number(v.toPrecision(4)).toString();
+  }
+  document.querySelectorAll('[data-chart]').forEach(function (card) {
+    var svg = card.querySelector('svg');
+    var meta = JSON.parse(card.querySelector('script[type="application/json"]').textContent);
+    var tip = card.querySelector('.tip');
+    var hair = card.querySelector('.crosshair');
+    if (!svg || !tip || !hair) return;
+    svg.addEventListener('mousemove', function (ev) {
+      var box = svg.getBoundingClientRect();
+      var sx = meta.w / box.width;
+      var px = (ev.clientX - box.left) * sx;
+      if (px < meta.x0 || px > meta.x1) { tip.style.display = 'none'; hair.style.opacity = 0; return; }
+      var t = meta.t0 + (px - meta.x0) / (meta.x1 - meta.x0) * (meta.t1 - meta.t0);
+      var rows = [];
+      meta.series.forEach(function (s) {
+        if (!s.t.length) return;
+        var lo = 0, hi = s.t.length - 1;
+        while (hi - lo > 1) { var mid = (lo + hi) >> 1; if (s.t[mid] < t) lo = mid; else hi = mid; }
+        var i = (Math.abs(s.t[lo] - t) <= Math.abs(s.t[hi] - t)) ? lo : hi;
+        rows.push('<span class="chip" style="background:' + s.color + '"></span>' +
+                  s.name + ': <b>' + fmt(s.v[i]) + '</b>');
+      });
+      if (!rows.length) { tip.style.display = 'none'; hair.style.opacity = 0; return; }
+      hair.setAttribute('x1', px); hair.setAttribute('x2', px);
+      hair.style.opacity = 1;
+      tip.innerHTML = '<div>t = <b>' + fmt(t) + '</b></div><div>' + rows.join('</div><div>') + '</div>';
+      tip.style.display = 'block';
+      var cardBox = card.getBoundingClientRect();
+      var left = ev.clientX - cardBox.left + 14;
+      if (left + tip.offsetWidth > cardBox.width - 8) left = left - tip.offsetWidth - 24;
+      tip.style.left = left + 'px';
+      tip.style.top = (ev.clientY - cardBox.top + 10) + 'px';
+    });
+    svg.addEventListener('mouseleave', function () {
+      tip.style.display = 'none'; hair.style.opacity = 0;
+    });
+  });
+})();
+"""
+
+
+def _fmt_num(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    if value != value or value in (float("inf"), float("-inf")):
+        return str(value)
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _stride(values: Sequence[float]) -> List[float]:
+    n = len(values)
+    if n <= _MAX_POINTS:
+        return [float(v) for v in values]
+    step = (n - 1) / (_MAX_POINTS - 1)
+    return [float(values[round(i * step)]) for i in range(_MAX_POINTS)]
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 4) -> List[float]:
+    if hi <= lo:
+        hi = lo + (abs(lo) or 1.0)
+    span = hi - lo
+    raw = span / n
+    mag = 10 ** __import__("math").floor(__import__("math").log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        if raw <= mult * mag:
+            step = mult * mag
+            break
+    else:  # pragma: no cover - mult=10 always satisfies
+        step = 10 * mag
+    first = __import__("math").ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-12 * span:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+class _ChartSeries:
+    """One plotted line: strided points plus presentation hints."""
+
+    def __init__(self, name: str, label: str, color: str,
+                 t: List[float], v: List[float]) -> None:
+        self.name = name
+        self.label = label
+        self.color = color
+        self.t = t
+        self.v = v
+
+
+def _collect(bank: SeriesBank, name: str) -> Optional[Tuple[List[float], List[float]]]:
+    series = bank.get(name)
+    if series is None or len(series) == 0:
+        return None
+    return _stride(series.times().tolist()), _stride(series.values().tolist())
+
+
+def _svg_chart(plotted: List[_ChartSeries], area: bool) -> Tuple[str, dict]:
+    """The SVG body plus the hover metadata for one chart."""
+    t0 = min(s.t[0] for s in plotted)
+    t1 = max(s.t[-1] for s in plotted)
+    v_lo = min(min(s.v) for s in plotted)
+    v_hi = max(max(s.v) for s in plotted)
+    if v_lo > 0 and v_lo < 0.33 * v_hi:
+        v_lo = 0.0  # anchor near-zero ranges at the baseline
+    if v_hi == v_lo:
+        v_hi = v_lo + (abs(v_lo) or 1.0)
+    x0, x1 = _ML, _W - _MR
+    y0, y1 = _H - _MB, _MT
+
+    def sx(t: float) -> float:
+        return x0 + (t - t0) / (t1 - t0) * (x1 - x0) if t1 > t0 else (x0 + x1) / 2
+
+    def sy(v: float) -> float:
+        return y0 + (v - v_lo) / (v_hi - v_lo) * (y1 - y0)
+
+    parts = []
+    ticks = _nice_ticks(v_lo, v_hi)
+    for tick in ticks:
+        y = sy(tick)
+        parts.append(
+            f'<line class="grid-line" x1="{x0}" y1="{y:.1f}" x2="{x1}" y2="{y:.1f}"/>'
+        )
+        parts.append(
+            f'<text class="tick" x="{x0 - 6}" y="{y + 3:.1f}" '
+            f'text-anchor="end">{_fmt_num(tick)}</text>'
+        )
+    parts.append(
+        f'<line class="axis-line" x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}"/>'
+    )
+    for frac, anchor in ((0.0, "start"), (0.5, "middle"), (1.0, "end")):
+        t = t0 + frac * (t1 - t0)
+        parts.append(
+            f'<text class="tick" x="{sx(t):.1f}" y="{_H - 8}" '
+            f'text-anchor="{anchor}">t={_fmt_num(t)}</text>'
+        )
+
+    direct_labels = len(plotted) <= 4 and len(plotted) > 1
+    for s in plotted:
+        pts = " ".join(f"{sx(t):.1f},{sy(v):.1f}" for t, v in zip(s.t, s.v))
+        if area and len(plotted) == 1:
+            first_x, last_x = sx(s.t[0]), sx(s.t[-1])
+            parts.append(
+                f'<path d="M{first_x:.1f},{y0} L{pts.replace(" ", " L")} '
+                f'L{last_x:.1f},{y0} Z" fill="{s.color}" fill-opacity="0.1" '
+                f'stroke="none"/>'
+            )
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{s.color}" '
+            f'stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>'
+        )
+        if direct_labels:
+            parts.append(
+                f'<text class="dlabel" x="{min(sx(s.t[-1]) + 4, _W - 2):.1f}" '
+                f'y="{sy(s.v[-1]) + 3:.1f}">{html.escape(s.label)}</text>'
+            )
+    parts.append(
+        f'<line class="crosshair" x1="{x0}" y1="{y1}" x2="{x0}" y2="{y0}"/>'
+    )
+    meta = {
+        "w": _W, "x0": x0, "x1": x1, "t0": t0, "t1": t1,
+        "series": [
+            {"name": s.label, "color": s.color,
+             "t": [round(t, 6) for t in s.t],
+             "v": [round(v, 6) for v in s.v]}
+            for s in plotted
+        ],
+    }
+    svg = (
+        f'<svg viewBox="0 0 {_W} {_H}" role="img">' + "".join(parts) + "</svg>"
+    )
+    return svg, meta
+
+
+def _chart_card(
+    bank: SeriesBank,
+    title: str,
+    unit: str,
+    members: Sequence[Tuple[str, str, str]],
+    area: bool = False,
+) -> Optional[str]:
+    """One chart card; *members* is (series name, label, css color)."""
+    plotted = []
+    for name, label, color in members:
+        data = _collect(bank, name)
+        if data is not None:
+            plotted.append(_ChartSeries(name, label, color, *data))
+    if not plotted:
+        return None
+    svg, meta = _svg_chart(plotted, area)
+    legend = ""
+    if len(plotted) > 1:
+        legend = '<div class="legend">' + "".join(
+            f'<span><span class="chip" style="background:{s.color}"></span>'
+            f"{html.escape(s.label)}</span>"
+            for s in plotted
+        ) + "</div>"
+    unit_html = f'<p class="unit">{html.escape(unit)}</p>' if unit else ""
+    return (
+        '<div class="card" data-chart>'
+        f"<h2>{html.escape(title)}</h2>{unit_html}{legend}{svg}"
+        f'<script type="application/json">{json.dumps(meta)}</script>'
+        '<div class="tip"></div></div>'
+    )
+
+
+def _sparkline(t: List[float], v: List[float], color: str = "var(--s1)") -> str:
+    lo, hi = min(v), max(v)
+    if hi == lo:
+        hi = lo + (abs(lo) or 1.0)
+    t0, t1 = t[0], t[-1]
+    pts = " ".join(
+        "{:.1f},{:.1f}".format(
+            2 + (tt - t0) / (t1 - t0) * (_SPARK_W - 4) if t1 > t0 else _SPARK_W / 2,
+            (_SPARK_H - 3) - (vv - lo) / (hi - lo) * (_SPARK_H - 6),
+        )
+        for tt, vv in zip(t, v)
+    )
+    return (
+        f'<svg viewBox="0 0 {_SPARK_W} {_SPARK_H}" role="img">'
+        f'<polyline points="{pts}" fill="none" stroke="{color}" '
+        f'stroke-width="2" stroke-linejoin="round"/></svg>'
+    )
+
+
+def _tile(bank: SeriesBank, name: str, label: str, fmt=None) -> Optional[str]:
+    data = _collect(bank, name)
+    if data is None:
+        return None
+    t, v = data
+    value = v[-1]
+    shown = fmt(value) if fmt is not None else _fmt_num(value)
+    delta = ""
+    if len(v) > 1 and v[0] == v[0]:
+        change = value - v[0]
+        arrow = "&#8593;" if change > 0 else "&#8595;" if change < 0 else "&#8594;"
+        delta = f'<div class="delta">{arrow} {_fmt_num(abs(change))} over run</div>'
+    return (
+        '<div class="tile">'
+        f'<div class="label">{html.escape(label)}</div>'
+        f'<div class="value">{shown}</div>'
+        f"{delta}{_sparkline(t, v)}</div>"
+    )
+
+
+def render_dashboard(
+    bank: Optional[SeriesBank],
+    metrics=None,
+    title: str = "Run dashboard",
+    subtitle: Optional[str] = None,
+) -> str:
+    """Render *bank* as one self-contained HTML page (no external assets).
+
+    *metrics* (a live :class:`~repro.obs.metrics.MetricsRegistry` or its
+    dict snapshot) adds an end-of-run instruments table below the charts.
+    """
+    bank = bank if bank is not None else SeriesBank()
+
+    tiles = [
+        t for t in (
+            _tile(bank, "sched.success_rate", "Success rate",
+                  fmt=lambda v: f"{v * 100:.1f}%"),
+            _tile(bank, "power.system", "System power (W)"),
+            _tile(bank, "sim.events_per_sec", "Kernel events/sec"),
+            _tile(bank, "rl.epsilon.mean", "Exploration ε"),
+        ) if t is not None
+    ]
+
+    site_names = [n for n in bank.names() if n.startswith("power.site.")]
+    power_members = [("power.system", "system", "var(--s1)")] + [
+        # Emphasis form: the system total carries the accent; per-site
+        # context lines recede into the muted gray.
+        (n, n.removeprefix("power.site."), "var(--muted)")
+        for n in site_names
+    ]
+    chart_specs = [
+        ("System power draw", "watts (instantaneous)", power_members, False),
+        ("Queueing", "tasks", [
+            ("queue.pending_tasks", "queued on nodes", "var(--s1)"),
+            ("sched.backlog", "scheduler backlog", "var(--s2)"),
+        ], False),
+        ("Processor states", "processors", [
+            ("procs.busy", "busy", "var(--s1)"),
+            ("procs.idle", "idle", "var(--s2)"),
+            ("procs.sleeping", "sleeping", "var(--s3)"),
+        ], False),
+        ("Deadline success rate", "fraction of completions", [
+            ("sched.success_rate", "success rate", "var(--s1)"),
+        ], True),
+        ("Q-table update delta", "L2 norm per sample window", [
+            ("rl.q_delta_norm", "‖ΔQ‖", "var(--s1)"),
+        ], True),
+        ("Greedy-policy churn", "states changing action", [
+            ("rl.policy_churn", "churn", "var(--s1)"),
+        ], True),
+        ("Reward per feedback", "windowed mean", [
+            ("rl.reward.mean", "reward", "var(--s1)"),
+            ("rl.l_val.mean", "learning value", "var(--s2)"),
+        ], False),
+        ("Shared-memory hit rate", "state-matching queries", [
+            ("rl.memory.hit_rate", "hit rate", "var(--s1)"),
+        ], True),
+    ]
+    cards = []
+    used = {"sched.miss_rate"}
+    for chart_title, unit, members, area in chart_specs:
+        card = _chart_card(bank, chart_title, unit, members, area=area)
+        if card is not None:
+            cards.append(card)
+            used.update(name for name, _, _ in members)
+
+    minis = []
+    for name in bank.names():
+        if name in used:
+            continue
+        data = _collect(bank, name)
+        if data is None:
+            continue
+        t, v = data
+        minis.append(
+            '<div class="card"><div class="name" title="{0}">{0}</div>'
+            '<div class="value" style="font-size:18px">{1}</div>{2}</div>'.format(
+                html.escape(name), _fmt_num(v[-1]), _sparkline(t, v)
+            )
+        )
+
+    metrics_rows = ""
+    if metrics is not None:
+        snapshot = metrics if isinstance(metrics, dict) else metrics.as_dict()
+        rows = []
+        for name in sorted(snapshot):
+            inst = snapshot[name]
+            if inst["type"] == "histogram":
+                shown = (
+                    f"n={_fmt_num(inst['count'])} "
+                    f"mean={_fmt_num(inst['mean'])}"
+                )
+            else:
+                shown = _fmt_num(inst["value"])
+            rows.append(
+                f"<tr><td>{html.escape(name)}</td>"
+                f"<td>{inst['type']}</td><td>{shown}</td></tr>"
+            )
+        if rows:
+            metrics_rows = (
+                '<div class="card" style="margin-top:14px">'
+                "<h2>End-of-run instruments</h2>"
+                '<table style="font-size:12px;border-collapse:collapse" '
+                'cellpadding="4"><thead><tr>'
+                '<th align="left">metric</th><th align="left">type</th>'
+                '<th align="left">value</th></tr></thead><tbody>'
+                + "".join(rows)
+                + "</tbody></table></div>"
+            )
+
+    n_series = len(bank)
+    sub = subtitle or f"{n_series} series recorded by the flight recorder"
+    body_main = (
+        f'<div class="tiles">{"".join(tiles)}</div>' if tiles else ""
+    ) + (
+        f'<div class="charts">{"".join(cards)}</div>' if cards else ""
+    ) + (
+        f'<h2 style="font-size:14px;margin:18px 0 8px">More series</h2>'
+        f'<div class="mini">{"".join(minis)}</div>' if minis else ""
+    )
+    if not body_main:
+        body_main = (
+            '<div class="card"><p class="unit">No samples recorded — run '
+            "with the flight recorder enabled (<code>--sample-every</code> "
+            "or <code>--dashboard</code>).</p></div>"
+        )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{html.escape(title)}</title>
+<style>{_CSS}</style>
+</head>
+<body class="viz-root">
+<h1>{html.escape(title)}</h1>
+<p class="sub">{html.escape(sub)}</p>
+{body_main}
+{metrics_rows}
+<footer>Self-contained report rendered by repro.obs.dashboard — no external
+assets; dark mode follows the OS or an explicit data-theme attribute.</footer>
+<script>{_JS}</script>
+</body>
+</html>
+"""

@@ -1,0 +1,318 @@
+"""Prometheus-style text exposition of the metrics registry.
+
+:func:`render_prometheus` serializes a
+:class:`~repro.obs.metrics.MetricsRegistry` (or its ``as_dict`` form)
+into the Prometheus text format — ``# TYPE`` headers, cumulative
+``_bucket{le="..."}`` histogram samples, ``_sum``/``_count`` — so any
+scrape-format consumer can ingest a run's metrics without dependencies.
+:func:`parse_prometheus` reads the format back (round-trip tested), and
+:func:`check_exposition` is the schema validator CI runs.
+
+For long runs, :class:`MetricsServer` exposes the *live* telemetry over
+``http.server`` (stdlib only): ``/metrics`` (exposition text),
+``/series.json`` (flight-recorder bank), and ``/dashboard`` (the
+self-contained HTML report).  Wired to ``--serve-metrics PORT`` in the
+experiments CLI.
+
+The module doubles as the CI schema checker::
+
+    PYTHONPATH=src python -m repro.obs.exposition out.prom --check
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from typing import Dict, List, Optional, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "render_prometheus",
+    "parse_prometheus",
+    "check_exposition",
+    "MetricsServer",
+]
+
+#: Characters legal in a Prometheus metric name; everything else (the
+#: registry's dots in particular) maps to ``_``.
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+
+
+def metric_name(name: str, prefix: str = "repro_") -> str:
+    """The registry's dotted *name* as a Prometheus metric name."""
+    return prefix + _NAME_SANITIZE.sub("_", name)
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # pragma: no cover - NaN never emitted today
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    metrics: Union[MetricsRegistry, dict], prefix: str = "repro_"
+) -> str:
+    """Serialize *metrics* to Prometheus exposition text.
+
+    Accepts a live registry or its ``as_dict()`` snapshot (the form the
+    campaign merge produces), so a merged ``metrics.json`` can be
+    re-exposed unchanged.
+    """
+    snapshot = (
+        metrics.as_dict() if isinstance(metrics, MetricsRegistry) else metrics
+    )
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        inst = snapshot[name]
+        kind = inst["type"]
+        pname = metric_name(name, prefix)
+        if kind == "counter":
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {_fmt(inst['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_fmt(inst['value'])}")
+            lines.append(f"# TYPE {pname}_high gauge")
+            lines.append(f"{pname}_high {_fmt(inst['high'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for bound, count in inst["buckets"].items():
+                cumulative += count
+                le = "+Inf" if bound == "+inf" else bound
+                lines.append(f'{pname}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{pname}_sum {_fmt(inst['sum'])}")
+            lines.append(f"{pname}_count {inst['count']}")
+        else:
+            raise ValueError(f"metric {name!r} has unknown type {kind!r}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> Dict[str, dict]:
+    """Parse exposition *text* back into ``{family: {type, samples}}``.
+
+    ``samples`` maps ``name{labels}`` (the raw sample key) to the float
+    value.  Strict enough for the round-trip tests and the CI checker;
+    not a general scrape parser.
+    """
+    families: Dict[str, dict] = {}
+    declared: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                declared[parts[2]] = parts[3]
+                families.setdefault(
+                    parts[2], {"type": parts[3], "samples": {}}
+                )
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        name = match.group("name")
+        labels = match.group("labels")
+        key = name if labels is None else f"{name}{{{labels}}}"
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_text)
+        # A histogram's _bucket/_sum/_count samples belong to the base
+        # family; other suffixes are their own families.
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and declared.get(base) == "histogram":
+                family = base
+                break
+        families.setdefault(
+            family, {"type": declared.get(family, "untyped"), "samples": {}}
+        )["samples"][key] = value
+    return families
+
+
+def check_exposition(text: str) -> List[str]:
+    """Validate exposition *text*; returns human-readable failures.
+
+    Checks (empty list = pass):
+
+    - every sample's family carries a ``# TYPE`` declaration;
+    - counter and ``_count`` samples are non-negative;
+    - histogram buckets are cumulative (non-decreasing in ``le`` order),
+      end with ``le="+Inf"``, and the ``+Inf`` bucket equals ``_count``;
+    - every histogram has exactly one ``_sum`` and one ``_count``.
+    """
+    failures: List[str] = []
+    try:
+        families = parse_prometheus(text)
+    except ValueError as exc:
+        return [str(exc)]
+    if not families:
+        return ["no metric families found"]
+    for family, data in sorted(families.items()):
+        kind = data["type"]
+        samples = data["samples"]
+        if kind == "untyped":
+            failures.append(f"{family}: sample without a # TYPE declaration")
+            continue
+        if kind == "counter":
+            for key, value in samples.items():
+                if value < 0:
+                    failures.append(f"{key}: negative counter value {value}")
+        elif kind == "histogram":
+            buckets = [
+                (key, value)
+                for key, value in samples.items()
+                if key.startswith(f"{family}_bucket{{")
+            ]
+            counts = [k for k in samples if k == f"{family}_count"]
+            sums = [k for k in samples if k == f"{family}_sum"]
+            if len(counts) != 1 or len(sums) != 1:
+                failures.append(
+                    f"{family}: expected exactly one _sum and one _count"
+                )
+                continue
+            if not buckets:
+                failures.append(f"{family}: histogram without buckets")
+                continue
+            values = [v for _, v in buckets]
+            if any(b > a for b, a in zip(values, values[1:])):
+                failures.append(f"{family}: bucket counts are not cumulative")
+            last_key, last_value = buckets[-1]
+            if 'le="+Inf"' not in last_key:
+                failures.append(f"{family}: buckets do not end with le=\"+Inf\"")
+            elif last_value != samples[f"{family}_count"]:
+                failures.append(
+                    f"{family}: +Inf bucket {last_value} != _count "
+                    f"{samples[f'{family}_count']}"
+                )
+    return failures
+
+
+class MetricsServer:
+    """Zero-dependency live telemetry endpoint over ``http.server``.
+
+    Serves the *current* state of a :class:`~repro.obs.Telemetry` on
+    every request — scrape ``/metrics`` mid-run to watch a long
+    experiment converge.  ``port=0`` binds an ephemeral port (read it
+    back from :attr:`port`).  The server thread is a daemon; call
+    :meth:`stop` for an orderly shutdown.
+    """
+
+    def __init__(self, telemetry, port: int = 0, host: str = "127.0.0.1"):
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        tel = telemetry
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path == "/metrics":
+                    if tel.metering:
+                        body = render_prometheus(tel.metrics)
+                    else:
+                        body = ""
+                    self._send(body or "# no metrics registry armed\n",
+                               "text/plain; version=0.0.4")
+                elif self.path == "/series.json":
+                    bank = tel.series
+                    payload = bank.as_dict() if bank is not None else {}
+                    self._send(json.dumps(payload), "application/json")
+                elif self.path in ("/", "/dashboard"):
+                    from .dashboard import render_dashboard
+
+                    self._send(
+                        render_dashboard(
+                            tel.series,
+                            metrics=tel.metrics,
+                            title="Live run dashboard",
+                        ),
+                        "text/html; charset=utf-8",
+                    )
+                else:
+                    self.send_error(404)
+
+            def _send(self, body: str, content_type: str) -> None:
+                data = body.encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def log_message(self, *args) -> None:  # pragma: no cover
+                pass  # keep scrapes out of the experiment's stdout
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    """CLI schema checker: validate a file (or stdin) of exposition text."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="Validate Prometheus exposition text "
+        "(repro.obs schema checker)."
+    )
+    parser.add_argument("file", help="exposition text file, or - for stdin")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on any schema failure (default behaviour; "
+        "kept for CI readability)",
+    )
+    args = parser.parse_args(argv)
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    failures = check_exposition(text)
+    families = 0 if failures else len(parse_prometheus(text))
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"ok: {families} metric families validated")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(_main())

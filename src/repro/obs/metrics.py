@@ -13,7 +13,14 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "estimate_bucket_quantiles",
+    "QUANTILE_POINTS",
+]
 
 
 class Counter:
@@ -29,6 +36,9 @@ class Counter:
         if amount < 0:
             raise ValueError("counters only go up")
         self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
 
     def to_dict(self) -> dict:
         return {"type": "counter", "value": self.value}
@@ -48,6 +58,10 @@ class Gauge:
         self.value = value
         if value > self.high:
             self.high = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.high = 0.0
 
     def to_dict(self) -> dict:
         return {"type": "gauge", "value": self.value, "high": self.high}
@@ -101,7 +115,18 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
     def to_dict(self) -> dict:
+        buckets = {
+            **{str(b): c for b, c in zip(self.bounds, self.counts)},
+            "+inf": self.counts[-1],
+        }
         return {
             "type": "histogram",
             "count": self.count,
@@ -109,11 +134,70 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "mean": self.mean,
-            "buckets": {
-                **{str(b): c for b, c in zip(self.bounds, self.counts)},
-                "+inf": self.counts[-1],
-            },
+            "buckets": buckets,
+            "quantiles": estimate_bucket_quantiles(
+                buckets,
+                self.count,
+                lo=self.min if self.count else None,
+                hi=self.max if self.count else None,
+            ),
         }
+
+
+#: Quantile points estimated for every histogram snapshot.
+QUANTILE_POINTS: Tuple[float, ...] = (0.5, 0.9, 0.99)
+
+
+def estimate_bucket_quantiles(
+    buckets: Dict[str, int],
+    count: int,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    points: Sequence[float] = QUANTILE_POINTS,
+) -> Optional[dict]:
+    """Estimate quantiles from bucket counts by linear interpolation.
+
+    *buckets* is the ``to_dict`` form — upper bounds (as strings) in
+    ascending order plus a ``"+inf"`` tail.  Within the bucket holding a
+    quantile's rank, the value is interpolated linearly between the
+    bucket's edges; the observed ``lo``/``hi`` clamp the open-ended
+    first and last buckets (and the estimate overall) to the true data
+    range.  Returns ``None`` for an empty histogram.
+
+    Shared by :meth:`Histogram.to_dict` and the campaign metrics merge
+    (:func:`repro.parallel.merge.merge_metrics_dicts`), so merged
+    snapshots re-estimate quantiles from the folded buckets instead of
+    carrying a stale per-worker value.
+    """
+    if count <= 0:
+        return None
+    bounds = [float(k) if k != "+inf" else math.inf for k in buckets]
+    tallies = list(buckets.values())
+    out = {}
+    for q in points:
+        target = q * count
+        cumulative = 0
+        value = hi if hi is not None else bounds[-2] if len(bounds) > 1 else 0.0
+        for i, (bound, tally) in enumerate(zip(bounds, tallies)):
+            if tally == 0:
+                continue
+            if cumulative + tally >= target:
+                lower = bounds[i - 1] if i > 0 else (lo if lo is not None else 0.0)
+                if math.isinf(bound):
+                    # The +inf tail has no upper edge to interpolate
+                    # toward; the observed max is the best estimate.
+                    value = hi if hi is not None else lower
+                else:
+                    fraction = (target - cumulative) / tally
+                    value = lower + (bound - lower) * fraction
+                break
+            cumulative += tally
+        if lo is not None and value < lo:
+            value = lo
+        if hi is not None and value > hi:
+            value = hi
+        out[f"p{int(q * 100)}"] = value
+    return out
 
 
 Instrument = Union[Counter, Gauge, Histogram]
@@ -151,6 +235,24 @@ class MetricsRegistry:
     def get(self, name: str) -> Optional[Instrument]:
         """The instrument registered under *name*, if any."""
         return self._instruments.get(name)
+
+    def clear(self) -> None:
+        """Drop every instrument (names and values).
+
+        Callers holding instrument references keep stale objects; prefer
+        :meth:`reset` when hot paths have cached the instruments.
+        """
+        self._instruments.clear()
+
+    def reset(self) -> None:
+        """Zero every instrument in place, keeping registrations.
+
+        The reuse hook for running several experiments through one
+        registry in one process: cached instrument references (the sim
+        kernel binds its counter once per Environment) stay valid.
+        """
+        for inst in self._instruments.values():
+            inst.reset()
 
     def names(self) -> list[str]:
         return sorted(self._instruments)

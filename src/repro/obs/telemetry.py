@@ -19,6 +19,7 @@ from typing import Optional
 
 from .metrics import MetricsRegistry
 from .profiler import Profiler
+from .timeseries import DEFAULT_SAMPLE_EVERY, SeriesBank
 from .trace import InMemoryRecorder, NullRecorder, TraceRecorder
 
 __all__ = [
@@ -45,26 +46,45 @@ class Telemetry:
     profiler:
         A :class:`~repro.obs.profiler.Profiler`; ``None`` disables the
         profiling spans.
+    series:
+        A :class:`~repro.obs.timeseries.SeriesBank`; ``None`` disables
+        the flight recorder (the kernel-level periodic sampler).
+    sample_every:
+        Sampling cadence in simulated time units (flight recorder only;
+        defaults to :data:`~repro.obs.timeseries.DEFAULT_SAMPLE_EVERY`).
     """
 
-    __slots__ = ("trace", "metrics", "profiler", "tracing", "metering",
-                 "profiling", "active")
+    __slots__ = ("trace", "metrics", "profiler", "series", "sample_every",
+                 "tracing", "metering", "profiling", "sampling", "active")
 
     def __init__(
         self,
         trace: Optional[TraceRecorder] = None,
         metrics: Optional[MetricsRegistry] = None,
         profiler: Optional[Profiler] = None,
+        series: Optional[SeriesBank] = None,
+        sample_every: Optional[float] = None,
     ) -> None:
         self.trace = trace if trace is not None else _NULL_RECORDER
         self.metrics = metrics
         self.profiler = profiler
+        self.series = series
+        self.sample_every = (
+            float(sample_every)
+            if sample_every is not None
+            else DEFAULT_SAMPLE_EVERY
+        )
+        if self.sample_every <= 0:
+            raise ValueError("sample_every must be positive")
         # Pillar flags are plain precomputed booleans: hot paths read
         # them once per operation and skip all telemetry work when off.
         self.tracing: bool = self.trace.active
         self.metering: bool = metrics is not None
         self.profiling: bool = profiler is not None
-        self.active: bool = self.tracing or self.metering or self.profiling
+        self.sampling: bool = series is not None
+        self.active: bool = (
+            self.tracing or self.metering or self.profiling or self.sampling
+        )
 
     def emit(self, category: str, name: str, t: float, **fields) -> None:
         """Forward one trace event to the recorder (no-op when off)."""
@@ -77,6 +97,7 @@ class Telemetry:
                 ("trace", self.tracing),
                 ("metrics", self.metering),
                 ("profile", self.profiling),
+                ("series", self.sampling),
             )
             if enabled
         ]
@@ -90,13 +111,19 @@ NULL_TELEMETRY = Telemetry()
 
 
 def capture(
-    trace: bool = True, metrics: bool = True, profile: bool = False
+    trace: bool = True,
+    metrics: bool = True,
+    profile: bool = False,
+    series: bool = False,
+    sample_every: Optional[float] = None,
 ) -> Telemetry:
     """Convenience constructor: a fully-armed recording telemetry."""
     return Telemetry(
         trace=InMemoryRecorder() if trace else None,
         metrics=MetricsRegistry() if metrics else None,
         profiler=Profiler() if profile else None,
+        series=SeriesBank() if series else None,
+        sample_every=sample_every,
     )
 
 

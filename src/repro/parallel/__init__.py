@@ -28,7 +28,13 @@ from .errors import (
 )
 from .jobs import Job, RecordView, build_jobs, job_id
 from .journal import JOURNAL_FILENAME, CheckpointJournal, JournalState
-from .merge import merge_metrics_dicts, merge_metrics_files, merge_trace_files
+from .merge import (
+    merge_metrics_dicts,
+    merge_metrics_files,
+    merge_series_dicts,
+    merge_series_files,
+    merge_trace_files,
+)
 from .pool import ParallelResult, run_parallel
 
 __all__ = [
@@ -48,6 +54,8 @@ __all__ = [
     "merge_trace_files",
     "merge_metrics_files",
     "merge_metrics_dicts",
+    "merge_series_files",
+    "merge_series_dicts",
     "ParallelResult",
     "run_parallel",
 ]

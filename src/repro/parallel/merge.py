@@ -11,7 +11,10 @@ have produced:
   high-water view (``value`` and ``high`` both become the max across
   workers — "last set" has no meaning across concurrent processes);
   histograms with identical bounds add bucket counts, counts, and sums,
-  and combine min/max.
+  combine min/max, and re-estimate quantiles from the folded buckets.
+- **Series banks** (the flight recorder's ``SeriesBank.as_dict`` files)
+  merge same-name series point-by-point in time order, so a campaign
+  aggregates into the one bank a single dashboard renders.
 """
 
 from __future__ import annotations
@@ -20,9 +23,21 @@ import json
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
-from ..obs import TraceEvent, load_jsonl, save_jsonl
+from ..obs import (
+    SeriesBank,
+    TraceEvent,
+    estimate_bucket_quantiles,
+    load_jsonl,
+    save_jsonl,
+)
 
-__all__ = ["merge_trace_files", "merge_metrics_files", "merge_metrics_dicts"]
+__all__ = [
+    "merge_trace_files",
+    "merge_metrics_files",
+    "merge_metrics_dicts",
+    "merge_series_dicts",
+    "merge_series_files",
+]
 
 
 def merge_trace_files(
@@ -86,8 +101,42 @@ def _fold(name: str, acc: dict, inst: dict) -> None:
             values = [v for v in (acc[key], inst[key]) if v is not None]
             acc[key] = pick(values) if values else None
         acc["mean"] = acc["sum"] / acc["count"] if acc["count"] else 0.0
+        # Per-worker quantiles don't compose; re-estimate from the
+        # folded buckets so the merged snapshot matches what a serial
+        # run over the combined observations would report.
+        acc["quantiles"] = estimate_bucket_quantiles(
+            acc["buckets"], acc["count"], lo=acc["min"], hi=acc["max"]
+        )
     else:
         raise ValueError(f"metric {name!r} has unknown type {kind!r}")
+
+
+def merge_series_dicts(snapshots: Iterable[dict]) -> SeriesBank:
+    """Fold several ``SeriesBank.as_dict()`` snapshots into one bank.
+
+    Same-name series interleave their points by sample time (stable —
+    earlier snapshots win ties), matching what one recorder sampling all
+    workers' runs back-to-back would have captured.
+    """
+    merged = SeriesBank()
+    for snapshot in snapshots:
+        merged.merge_from(SeriesBank.from_dict(snapshot))
+    return merged
+
+
+def merge_series_files(
+    paths: Sequence[Union[str, Path]],
+    out: Optional[Union[str, Path]] = None,
+) -> SeriesBank:
+    """Merge several series-bank JSON files; optionally write the result."""
+    merged = merge_series_dicts(
+        json.loads(Path(p).read_text(encoding="utf-8")) for p in paths
+    )
+    if out is not None:
+        Path(out).write_text(
+            json.dumps(merged.as_dict()), encoding="utf-8"
+        )
+    return merged
 
 
 def merge_metrics_files(

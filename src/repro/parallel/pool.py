@@ -35,7 +35,7 @@ from ..experiments.config import ExperimentConfig
 from .errors import CampaignInterrupted, JournalError, RetryBudgetExceeded
 from .jobs import Job, build_jobs
 from .journal import JOURNAL_FILENAME, CheckpointJournal, JournalState
-from .merge import merge_metrics_files, merge_trace_files
+from .merge import merge_metrics_files, merge_series_files, merge_trace_files
 
 __all__ = ["ParallelResult", "run_parallel"]
 
@@ -57,6 +57,8 @@ class ParallelResult:
     #: Merged obs artifacts (``capture_obs=True`` runs only).
     trace_path: Optional[Path] = None
     metrics_path: Optional[Path] = None
+    #: Merged flight-recorder bank (``sample_every`` runs only).
+    series_path: Optional[Path] = None
 
 
 def _execute_job(payload: dict) -> dict:
@@ -80,14 +82,22 @@ def _execute_job(payload: dict) -> dict:
     from ..obs import (
         InMemoryRecorder,
         MetricsRegistry,
+        SeriesBank,
         Telemetry,
         save_jsonl,
     )
 
     config = ExperimentConfig.from_dict(payload["config"])
     obs_dir = payload.get("obs_dir")
+    capture = payload.get("capture_obs", False)
+    sample_every = payload.get("sample_every")
     telemetry = (
-        Telemetry(trace=InMemoryRecorder(), metrics=MetricsRegistry())
+        Telemetry(
+            trace=InMemoryRecorder() if capture else None,
+            metrics=MetricsRegistry() if capture else None,
+            series=SeriesBank() if sample_every is not None else None,
+            sample_every=sample_every,
+        )
         if obs_dir is not None
         else None
     )
@@ -101,10 +111,17 @@ def _execute_job(payload: dict) -> dict:
         job_id = payload["job_id"]
         out = Path(obs_dir)
         out.mkdir(parents=True, exist_ok=True)
-        save_jsonl(telemetry.trace.events(), out / f"trace-{job_id}.jsonl")
-        (out / f"metrics-{job_id}.json").write_text(
-            json.dumps(telemetry.metrics.as_dict()), encoding="utf-8"
-        )
+        if capture:
+            save_jsonl(
+                telemetry.trace.events(), out / f"trace-{job_id}.jsonl"
+            )
+            (out / f"metrics-{job_id}.json").write_text(
+                json.dumps(telemetry.metrics.as_dict()), encoding="utf-8"
+            )
+        if telemetry.sampling:
+            (out / f"series-{job_id}.json").write_text(
+                json.dumps(telemetry.series.as_dict()), encoding="utf-8"
+            )
     return {"job_id": payload["job_id"], "record": record}
 
 
@@ -119,6 +136,7 @@ def run_parallel(
     backoff_base: float = 0.25,
     backoff_cap: float = 4.0,
     capture_obs: bool = False,
+    sample_every: Optional[float] = None,
     stop_after: Optional[int] = None,
     on_record: Optional[Callable[[dict], None]] = None,
     mp_context=None,
@@ -149,6 +167,11 @@ def run_parallel(
     capture_obs:
         Record per-job telemetry in the workers and merge it at the end
         (requires ``checkpoint_dir``).
+    sample_every:
+        Arm each worker's flight recorder on this sampling cadence
+        (simulated time); the per-job series banks merge into one
+        ``series.json`` at the end.  Requires ``checkpoint_dir`` (the
+        per-job banks land next to the journal) but not ``capture_obs``.
     stop_after:
         Test/CI hook — raise :class:`CampaignInterrupted` (journal
         flushed) once this many jobs complete in this invocation.
@@ -174,6 +197,10 @@ def run_parallel(
         raise ValueError("resume=True requires a checkpoint_dir")
     if capture_obs and checkpoint_dir is None:
         raise ValueError("capture_obs=True requires a checkpoint_dir")
+    if sample_every is not None and checkpoint_dir is None:
+        raise ValueError("sample_every requires a checkpoint_dir")
+    if sample_every is not None and sample_every <= 0:
+        raise ValueError("sample_every must be positive")
     if max_retries < 0:
         raise ValueError("max_retries must be >= 0")
 
@@ -185,7 +212,8 @@ def run_parallel(
     }
 
     checkpoint_path = Path(checkpoint_dir) if checkpoint_dir else None
-    obs_dir = checkpoint_path / "obs" if (checkpoint_path and capture_obs) else None
+    want_obs = capture_obs or sample_every is not None
+    obs_dir = checkpoint_path / "obs" if (checkpoint_path and want_obs) else None
 
     # --- recover prior state -------------------------------------------------
     state = JournalState()
@@ -232,6 +260,8 @@ def run_parallel(
             "attempt": attempts[job.job_id],
             "config": job.config.to_dict(),
             "obs_dir": str(obs_dir) if obs_dir is not None else None,
+            "capture_obs": capture_obs,
+            "sample_every": sample_every,
             "fault": fault_by_id.get(job.job_id),
         }
 
@@ -316,16 +346,20 @@ def run_parallel(
             journal.close()
 
     records = [completed[job.job_id] for job in job_list]
-    trace_path = metrics_path = None
+    trace_path = metrics_path = series_path = None
     if obs_dir is not None:
         trace_files = sorted(obs_dir.glob("trace-*.jsonl"))
         metrics_files = sorted(obs_dir.glob("metrics-*.json"))
+        series_files = sorted(obs_dir.glob("series-*.json"))
         if trace_files:
             trace_path = checkpoint_path / "trace.jsonl"
             merge_trace_files(trace_files, out=trace_path)
         if metrics_files:
             metrics_path = checkpoint_path / "metrics.json"
             merge_metrics_files(metrics_files, out=metrics_path)
+        if series_files:
+            series_path = checkpoint_path / "series.json"
+            merge_series_files(series_files, out=series_path)
 
     return ParallelResult(
         records=records,
@@ -336,4 +370,5 @@ def run_parallel(
         journal_path=journal_path,
         trace_path=trace_path,
         metrics_path=metrics_path,
+        series_path=series_path,
     )

@@ -49,7 +49,7 @@ from heapq import heappop, heappush
 from itertools import count
 from typing import Optional, Union
 
-from ..obs import NULL_TELEMETRY, Telemetry
+from ..obs import NULL_TELEMETRY, Counter, Telemetry
 from .events import NORMAL, URGENT, AllOf, AnyOf, Event, Timeout
 from .exceptions import EmptySchedule, SimulationError, StopSimulation
 from .process import Process, ProcessGenerator
@@ -113,6 +113,13 @@ class Environment:
             metrics = self.telemetry.metrics
             self._c_events = metrics.counter("sim.events_processed")
             self._g_queue = metrics.gauge("sim.queue_depth")
+        elif self.telemetry.sampling:
+            # Flight recorder without metering: the sampler's events/sec
+            # probe needs the event count, so keep a bare (unregistered)
+            # counter — one float add per event — but skip the queue-depth
+            # gauge, whose O(buckets) size scan is the expensive part.
+            self._c_events = Counter("sim.events_processed")
+            self._g_queue = None
         else:
             self._c_events = None
             self._g_queue = None
@@ -140,6 +147,14 @@ class Environment:
         if self._times and self._times[0] < best:
             best = self._times[0]
         return best
+
+    @property
+    def events_processed(self) -> Optional[int]:
+        """Events processed so far (None when neither metering nor the
+        flight recorder armed an event counter)."""
+        if self._c_events is None:
+            return None
+        return int(self._c_events.value)
 
     @property
     def queue_size(self) -> int:
@@ -267,7 +282,8 @@ class Environment:
 
         if self._c_events is not None:
             self._c_events.value += 1
-            self._g_queue.set(self.queue_size)
+            if self._g_queue is not None:
+                self._g_queue.set(self.queue_size)
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -376,6 +392,56 @@ class Environment:
                         callback(event)
                     if not event._ok and not event._defused:
                         raise event._value
+            elif audit is None and self._g_queue is None:
+                # Flight-recorder-only: the same inlined loop plus one
+                # float add per event.  The counter must stay live (the
+                # sampler's events/sec probe reads it mid-run), so it
+                # cannot be batched into a local.
+                while True:
+                    best = queue[0] if queue else None
+                    source = 0
+                    if active:
+                        head = active[0]
+                        if best is None or head < best:
+                            best = head
+                            source = 1
+                    if urgent:
+                        head = urgent[0]
+                        if best is None or head < best:
+                            best = head
+                            source = 2
+                    if normal:
+                        head = normal[0]
+                        if best is None or head < best:
+                            best = head
+                            source = 3
+                    if times:
+                        at = times[0]
+                        if (
+                            best is None
+                            or at < best[0]
+                            or (at == best[0] and buckets[at][0] < best)
+                        ):
+                            heappop(times)
+                            active.extendleft(reversed(buckets.pop(at)))
+                            source = 1
+                    elif best is None:
+                        break
+                    if source == 1:
+                        entry = active.popleft()
+                    elif source == 2:
+                        entry = urgent.popleft()
+                    elif source == 3:
+                        entry = normal.popleft()
+                    else:
+                        entry = heappop(queue)
+                    self._now, _, _, event = entry
+                    c_events.value += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
             else:
                 g_queue = self._g_queue
                 while True:
@@ -387,11 +453,12 @@ class Environment:
                     self._now, _, _, event = entry
                     if c_events is not None:
                         c_events.value += 1
-                        g_queue.set(
-                            len(queue) + len(active) + len(urgent)
-                            + len(normal)
-                            + sum(len(b) for b in buckets.values())
-                        )
+                        if g_queue is not None:
+                            g_queue.set(
+                                len(queue) + len(active) + len(urgent)
+                                + len(normal)
+                                + sum(len(b) for b in buckets.values())
+                            )
                     callbacks, event.callbacks = event.callbacks, None
                     for callback in callbacks:
                         callback(event)

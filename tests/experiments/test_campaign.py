@@ -124,3 +124,49 @@ class TestCampaignParallel:
             par.to_markdown().replace("par", "serial")
         ) == strip(serial.to_markdown())
 
+
+
+class TestCampaignSeriesMerge:
+    """A parallel campaign folds per-worker flight-recorder banks into
+    the caller's telemetry — and the merged bank must equal the same
+    per-worker files merged in pure Python."""
+
+    def test_parallel_series_equal_pure_python_merge(self, tmp_path):
+        from repro.obs import SeriesBank, Telemetry
+
+        telemetry = Telemetry(series=SeriesBank(), sample_every=50.0)
+        campaign = Campaign("series-merge", output_dir=tmp_path / "out")
+        ck = tmp_path / "ck"
+        res = campaign.run(
+            grid(["edf", "fcfs"], [25], [1]),
+            telemetry,
+            jobs=2,
+            checkpoint_dir=ck,
+        )
+        assert len(res.records) == 2
+        assert res.parallel.series_path is not None
+
+        worker_files = sorted((ck / "obs").glob("series-*.json"))
+        assert len(worker_files) == 2
+        # Same fold order as the engine (sorted per-job filenames), so
+        # same-time ties land identically.
+        expected = SeriesBank()
+        for path in worker_files:
+            expected.merge_from(
+                SeriesBank.from_dict(json.loads(path.read_text()))
+            )
+
+        got = telemetry.series
+        assert got.names() == expected.names()
+        for name in expected.names():
+            assert (
+                got.get(name).times().tolist()
+                == expected.get(name).times().tolist()
+            ), name
+            # Wall-clock-derived rates differ across processes; every
+            # simulated-state series must match point for point.
+            if name != "sim.events_per_sec":
+                assert (
+                    got.get(name).values().tolist()
+                    == expected.get(name).values().tolist()
+                ), name

@@ -1,0 +1,174 @@
+"""Unit tests for the RL convergence probes (hand-computed deltas)."""
+
+import math
+
+from repro.obs import ConvergenceProbes, SeriesBank
+from repro.rl.dense import DenseQTable
+
+ACTIONS = ("grow", "shrink")
+
+
+class _ValueModel:
+    def __init__(self, table):
+        self.table = table
+
+
+class _Exploration:
+    def __init__(self, epsilon):
+        self.epsilon = epsilon
+
+
+class _Agent:
+    def __init__(self, agent_id, table, epsilon=0.3):
+        self.agent_id = agent_id
+        self.actions = ACTIONS
+        self.value_model = _ValueModel(table)
+        self.exploration = _Exploration(epsilon)
+        self.reward_sum = 0.0
+        self.l_val_sum = 0.0
+        self.feedbacks = 0
+
+
+class _Memory:
+    def __init__(self):
+        self.total_records = 0
+        self.evictions = 0
+        self.queries = 0
+        self.state_hits = 0
+
+
+class _Scheduler:
+    def __init__(self, agents, memory=None):
+        self.agents = agents
+        self.memory = memory
+
+
+def last(bank, name):
+    return bank.get(name).last()
+
+
+class TestQDeltaNorm:
+    def test_matches_hand_computed_l2_norm(self):
+        table = DenseQTable(ACTIONS, alpha=0.5, gamma=0.0, initial_q=0.0)
+        agent = _Agent("agent.0", table)
+        probe = ConvergenceProbes(_Scheduler({"agent.0": agent}))
+        bank = SeriesBank()
+
+        probe(bank, 0.0)  # empty table: nothing changed yet
+        assert last(bank, "rl.q_delta_norm") == 0.0
+        assert last(bank, "rl.q_updates") == 0.0
+
+        # Q(s1, grow): 0 + 0.5*(1 - 0) = 0.5; Q(s1, shrink): 0.5*2 = 1.0
+        table.update("s1", "grow", reward=1.0)
+        table.update("s1", "shrink", reward=2.0)
+        probe(bank, 10.0)
+        assert last(bank, "rl.q_delta_norm") == math.sqrt(0.5**2 + 1.0**2)
+        assert last(bank, "rl.q_updates") == 2.0
+
+        # One more update: Q(s1, grow) jumps 0.5 -> 10 (alpha=1).
+        table.update("s1", "grow", reward=10.0, alpha=1.0)
+        probe(bank, 20.0)
+        assert last(bank, "rl.q_delta_norm") == 9.5
+
+        # No updates between samples: delta is exactly zero.
+        probe(bank, 30.0)
+        assert last(bank, "rl.q_delta_norm") == 0.0
+
+    def test_delta_sums_across_agents(self):
+        t1 = DenseQTable(ACTIONS, alpha=1.0, gamma=0.0)
+        t2 = DenseQTable(ACTIONS, alpha=1.0, gamma=0.0)
+        sched = _Scheduler(
+            {
+                "agent.0": _Agent("agent.0", t1),
+                "agent.1": _Agent("agent.1", t2),
+            }
+        )
+        probe = ConvergenceProbes(sched)
+        bank = SeriesBank()
+        probe(bank, 0.0)
+        t1.update("s", "grow", reward=3.0)
+        t2.update("s", "grow", reward=4.0)
+        probe(bank, 1.0)
+        assert last(bank, "rl.q_delta_norm") == 5.0  # sqrt(9 + 16)
+
+
+class TestPolicyChurn:
+    def test_new_states_are_not_churn(self):
+        table = DenseQTable(ACTIONS, alpha=1.0, gamma=0.0)
+        agent = _Agent("agent.0", table)
+        probe = ConvergenceProbes(_Scheduler({"agent.0": agent}))
+        bank = SeriesBank()
+        table.update("s1", "grow", reward=1.0)
+        probe(bank, 0.0)
+        assert last(bank, "rl.policy_churn") == 0.0
+
+    def test_greedy_flip_counts_once(self):
+        table = DenseQTable(ACTIONS, alpha=1.0, gamma=0.0)
+        agent = _Agent("agent.0", table)
+        probe = ConvergenceProbes(_Scheduler({"agent.0": agent}))
+        bank = SeriesBank()
+        table.update("s1", "grow", reward=1.0)
+        probe(bank, 0.0)
+        # shrink overtakes grow -> the greedy action at s1 flips.
+        table.update("s1", "shrink", reward=5.0)
+        probe(bank, 1.0)
+        assert last(bank, "rl.policy_churn") == 1.0
+        # Stable afterwards.
+        probe(bank, 2.0)
+        assert last(bank, "rl.policy_churn") == 0.0
+
+
+class TestWindowedMeans:
+    def test_reward_and_l_val_windows(self):
+        table = DenseQTable(ACTIONS)
+        agent = _Agent("agent.0", table, epsilon=0.42)
+        probe = ConvergenceProbes(_Scheduler({"agent.0": agent}))
+        bank = SeriesBank()
+
+        agent.reward_sum = 6.0
+        agent.l_val_sum = 3.0
+        agent.feedbacks = 3
+        probe(bank, 0.0)
+        assert last(bank, "rl.reward.mean") == 2.0
+        assert last(bank, "rl.l_val.mean") == 1.0
+        assert last(bank, "rl.epsilon.mean") == 0.42
+
+        # Next window: +4 reward over +2 feedbacks.
+        agent.reward_sum = 10.0
+        agent.l_val_sum = 4.0
+        agent.feedbacks = 5
+        probe(bank, 1.0)
+        assert last(bank, "rl.reward.mean") == 2.0
+        assert last(bank, "rl.l_val.mean") == 0.5
+
+        # Empty window records zero, not a division error.
+        probe(bank, 2.0)
+        assert last(bank, "rl.reward.mean") == 0.0
+
+
+class TestMemorySeries:
+    def test_hit_rate_is_windowed(self):
+        memory = _Memory()
+        table = DenseQTable(ACTIONS)
+        sched = _Scheduler({"agent.0": _Agent("agent.0", table)}, memory)
+        probe = ConvergenceProbes(sched)
+        bank = SeriesBank()
+
+        memory.queries = 4
+        memory.state_hits = 1
+        memory.total_records = 7
+        memory.evictions = 2
+        probe(bank, 0.0)
+        assert last(bank, "rl.memory.hit_rate") == 0.25
+        assert last(bank, "rl.memory.records") == 7.0
+        assert last(bank, "rl.memory.evictions") == 2.0
+
+        # Window of 4 more queries, all hits.
+        memory.queries = 8
+        memory.state_hits = 5
+        probe(bank, 1.0)
+        assert last(bank, "rl.memory.hit_rate") == 1.0
+
+        # No queries since last sample -> 0, no division error.
+        probe(bank, 2.0)
+        assert last(bank, "rl.memory.hit_rate") == 0.0

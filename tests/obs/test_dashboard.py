@@ -1,0 +1,78 @@
+"""Tests for the self-contained HTML dashboard renderer."""
+
+from repro.obs import MetricsRegistry, SeriesBank, render_dashboard
+
+
+def synthetic_bank():
+    bank = SeriesBank()
+    for i in range(20):
+        t = float(i * 50)
+        bank.record("power.system", t, 1000.0 + i)
+        bank.record("power.site.site0", t, 400.0 + i)
+        bank.record("power.site.site1", t, 600.0)
+        bank.record("sched.success_rate", t, 0.9 + 0.005 * i)
+        bank.record("rl.q_delta_norm", t, 10.0 / (i + 1))
+        bank.record("rl.epsilon.mean", t, max(0.05, 0.9 - 0.04 * i))
+        bank.record("sim.events_per_sec", t, 30000.0)
+        bank.record("custom.extra_series", t, float(i))
+    return bank
+
+
+class TestRenderDashboard:
+    def test_self_contained_html_with_charts(self):
+        html = render_dashboard(synthetic_bank(), title="Test run")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html and "</html>" in html
+        assert "Test run" in html
+        # No external assets: no http(s) fetches anywhere in the page.
+        assert "http://" not in html and "https://" not in html
+        assert "<link" not in html and "src=" not in html
+
+    def test_known_series_get_charts_and_tiles(self):
+        html = render_dashboard(synthetic_bank())
+        assert "System power draw" in html
+        assert "Q-table update delta" in html
+        assert "Success rate" in html  # KPI tile
+        # Uncharted series land in the small-multiples grid.
+        assert "custom.extra_series" in html
+
+    def test_legend_present_for_multi_series_chart(self):
+        html = render_dashboard(synthetic_bank())
+        assert 'class="legend"' in html
+
+    def test_dark_mode_tokens_embedded(self):
+        html = render_dashboard(synthetic_bank())
+        assert "prefers-color-scheme: dark" in html
+        assert 'data-theme="dark"' in html
+
+    def test_metrics_table_included_when_given(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.events_processed").inc(5)
+        html = render_dashboard(synthetic_bank(), metrics=registry)
+        assert "End-of-run instruments" in html
+        assert "sim.events_processed" in html
+
+    def test_empty_bank_still_renders(self):
+        html = render_dashboard(SeriesBank())
+        assert html.startswith("<!DOCTYPE html>")
+        assert "No samples recorded" in html
+
+    def test_none_bank_behaves_like_empty(self):
+        assert "No samples recorded" in render_dashboard(None)
+
+    def test_single_point_series_does_not_crash(self):
+        bank = SeriesBank()
+        bank.record("power.system", 0.0, 5.0)
+        html = render_dashboard(bank)
+        assert "<svg" in html
+
+    def test_constant_series_does_not_crash(self):
+        bank = SeriesBank()
+        for t in range(5):
+            bank.record("rl.q_delta_norm", float(t), 0.0)
+        assert "<svg" in render_dashboard(bank)
+
+    def test_html_escapes_title(self):
+        html = render_dashboard(SeriesBank(), title="<script>x</script>")
+        assert "<script>x</script>" not in html
+        assert "&lt;script&gt;" in html

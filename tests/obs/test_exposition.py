@@ -1,0 +1,151 @@
+"""Unit tests for Prometheus-style exposition and the schema checker."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    MetricsServer,
+    Telemetry,
+    check_exposition,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.exposition import metric_name
+from repro.obs.timeseries import SeriesBank
+
+
+def build_registry():
+    registry = MetricsRegistry()
+    registry.counter("sim.events_processed").inc(12345)
+    registry.gauge("queue.depth").set(7)
+    h = registry.histogram("task.latency")
+    for v in (0.2, 0.7, 3.0, 40.0, 9000.0):
+        h.observe(v)
+    return registry
+
+
+class TestRender:
+    def test_name_sanitization(self):
+        assert metric_name("sim.events_processed") == (
+            "repro_sim_events_processed"
+        )
+        assert metric_name("a-b c.d") == "repro_a_b_c_d"
+
+    def test_counter_gauge_histogram_families(self):
+        text = render_prometheus(build_registry())
+        assert "# TYPE repro_sim_events_processed counter" in text
+        assert "repro_sim_events_processed 12345" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth_high 7" in text
+        assert "# TYPE repro_task_latency histogram" in text
+        assert 'repro_task_latency_bucket{le="+Inf"} 5' in text
+        assert "repro_task_latency_count 5" in text
+
+    def test_accepts_dict_snapshot(self):
+        registry = build_registry()
+        assert render_prometheus(registry.as_dict()) == render_prometheus(
+            registry
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestRoundTrip:
+    def test_parse_recovers_every_sample(self):
+        registry = build_registry()
+        families = parse_prometheus(render_prometheus(registry))
+        assert families["repro_sim_events_processed"]["type"] == "counter"
+        assert (
+            families["repro_sim_events_processed"]["samples"][
+                "repro_sim_events_processed"
+            ]
+            == 12345.0
+        )
+        hist = families["repro_task_latency"]
+        assert hist["type"] == "histogram"
+        assert hist["samples"]["repro_task_latency_count"] == 5.0
+        assert hist["samples"]['repro_task_latency_bucket{le="+Inf"}'] == 5.0
+        # Cumulative buckets reconstruct the registry's exact count.
+        total = registry.histogram("task.latency").count
+        assert hist["samples"]["repro_task_latency_count"] == total
+
+
+class TestChecker:
+    def test_valid_exposition_passes(self):
+        assert check_exposition(render_prometheus(build_registry())) == []
+
+    def test_empty_text_fails(self):
+        assert check_exposition("") == ["no metric families found"]
+
+    def test_missing_type_declaration(self):
+        failures = check_exposition("repro_x 1\n")
+        assert any("TYPE" in f for f in failures)
+
+    def test_negative_counter(self):
+        text = "# TYPE repro_x counter\nrepro_x -3\n"
+        assert any("negative" in f for f in failures_of(text))
+
+    def test_non_cumulative_buckets(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 3\n"
+        )
+        assert any("cumulative" in f for f in failures_of(text))
+
+    def test_missing_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 3\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 3\n"
+        )
+        assert any("+Inf" in f for f in failures_of(text))
+
+    def test_inf_bucket_count_mismatch(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 2\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 3\n"
+        )
+        assert any("_count" in f for f in failures_of(text))
+
+
+def failures_of(text):
+    return check_exposition(text)
+
+
+class TestMetricsServer:
+    @pytest.fixture()
+    def server(self):
+        bank = SeriesBank()
+        bank.record("power.system", 10.0, 100.0)
+        tel = Telemetry(metrics=build_registry(), series=bank)
+        server = MetricsServer(tel, port=0).start()
+        yield server
+        server.stop()
+
+    def _get(self, server, path):
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{server.port}{path}", timeout=5
+        ) as resp:
+            return resp.read().decode("utf-8")
+
+    def test_metrics_endpoint_serves_valid_exposition(self, server):
+        text = self._get(server, "/metrics")
+        assert check_exposition(text) == []
+
+    def test_series_endpoint_serves_bank_json(self, server):
+        payload = json.loads(self._get(server, "/series.json"))
+        assert payload["power.system"]["v"] == [100.0]
+
+    def test_dashboard_endpoint_serves_html(self, server):
+        html = self._get(server, "/dashboard")
+        assert "<svg" in html and "System power" in html

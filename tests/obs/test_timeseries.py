@@ -1,0 +1,146 @@
+"""Unit tests for the flight recorder's ring-buffer series and sampler."""
+
+import pytest
+
+from repro.obs import PeriodicSampler, SeriesBank, TimeSeries
+from repro.sim import Environment
+
+
+class TestTimeSeries:
+    def test_append_and_read_back_in_order(self):
+        s = TimeSeries("x", capacity=8)
+        for i in range(5):
+            s.append(float(i), float(i * 10))
+        assert len(s) == 5
+        assert s.dropped == 0
+        assert s.times().tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert s.values().tolist() == [0.0, 10.0, 20.0, 30.0, 40.0]
+        assert s.last() == 40.0
+
+    def test_wraparound_keeps_newest_and_counts_drops(self):
+        s = TimeSeries("x", capacity=4)
+        for i in range(7):
+            s.append(float(i), float(i))
+        assert len(s) == 4
+        assert s.dropped == 3
+        # Oldest-first view across the wrap point.
+        assert s.times().tolist() == [3.0, 4.0, 5.0, 6.0]
+        assert s.values().tolist() == [3.0, 4.0, 5.0, 6.0]
+        assert s.last() == 6.0
+
+    def test_exact_capacity_boundary(self):
+        s = TimeSeries("x", capacity=3)
+        for i in range(3):
+            s.append(float(i), float(i))
+        assert len(s) == 3
+        assert s.dropped == 0
+        assert s.times().tolist() == [0.0, 1.0, 2.0]
+
+    def test_empty_series(self):
+        s = TimeSeries("x", capacity=4)
+        assert len(s) == 0
+        assert s.last() is None
+        assert s.times().tolist() == []
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TimeSeries("x", capacity=0)
+
+    def test_dict_round_trip_preserves_order_and_drops(self):
+        s = TimeSeries("x", capacity=4)
+        for i in range(6):
+            s.append(float(i), float(i * 2))
+        restored = TimeSeries.from_dict("x", s.to_dict())
+        assert restored.times().tolist() == s.times().tolist()
+        assert restored.values().tolist() == s.values().tolist()
+        assert restored.dropped == s.dropped == 2
+        # Appending after a restore must not scramble the ring view.
+        restored.append(6.0, 12.0)
+        assert restored.times().tolist() == [3.0, 4.0, 5.0, 6.0]
+        assert restored.dropped == 3
+
+
+class TestSeriesBank:
+    def test_get_or_create_and_names_sorted(self):
+        bank = SeriesBank()
+        bank.record("b", 0.0, 1.0)
+        bank.record("a", 0.0, 2.0)
+        bank.record("b", 1.0, 3.0)
+        assert bank.names() == ["a", "b"]
+        assert len(bank) == 2
+        assert bank.get("b").last() == 3.0
+        assert bank.get("missing") is None
+
+    def test_dict_round_trip(self):
+        bank = SeriesBank()
+        bank.record("x", 0.0, 1.0)
+        bank.record("x", 1.0, 2.0)
+        restored = SeriesBank.from_dict(bank.as_dict())
+        assert restored.names() == ["x"]
+        assert restored.get("x").values().tolist() == [1.0, 2.0]
+
+    def test_merge_interleaves_by_time(self):
+        a = SeriesBank()
+        b = SeriesBank()
+        for t in (0.0, 2.0, 4.0):
+            a.record("x", t, 1.0)
+        for t in (1.0, 3.0):
+            b.record("x", t, 2.0)
+        b.record("only_b", 0.0, 9.0)
+        a.merge_from(b)
+        assert a.get("x").times().tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert a.get("x").values().tolist() == [1.0, 2.0, 1.0, 2.0, 1.0]
+        assert a.get("only_b").last() == 9.0
+
+    def test_merge_tie_keeps_existing_first(self):
+        a = SeriesBank()
+        b = SeriesBank()
+        a.record("x", 1.0, 10.0)
+        b.record("x", 1.0, 20.0)
+        a.merge_from(b)
+        assert a.get("x").values().tolist() == [10.0, 20.0]
+
+    def test_merge_adds_drop_counts(self):
+        a = SeriesBank(capacity=4)
+        b = SeriesBank(capacity=4)
+        for i in range(6):
+            a.record("x", float(i), 0.0)
+            b.record("x", float(i) + 0.5, 1.0)
+        a.merge_from(b)
+        merged = a.get("x")
+        # 2 dropped on each side before the merge, plus re-ringing the 8
+        # surviving points into capacity 4 drops 4 more.
+        assert merged.dropped == 2 + 2 + 4
+        assert len(merged) == 4
+
+
+class TestPeriodicSampler:
+    def test_samples_on_cadence(self):
+        env = Environment()
+        bank = SeriesBank()
+        seen = []
+
+        def probe(b, now):
+            seen.append(now)
+            b.record("tick", now, now)
+
+        sampler = PeriodicSampler(
+            bank, every=10.0, until=55.0, probes=[probe]
+        ).attach(env)
+        env.timeout(100.0)  # keep the run alive past the sampler horizon
+        env.run()
+        assert seen == [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert sampler.samples == 5
+        assert bank.get("tick").times().tolist() == seen
+
+    def test_no_tick_past_horizon(self):
+        env = Environment()
+        sampler = PeriodicSampler(SeriesBank(), every=10.0, until=5.0)
+        sampler.attach(env)
+        env.run()
+        assert sampler.samples == 0
+        assert env.now == 0.0
+
+    def test_cadence_must_be_positive(self):
+        with pytest.raises(ValueError, match="cadence"):
+            PeriodicSampler(SeriesBank(), every=0.0, until=10.0)

@@ -103,3 +103,101 @@ class TestMetricsMerge:
         out = tmp_path / "merged.json"
         merged = merge_metrics_files([a_path], out=out)
         assert json.loads(out.read_text()) == merged
+
+
+class TestEmptyHistogramMerge:
+    """Regression: a worker that never observed a value snapshots
+    ``min: null`` / ``max: null``; merging it must not poison the
+    combined extrema or quantiles (in either merge order)."""
+
+    def test_empty_then_populated(self):
+        a = snapshot(lambda r: r.histogram("lat"))  # zero observations
+        b = snapshot(lambda r: r.histogram("lat").observe(2.0))
+        merged = merge_metrics_dicts([a, b])
+        h = merged["lat"]
+        assert h["count"] == 1
+        assert h["min"] == 2.0
+        assert h["max"] == 2.0
+        assert h["quantiles"]["p50"] == 2.0
+
+    def test_populated_then_empty(self):
+        a = snapshot(lambda r: r.histogram("lat").observe(2.0))
+        b = snapshot(lambda r: r.histogram("lat"))
+        merged = merge_metrics_dicts([a, b])
+        assert merged["lat"]["min"] == 2.0
+        assert merged["lat"]["max"] == 2.0
+
+    def test_all_empty_stays_null(self):
+        a = snapshot(lambda r: r.histogram("lat"))
+        b = snapshot(lambda r: r.histogram("lat"))
+        merged = merge_metrics_dicts([a, b])
+        h = merged["lat"]
+        assert h["count"] == 0
+        assert h["min"] is None and h["max"] is None
+        assert h["quantiles"] is None
+
+
+class TestMergedQuantiles:
+    def test_quantiles_recomputed_from_folded_buckets(self):
+        def build_low(r):
+            h = r.histogram("lat")
+            for _ in range(9):
+                h.observe(0.3)
+
+        def build_high(r):
+            r.histogram("lat").observe(800.0)
+
+        merged = merge_metrics_dicts(
+            [snapshot(build_low), snapshot(build_high)]
+        )
+        q = merged["lat"]["quantiles"]
+        # p50 sits in the low bucket; p99 must see the other worker's
+        # tail observation, which a stale per-worker quantile would miss.
+        assert q["p50"] < 1.0
+        assert q["p99"] > 100.0
+        # Serial equivalence: one registry observing all ten values.
+        def build_all(r):
+            h = r.histogram("lat")
+            for _ in range(9):
+                h.observe(0.3)
+            h.observe(800.0)
+
+        assert merged["lat"]["quantiles"] == snapshot(build_all)["lat"][
+            "quantiles"
+        ]
+
+
+class TestSeriesMerge:
+    def _bank(self, points):
+        from repro.obs import SeriesBank
+
+        bank = SeriesBank()
+        for name, t, v in points:
+            bank.record(name, t, v)
+        return bank
+
+    def test_dicts_interleave_by_time(self):
+        from repro.parallel import merge_series_dicts
+
+        a = self._bank([("x", 0.0, 1.0), ("x", 2.0, 1.0)])
+        b = self._bank([("x", 1.0, 2.0), ("y", 0.0, 9.0)])
+        merged = merge_series_dicts([a.as_dict(), b.as_dict()])
+        assert merged.get("x").times().tolist() == [0.0, 1.0, 2.0]
+        assert merged.get("x").values().tolist() == [1.0, 2.0, 1.0]
+        assert merged.get("y").last() == 9.0
+
+    def test_files_round_trip(self, tmp_path):
+        from repro.obs import SeriesBank
+        from repro.parallel import merge_series_files
+
+        paths = []
+        for i in range(2):
+            bank = self._bank([("x", float(i), float(i * 10))])
+            p = tmp_path / f"series-{i}.json"
+            p.write_text(json.dumps(bank.as_dict()))
+            paths.append(p)
+        out = tmp_path / "series.json"
+        merged = merge_series_files(paths, out=out)
+        assert merged.get("x").values().tolist() == [0.0, 10.0]
+        restored = SeriesBank.from_dict(json.loads(out.read_text()))
+        assert restored.get("x").values().tolist() == [0.0, 10.0]
