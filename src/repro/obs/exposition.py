@@ -264,12 +264,23 @@ class MetricsServer:
 
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._thread: Optional[threading.Thread] = None
+        self._stopped = False
 
     @property
     def port(self) -> int:
         return self._httpd.server_address[1]
 
     def start(self) -> "MetricsServer":
+        """Serve in a daemon thread.  A stopped server cannot restart —
+        :meth:`stop` closes the listening socket, so create a new
+        :class:`MetricsServer` instead."""
+        if self._stopped:
+            raise RuntimeError(
+                "MetricsServer was stopped; its socket is closed — "
+                "create a new MetricsServer to serve again"
+            )
+        if self._thread is not None:
+            raise RuntimeError("MetricsServer is already running")
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, daemon=True
         )
@@ -277,10 +288,19 @@ class MetricsServer:
         return self
 
     def stop(self) -> None:
-        self._httpd.shutdown()
+        """Shut down and close the socket.  Idempotent: drain paths and
+        ``finally`` blocks may both call it."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._thread is not None:
+            # shutdown() blocks on serve_forever()'s loop exit, so it
+            # must only run once the serve thread actually started.
+            self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+            self._thread = None
 
 
 def _main(argv: Optional[List[str]] = None) -> int:

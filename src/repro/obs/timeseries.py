@@ -145,7 +145,11 @@ class SeriesBank:
         return self._series.get(name)
 
     def names(self) -> List[str]:
-        return sorted(self._series)
+        # list() snapshots the dict in one C-level pass so a concurrent
+        # first-sample insertion (live /series.json scrape while the
+        # service engine records) cannot raise "changed size during
+        # iteration" mid-sort.
+        return sorted(list(self._series))
 
     def __len__(self) -> int:
         return len(self._series)

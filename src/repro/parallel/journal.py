@@ -23,13 +23,12 @@ because it means the file was edited or interleaved.
 
 from __future__ import annotations
 
-import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from .errors import JournalError
+from .jsonl import JsonlAppender, read_journal_entries
 
 __all__ = ["CheckpointJournal", "JournalState", "JOURNAL_FILENAME"]
 
@@ -64,7 +63,7 @@ class CheckpointJournal:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
-        self._fh = None
+        self._writer = JsonlAppender(self.path, error=JournalError)
 
     # ------------------------------------------------------------------
     # Loading
@@ -77,17 +76,7 @@ class CheckpointJournal:
         malformed lines elsewhere raise :class:`JournalError`.
         """
         state = JournalState()
-        raw_lines = Path(path).read_text(encoding="utf-8").splitlines()
-        lines = [(i, l) for i, l in enumerate(raw_lines) if l.strip()]
-        for pos, (lineno, line) in enumerate(lines):
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError as exc:
-                if pos == len(lines) - 1:
-                    break  # torn tail from an interrupted write
-                raise JournalError(
-                    f"{path}:{lineno + 1}: malformed journal line: {exc}"
-                ) from exc
+        for lineno, entry in read_journal_entries(path, error=JournalError):
             state.entries += 1
             ev = entry.get("ev")
             if ev == "campaign":
@@ -111,7 +100,7 @@ class CheckpointJournal:
                 pass
             else:
                 raise JournalError(
-                    f"{path}:{lineno + 1}: unknown journal event {ev!r}"
+                    f"{path}:{lineno}: unknown journal event {ev!r}"
                 )
         return state
 
@@ -120,14 +109,11 @@ class CheckpointJournal:
 
     def open(self, fresh: bool) -> "CheckpointJournal":
         """Open for appending; ``fresh=True`` truncates any prior file."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = self.path.open("w" if fresh else "a", encoding="utf-8")
+        self._writer.open(fresh)
         return self
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        self._writer.close()
 
     def __enter__(self) -> "CheckpointJournal":
         return self
@@ -136,14 +122,7 @@ class CheckpointJournal:
         self.close()
 
     def _append(self, entry: dict) -> None:
-        if self._fh is None:
-            raise JournalError("journal is not open for writing")
-        self._fh.write(json.dumps(entry, separators=(",", ":")))
-        self._fh.write("\n")
-        # Flush through to disk per event: the journal is the crash-
-        # recovery source of truth, so buffered completions are losses.
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        self._writer.append(entry)
 
     def write_header(
         self, name: str, job_ids: Sequence[str], total: int

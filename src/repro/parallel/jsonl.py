@@ -1,0 +1,110 @@
+"""Crash-safe JSONL primitives shared by every journal in the tree.
+
+Two journals need the same durability idiom — the campaign checkpoint
+journal (:mod:`repro.parallel.journal`) and the service admission log
+(:mod:`repro.service.journal`): append one JSON object per line, flush
+and fsync per entry so a crash loses at most the line being written,
+and on load tolerate a torn *final* line while rejecting corruption
+anywhere else.  This module is that idiom, extracted once:
+
+- :class:`JsonlAppender` — the fsynced append side;
+- :func:`read_journal_entries` — the tolerant replay side.
+
+Both are format-agnostic: event vocabulary, versioning, and state
+reconstruction stay with each journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List, Tuple, Type, Union
+
+from .errors import JournalError
+
+__all__ = ["JsonlAppender", "read_journal_entries"]
+
+
+class JsonlAppender:
+    """Append-only JSONL writer, flushed and fsynced per entry.
+
+    The fsync is the durability contract: a journal is the crash-
+    recovery source of truth, so a buffered entry is a lost entry.
+
+    Parameters
+    ----------
+    path:
+        The journal file (parent directories are created on
+        :meth:`open`).
+    error:
+        Exception class raised on misuse (writing while closed), so
+        each journal surfaces its own error taxonomy.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        error: Type[Exception] = JournalError,
+    ) -> None:
+        self.path = Path(path)
+        self._error = error
+        self._fh = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._fh is not None
+
+    def open(self, fresh: bool) -> "JsonlAppender":
+        """Open for appending; ``fresh=True`` truncates any prior file."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w" if fresh else "a", encoding="utf-8")
+        return self
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlAppender":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def append(self, entry: dict) -> None:
+        """Serialize *entry*, append it, and force it through to disk."""
+        if self._fh is None:
+            raise self._error("journal is not open for writing")
+        self._fh.write(json.dumps(entry, separators=(",", ":")))
+        self._fh.write("\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+
+def read_journal_entries(
+    path: Union[str, Path],
+    error: Type[Exception] = JournalError,
+) -> List[Tuple[int, dict]]:
+    """Parse *path* into ``[(lineno, entry), ...]``.
+
+    A malformed *final* line is dropped silently — that is the torn
+    write an interrupted :meth:`JsonlAppender.append` leaves behind.  A
+    malformed line anywhere else raises *error*, because it means the
+    file was edited or interleaved, and replaying a half-trusted
+    journal is worse than failing.
+    """
+    raw_lines = Path(path).read_text(encoding="utf-8").splitlines()
+    lines = [(i, l) for i, l in enumerate(raw_lines) if l.strip()]
+    entries: List[Tuple[int, dict]] = []
+    for pos, (lineno, line) in enumerate(lines):
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if pos == len(lines) - 1:
+                break  # torn tail from an interrupted write
+            raise error(
+                f"{path}:{lineno + 1}: malformed journal line: {exc}"
+            ) from exc
+        entries.append((lineno + 1, entry))
+    return entries

@@ -1,0 +1,314 @@
+"""Incremental simulation driver: the batch run, sliced.
+
+The batch harness (:func:`repro.experiments.runner.run_experiment`)
+builds the platform, submits a pre-generated workload through an
+arrival process, and runs the kernel to completion in one call.  The
+:class:`SliceEngine` is the same run decomposed into bounded steps so a
+*service* can interleave simulation with admission: each
+:meth:`advance` call pops admitted tasks from the ingress up to a
+slice target, injects them as arrival-time submissions, and moves the
+kernel forward — never past the *admission frontier* (the largest
+admitted arrival time) while the stream is open, because simulated
+time beyond the frontier could be invalidated by a later admission.
+
+Determinism contract (pinned by ``tests/service/test_parity.py``): for
+a fixed admitted task sequence, the sliced run visits the same
+trajectory as the batch run — same completions, same energy, same
+golden digest — regardless of how the slices are cut.  The mechanism:
+``env.run(until=t)`` stops *before* any event scheduled at ``t``, so
+injecting a task at its exact arrival epoch is indistinguishable from
+the batch arrival process waking at that epoch; slice boundaries add
+stop-sentinels that consume event ids uniformly without processing
+anything.
+
+Failure injection is a batch-only feature: the injector needs a fixed
+horizon up front, which an open-ended stream does not have, so a
+config carrying ``failure_mtbf`` is refused at construction.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import List, Optional
+
+from ..cluster.system import System, build_system
+from ..core.base import Scheduler
+from ..experiments.config import ExperimentConfig
+from ..experiments.schedulers import make_scheduler
+from ..metrics.collector import RunMetrics, collect_metrics
+from ..obs import (
+    CAT_RUN,
+    CAT_TASK,
+    Telemetry,
+    get_telemetry,
+    make_run_probes,
+)
+from ..sim.core import Environment
+from ..sim.events import AnyOf
+from ..sim.rng import RandomStreams
+from ..workload.generator import WorkloadSpec
+from ..workload.task import Task
+from .errors import ServiceError, ServiceStalled
+from .ingress import IngressQueue
+
+__all__ = ["SliceEngine", "DEFAULT_SLICE"]
+
+#: Default slice length in simulated time units — a compromise between
+#: injection latency (shorter = admitted tasks enter the kernel sooner)
+#: and per-slice overhead (each slice costs one stop-sentinel and one
+#: ops sample).
+DEFAULT_SLICE = 25.0
+
+#: Wall-clock slice-duration histogram buckets (seconds): service
+#: slices are milliseconds-scale, far below the metric default buckets.
+_SLICE_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class SliceEngine:
+    """Drives one scheduler run in bounded increments.
+
+    Construction mirrors the batch runner exactly — environment, RNG
+    streams, platform, scheduler attach, meter/trace wiring — so that
+    the physics downstream of admission is shared code, not a parallel
+    implementation.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if config.failure_mtbf is not None:
+            raise ValueError(
+                "service mode does not support failure injection: the "
+                "injector needs a fixed horizon, which a live stream "
+                "does not have (run failures through the batch runner)"
+            )
+        self.config = config
+        tel = telemetry if telemetry is not None else get_telemetry()
+        self.telemetry = tel
+        self.env = Environment(telemetry=tel)
+        self.streams = RandomStreams(seed=config.seed)
+        self.system: System = build_system(self.env, config.platform, self.streams)
+        if tel.tracing:
+            for proc in self.system.processors:
+                proc.meter.bind_telemetry(tel, proc.pid)
+            tel.emit(
+                CAT_RUN,
+                "start",
+                self.env.now,
+                scheduler=config.scheduler,
+                num_tasks=config.num_tasks,
+                seed=config.seed,
+            )
+        self.reference_speed = (
+            config.reference_speed_mips
+            if config.reference_speed_mips is not None
+            else self.system.slowest_speed_mips
+        )
+        self.scheduler: Scheduler = make_scheduler(
+            config.scheduler, **dict(config.scheduler_kwargs)
+        )
+        self.scheduler.attach(self.env, self.system, self.streams)
+        #: Tasks injected into the kernel, in injection (= arrival) order.
+        self.injected: List[Task] = []
+        #: Final metrics; set by :meth:`drain`, None until then (and
+        #: forever when nothing was ever injected).
+        self.metrics: Optional[RunMetrics] = None
+        self._drained = False
+        self._probes = (
+            make_run_probes(self.system, self.scheduler, self.env)
+            if tel.sampling
+            else []
+        )
+        self._last_sample = float("-inf")
+        self._h_slice = (
+            tel.metrics.histogram("service.slice_seconds", _SLICE_BUCKETS)
+            if tel.metering
+            else None
+        )
+
+    # -- workload plumbing ----------------------------------------------
+    def workload_spec(self) -> WorkloadSpec:
+        """The spec a live producer should generate against.
+
+        Built exactly as the batch runner builds it (same reference
+        speed, same overrides), so a service fed by
+        ``WorkloadGenerator(engine.workload_spec(), RandomStreams(seed))``
+        sees the batch run's task sequence bit for bit.
+        """
+        config = self.config
+        return WorkloadSpec(
+            num_tasks=config.num_tasks,
+            mean_interarrival=config.effective_mean_interarrival,
+            size_range_mi=config.size_range_mi,
+            priority_mix=config.priority_mix,
+            reference_speed_mips=self.reference_speed,
+            **dict(config.workload_overrides),
+        )
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    @property
+    def completed(self) -> int:
+        return len(self.scheduler.completed)
+
+    @property
+    def drained(self) -> bool:
+        return self._drained
+
+    # -- stepping --------------------------------------------------------
+    def advance(self, ingress: IngressQueue, slice_len: float = DEFAULT_SLICE) -> int:
+        """Run one bounded slice; returns how many tasks were injected.
+
+        Pops every admitted task whose arrival lies within the slice,
+        injects each at its exact arrival epoch, then advances the
+        kernel to the slice target — clamped to the admission frontier,
+        since time beyond the last admitted arrival is not yet settled
+        while the stream remains open.
+        """
+        if self._drained:
+            raise ServiceError("engine already drained")
+        if slice_len <= 0:
+            raise ValueError("slice_len must be positive")
+        wall0 = _time.perf_counter()
+        target = self.env.now + slice_len
+        injected = 0
+        while True:
+            task = ingress.pop_next(target)
+            if task is None:
+                break
+            self._inject(task)
+            injected += 1
+        if ingress.head_arrival() is not None:
+            # Tasks queued beyond the target pin the frontier past it.
+            cap = target
+        else:
+            cap = min(target, ingress.frontier)
+        if cap > self.env.now:
+            self.env.run(until=cap)
+        if self._h_slice is not None:
+            self._h_slice.observe(_time.perf_counter() - wall0)
+        self._sample()
+        return injected
+
+    def _inject(self, task: Task) -> None:
+        arrival = task.arrival_time
+        if arrival < self.env.now:
+            raise ServiceError(
+                f"task {task.tid} arrives at {arrival:.6g}, before the "
+                f"kernel clock {self.env.now:.6g} — the ingress frontier "
+                "invariant was violated"
+            )
+        if arrival > self.env.now:
+            # run(until=t) stops before any event at t, exactly where the
+            # batch arrival process would wake to submit this task.
+            self.env.run(until=arrival)
+        tel = self.telemetry
+        if tel.tracing:
+            tel.emit(
+                CAT_TASK,
+                "submit",
+                self.env.now,
+                task=task.tid,
+                size_mi=task.size_mi,
+                deadline=task.deadline,
+                priority=task.priority.label,
+            )
+        self.scheduler.submit(task)
+        self.injected.append(task)
+
+    def _sample(self) -> None:
+        """Record the flight-recorder probes at the current slice edge.
+
+        The batch runner samples with a kernel-level
+        :class:`~repro.obs.PeriodicSampler`; the engine instead samples
+        from *outside* the kernel at slice boundaries, keeping the
+        event stream identical to an unsampled batch run.
+        """
+        if not self._probes:
+            return
+        now = self.env.now
+        if now <= self._last_sample:
+            return
+        self._last_sample = now
+        bank = self.telemetry.series
+        for probe in self._probes:
+            probe(bank, now)
+
+    # -- drain -----------------------------------------------------------
+    def drain(self, ingress: IngressQueue) -> Optional[RunMetrics]:
+        """Inject everything still queued and run to the last completion.
+
+        Mirrors the batch endgame: wait on ``scheduler.expect(n)``
+        against a simulated-time wall of ``max(arrival_span, 1) *
+        sim_time_factor`` (the batch cap, so a stalled scheduler raises
+        :class:`ServiceStalled` instead of spinning forever), then
+        freeze the energy meters at the exact drain instant.  Returns
+        the collected :class:`RunMetrics`, or None when no task was
+        ever injected.
+        """
+        if self._drained:
+            raise ServiceError("engine already drained")
+        while True:
+            task = ingress.pop_next(float("inf"))
+            if task is None:
+                break
+            self._inject(task)
+        n = len(self.injected)
+        if n == 0:
+            self._finalize()
+            return None
+        done = self.scheduler.expect(n)
+        if len(self.scheduler.completed) < n:
+            arrival_span = self.injected[-1].arrival_time
+            time_cap = max(arrival_span, 1.0) * self.config.sim_time_factor
+            cap_event = self.env.timeout(max(time_cap - self.env.now, 0.0))
+            self.env.run(until=AnyOf(self.env, [done, cap_event]))
+            if not done.triggered:
+                raise ServiceStalled(
+                    f"{self.scheduler.name}: only "
+                    f"{len(self.scheduler.completed)}/{n} tasks completed "
+                    f"within t={time_cap:.0f}"
+                )
+        self._sample()
+        self._finalize()
+        self.metrics = collect_metrics(self.scheduler, self.system, self.injected)
+        return self.metrics
+
+    def _finalize(self) -> None:
+        now = self.env.now
+        for proc in self.system.processors:
+            proc.meter.finalize(now)
+        self._drained = True
+        tel = self.telemetry
+        if tel.metering:
+            registry = tel.metrics
+            joules = {"busy": 0.0, "idle": 0.0, "sleep": 0.0}
+            seconds = {"busy": 0.0, "idle": 0.0, "sleep": 0.0}
+            for proc in self.system.processors:
+                breakdown = proc.meter.snapshot()
+                joules["busy"] += breakdown.busy_energy
+                joules["idle"] += breakdown.idle_energy
+                joules["sleep"] += breakdown.sleep_energy
+                seconds["busy"] += breakdown.busy_time
+                seconds["idle"] += breakdown.idle_time
+                seconds["sleep"] += breakdown.sleep_time
+            for state in ("busy", "idle", "sleep"):
+                registry.counter(f"energy.joules.{state}").inc(joules[state])
+                registry.counter(f"energy.seconds.{state}").inc(seconds[state])
+        if tel.tracing:
+            tel.emit(
+                CAT_RUN,
+                "end",
+                now,
+                scheduler=self.scheduler.name,
+                completed=len(self.scheduler.completed),
+                injected=len(self.injected),
+            )

@@ -1,0 +1,73 @@
+"""Error taxonomy of the service subsystem."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ServiceError",
+    "ServiceJournalError",
+    "AdmissionRejected",
+    "ServiceStalled",
+    "REASON_QUEUE_FULL",
+    "REASON_CLOSED",
+    "REASON_SHED",
+    "REASON_OUT_OF_ORDER",
+    "ADMISSION_REASONS",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class for service-mode failures."""
+
+
+class ServiceJournalError(ServiceError):
+    """The admission journal is corrupt, inconsistent, or misused."""
+
+
+class ServiceStalled(ServiceError):
+    """The drain hit its simulated-time wall before running down."""
+
+
+#: The ingress queue is at capacity and the policy refuses the task.
+REASON_QUEUE_FULL = "queue-full"
+#: The ingress is closed (draining/stopped) — nothing is admitted.
+REASON_CLOSED = "closed"
+#: The shed policy dropped the task as the lowest-priority load.
+REASON_SHED = "shed"
+#: The task's arrival time precedes an already-admitted arrival.
+REASON_OUT_OF_ORDER = "out-of-order"
+
+ADMISSION_REASONS = (
+    REASON_QUEUE_FULL,
+    REASON_CLOSED,
+    REASON_SHED,
+    REASON_OUT_OF_ORDER,
+)
+
+
+class AdmissionRejected(ServiceError):
+    """A task was refused at the ingress, with a typed *reason*.
+
+    Attributes
+    ----------
+    reason:
+        One of :data:`ADMISSION_REASONS` — machine-checkable, so
+        producers can branch on why (back off on ``queue-full``, stop on
+        ``closed``, log-and-continue on ``shed``).
+    tid:
+        The refused task's id (None when the task never carried one).
+    """
+
+    def __init__(
+        self, reason: str, tid: Optional[int] = None, detail: str = ""
+    ) -> None:
+        if reason not in ADMISSION_REASONS:
+            raise ValueError(f"unknown admission reason {reason!r}")
+        self.reason = reason
+        self.tid = tid
+        what = f"task {tid}" if tid is not None else "task"
+        message = f"{what}: admission rejected ({reason})"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)

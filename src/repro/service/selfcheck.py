@@ -1,0 +1,293 @@
+"""End-to-end service check: stream, scrape, SIGTERM, crash, resume.
+
+Drives ``python -m repro.service`` as a real subprocess through the two
+shutdown paths the service guarantees:
+
+1. **Graceful drain** — start a journaled streaming run with the live
+   metrics server, poll ``/metrics`` until admissions are flowing, send
+   SIGTERM, and assert the process exits 0 with every admitted task
+   completed and a ``drained`` journal marker; a ``--resume`` of that
+   journal must then report *already drained* with zero pending work.
+2. **Crash + resume** — start another run, watch the admission journal
+   grow, SIGKILL the process mid-stream (no drain, no marker), then
+   ``--resume`` and assert exactly-once admission: every producer task
+   admitted exactly once across both lives, all of them completed.
+
+CI runs this as ``python -m repro.service.selfcheck``; it is equally
+useful locally after touching the service.  Exit status 0 means every
+assertion held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+from typing import List, Optional
+
+from .journal import JOURNAL_FILENAME, AdmissionJournal
+
+__all__ = ["main"]
+
+_PORT_PREFIX = "serving live telemetry on http://127.0.0.1:"
+
+
+def _spawn(args: List[str]) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.service", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def _read_port(proc: subprocess.Popen, deadline: float) -> int:
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError("service exited before announcing its port")
+        if line.startswith(_PORT_PREFIX):
+            return int(line[len(_PORT_PREFIX):].split()[0].rstrip("/"))
+    raise AssertionError("timed out waiting for the metrics port line")
+
+
+def _scrape(port: int, path: str = "/metrics") -> str:
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=5
+    ) as resp:
+        return resp.read().decode("utf-8")
+
+
+def _metric(text: str, name: str) -> Optional[float]:
+    for line in text.splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[1])
+    return None
+
+
+def _parse_report(output: str) -> dict:
+    for line in reversed(output.splitlines()):
+        if line.startswith("SERVICE-REPORT "):
+            return json.loads(line[len("SERVICE-REPORT "):])
+    raise AssertionError(f"no SERVICE-REPORT line in output:\n{output}")
+
+
+def _journal_admits(journal_dir: Path) -> List[int]:
+    tids = []
+    for line in (journal_dir / JOURNAL_FILENAME).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail from the SIGKILL — expected
+        if entry.get("ev") == "admit":
+            tids.append(entry["task"]["tid"])
+    return tids
+
+
+def _check_graceful(workdir: Path, num_tasks: int, timeout: float) -> List[str]:
+    failures: List[str] = []
+    jdir = workdir / "graceful"
+    proc = _spawn(
+        [
+            "--scheduler", "fcfs",
+            "--num-tasks", str(num_tasks),
+            "--arrival-rate", "0.4",
+            "--max-queue", "64",
+            "--journal-dir", str(jdir),
+            "--serve-metrics", "0",
+            "--quiet",
+        ]
+    )
+    deadline = time.monotonic() + timeout
+    try:
+        port = _read_port(proc, deadline)
+        admitted = 0.0
+        while time.monotonic() < deadline:
+            text = _scrape(port)
+            admitted = _metric(text, "repro_service_admitted") or 0.0
+            if admitted >= 50:
+                break
+            time.sleep(0.05)
+        if admitted < 50:
+            failures.append(
+                f"graceful: only {admitted:.0f} admissions before timeout"
+            )
+        if _metric(_scrape(port), "repro_service_queue_depth") is None:
+            failures.append("graceful: /metrics lacks the queue depth gauge")
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=timeout)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    if proc.returncode != 0:
+        failures.append(f"graceful: exit code {proc.returncode}, expected 0")
+        return failures
+    report = _parse_report(out)
+    if report["state"] != "stopped":
+        failures.append(f"graceful: final state {report['state']!r}")
+    if report["completed"] != report["injected"]:
+        failures.append(
+            f"graceful: {report['completed']} completed != "
+            f"{report['injected']} injected — drain lost tasks"
+        )
+    if report["admitted"] >= num_tasks:
+        failures.append(
+            "graceful: the full stream was admitted before SIGTERM — "
+            "the drain path was never exercised (raise --tasks)"
+        )
+    state = AdmissionJournal.load(jdir)
+    if not state.drained:
+        failures.append("graceful: journal has no drained marker")
+    # Resuming a drained journal must be a clean no-op.
+    proc2 = _spawn(["--journal-dir", str(jdir), "--resume", "--quiet"])
+    out2, _ = proc2.communicate(timeout=timeout)
+    if proc2.returncode != 0:
+        failures.append(f"graceful resume: exit code {proc2.returncode}")
+    else:
+        report2 = _parse_report(out2)
+        if not report2["already_drained"]:
+            failures.append("graceful resume: expected already_drained")
+        if report2["admitted"] != report["admitted"]:
+            failures.append(
+                "graceful resume: admitted count changed "
+                f"({report['admitted']} -> {report2['admitted']})"
+            )
+    if not failures:
+        print(
+            f"graceful drain ok: SIGTERM after {report['admitted']} "
+            f"admissions, {report['completed']} completed, exit 0, "
+            "resume reports already drained"
+        )
+    return failures
+
+
+def _check_crash_resume(
+    workdir: Path, num_tasks: int, kill_after: int, timeout: float
+) -> List[str]:
+    failures: List[str] = []
+    jdir = workdir / "crash"
+    journal_path = jdir / JOURNAL_FILENAME
+    proc = _spawn(
+        [
+            "--scheduler", "fcfs",
+            "--num-tasks", str(num_tasks),
+            "--arrival-rate", "0.4",
+            "--max-queue", "64",
+            "--journal-dir", str(jdir),
+            "--quiet",
+        ]
+    )
+    deadline = time.monotonic() + timeout
+    try:
+        while time.monotonic() < deadline:
+            if journal_path.is_file() and len(_journal_admits(jdir)) >= kill_after:
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        if proc.poll() is not None:
+            failures.append(
+                "crash: service finished before the kill point — "
+                "raise --tasks or lower --kill-after"
+            )
+            proc.communicate()
+            return failures
+        proc.kill()  # SIGKILL: no drain, no marker, maybe a torn line
+        proc.communicate()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    first_life = _journal_admits(jdir)
+    if len(first_life) < kill_after:
+        failures.append(
+            f"crash: only {len(first_life)} admits journaled at kill time"
+        )
+    proc2 = _spawn(["--journal-dir", str(jdir), "--resume", "--quiet"])
+    out2, _ = proc2.communicate(timeout=timeout * 4)
+    if proc2.returncode != 0:
+        failures.append(
+            f"crash resume: exit code {proc2.returncode}\n{out2}"
+        )
+        return failures
+    report = _parse_report(out2)
+    tids = _journal_admits(jdir)
+    if sorted(tids) != list(range(num_tasks)):
+        dupes = len(tids) - len(set(tids))
+        failures.append(
+            f"crash resume: admission not exactly-once "
+            f"({len(tids)} admits, {dupes} duplicates, {num_tasks} expected)"
+        )
+    if report["admitted"] != num_tasks:
+        failures.append(
+            f"crash resume: report admitted {report['admitted']}, "
+            f"expected {num_tasks}"
+        )
+    if report["completed"] != report["admitted"] - report["shed"]:
+        failures.append(
+            f"crash resume: completed {report['completed']} != admitted "
+            f"{report['admitted']} - shed {report['shed']}"
+        )
+    if not report["resumed"]:
+        failures.append("crash resume: report not marked as resumed")
+    state = AdmissionJournal.load(jdir)
+    if not state.drained:
+        failures.append("crash resume: journal has no drained marker")
+    if not failures:
+        print(
+            f"crash resume ok: killed after {len(first_life)} admissions, "
+            f"resumed to {report['admitted']} exactly-once, "
+            f"{report['completed']} completed"
+        )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tasks", type=int, default=2000,
+        help="stream length per phase (default: 2000)",
+    )
+    parser.add_argument(
+        "--kill-after", type=int, default=200,
+        help="journaled admissions before the SIGKILL (default: 200)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="per-phase timeout in seconds (default: 120)",
+    )
+    parser.add_argument(
+        "--dir", default=None, help="work dir (default: temp dir)"
+    )
+    args = parser.parse_args(argv)
+    workdir = Path(args.dir) if args.dir else Path(tempfile.mkdtemp())
+
+    failures = _check_graceful(workdir, args.tasks, args.timeout)
+    failures += _check_crash_resume(
+        workdir, args.tasks, args.kill_after, args.timeout
+    )
+    for message in failures:
+        print(f"FAIL: {message}")
+    if not failures:
+        print("service selfcheck ok: graceful drain + crash resume verified")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

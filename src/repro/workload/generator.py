@@ -163,5 +163,99 @@ class WorkloadGenerator:
             for i in range(n)
         ]
 
+    def iter_tasks(self, chunk: int = 1024) -> Iterator[Task]:
+        """Lazily yield the same tasks as :meth:`generate`, in order.
+
+        The service ingress (:mod:`repro.service`) consumes workloads as
+        a stream, so this path never materializes the ``list[Task]`` —
+        tasks are built and yielded chunk by chunk.  RNG consumption is
+        bit-identical to the batch path (pinned by
+        ``tests/workload/test_generator.py``):
+
+        - the *arrivals* and *sizes* streams are drawn per chunk —
+          NumPy fills arrays value by value, so ``k`` chunked draws
+          consume a ``Generator`` exactly like one ``size=n`` draw
+          (MMPP arrivals are the exception: the state chain carries
+          across draws, so they are drawn in full upfront);
+        - the *slack* stream's batch layout is position-dependent (all
+          ``n`` priority draws, then all ``n`` slack draws from the one
+          stream), so those two columns are drawn upfront — O(n)
+          float64 columns, not O(n) task objects;
+        - the arrival cumsum carries the running inter-arrival sum
+          between chunks with the same left-to-right association as
+          ``np.cumsum`` over the full array, so every float matches.
+
+        Like :meth:`generate`, this consumes the generator's RNG
+        streams: use a fresh :class:`WorkloadGenerator` per pass.
+        """
+        if chunk <= 0:
+            raise ValueError("chunk must be positive")
+        spec = self.spec
+        n = spec.num_tasks
+
+        # Position-dependent slack-stream layout: draw both columns now.
+        prio_idx = self._slack.choice(3, size=n, p=list(spec.priority_mix))
+        slack_u = self._slack.uniform(0.0, 1.0, size=n)
+        priorities = (Priority.HIGH, Priority.MEDIUM, Priority.LOW)
+        bands = np.array(
+            [slack_band(p) for p in priorities], dtype=np.float64
+        )
+
+        all_iats = None
+        if spec.arrival_process != "poisson":
+            from .distributions import MMPP2, mmpp2_interarrivals
+
+            params = MMPP2.with_mean_interarrival(
+                spec.mean_interarrival, burstiness=spec.mmpp_burstiness
+            )
+            all_iats = mmpp2_interarrivals(n, params, self._arrivals)
+
+        iat_sum = 0.0  # running np.cumsum carry across chunks
+        for start in range(0, n, chunk):
+            m = min(chunk, n - start)
+            if all_iats is not None:
+                iats = all_iats[start : start + m]
+            else:
+                iats = self._arrivals.exponential(
+                    spec.mean_interarrival, size=m
+                )
+            # cumsum over [carry, i1, i2, ...] reproduces the full-array
+            # cumsum's left-to-right additions exactly.
+            sums = np.cumsum(np.concatenate(([iat_sum], iats)))[1:]
+            iat_sum = float(sums[-1])
+            arrivals = spec.first_arrival + sums
+            if spec.size_distribution == "uniform":
+                sizes = self._sizes.uniform(*spec.size_range_mi, size=m)
+            else:
+                from .distributions import bounded_pareto
+
+                sizes = bounded_pareto(
+                    m,
+                    spec.size_range_mi[0],
+                    spec.size_range_mi[1],
+                    spec.pareto_alpha,
+                    self._sizes,
+                )
+            idx = prio_idx[start : start + m]
+            lo = bands[idx, 0]
+            hi = bands[idx, 1]
+            slack_fraction = lo + (hi - lo) * slack_u[start : start + m]
+            act = sizes / spec.reference_speed_mips
+            deadline = arrivals + act * (1.0 + slack_fraction)
+
+            size_list = sizes.tolist()
+            arrival_list = arrivals.tolist()
+            act_list = act.tolist()
+            deadline_list = deadline.tolist()
+            for i in range(m):
+                yield Task(
+                    tid=start + i,
+                    size_mi=size_list[i],
+                    arrival_time=arrival_list[i],
+                    act=act_list[i],
+                    deadline=deadline_list[i],
+                )
+
     def __iter__(self) -> Iterator[Task]:
-        return iter(self.generate())
+        """Stream tasks lazily (the service-ingress producer protocol)."""
+        return self.iter_tasks()

@@ -10,12 +10,20 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Iterator, Sequence, Union
 
 from .priorities import Priority
 from .task import Task
 
-__all__ = ["trace_to_records", "records_to_tasks", "save_trace", "load_trace"]
+__all__ = [
+    "trace_to_records",
+    "record_to_task",
+    "records_to_tasks",
+    "save_trace",
+    "load_trace",
+    "save_trace_jsonl",
+    "iter_trace_jsonl",
+]
 
 _TRACE_VERSION = 1
 
@@ -37,25 +45,27 @@ def trace_to_records(tasks: Iterable[Task]) -> list[dict]:
     return records
 
 
+def record_to_task(r: dict) -> Task:
+    """Reconstruct one fresh (unexecuted) task from a serialized record."""
+    task = Task(
+        tid=int(r["tid"]),
+        size_mi=float(r["size_mi"]),
+        arrival_time=float(r["arrival_time"]),
+        act=float(r["act"]),
+        deadline=float(r["deadline"]),
+    )
+    expected = r.get("priority")
+    if expected is not None and task.priority.label != expected:
+        raise ValueError(
+            f"trace task {task.tid}: stored priority {expected!r} does not "
+            f"match derived priority {task.priority.label!r}"
+        )
+    return task
+
+
 def records_to_tasks(records: Sequence[dict]) -> list[Task]:
     """Reconstruct fresh (unexecuted) tasks from serialized records."""
-    tasks = []
-    for r in records:
-        task = Task(
-            tid=int(r["tid"]),
-            size_mi=float(r["size_mi"]),
-            arrival_time=float(r["arrival_time"]),
-            act=float(r["act"]),
-            deadline=float(r["deadline"]),
-        )
-        expected = r.get("priority")
-        if expected is not None and task.priority.label != expected:
-            raise ValueError(
-                f"trace task {task.tid}: stored priority {expected!r} does not "
-                f"match derived priority {task.priority.label!r}"
-            )
-        tasks.append(task)
-    return tasks
+    return [record_to_task(r) for r in records]
 
 
 def save_trace(tasks: Iterable[Task], path: Union[str, Path]) -> None:
@@ -71,3 +81,40 @@ def load_trace(path: Union[str, Path]) -> list[Task]:
     if version != _TRACE_VERSION:
         raise ValueError(f"unsupported trace version {version!r}")
     return records_to_tasks(payload["tasks"])
+
+
+def save_trace_jsonl(tasks: Iterable[Task], path: Union[str, Path]) -> int:
+    """Write a streaming trace: one task record per line.
+
+    The line-oriented twin of :func:`save_trace` for workloads too
+    large (or too endless) to hold as one JSON document — the service
+    ingress replays these incrementally.  Returns the task count.
+    """
+    n = 0
+    with Path(path).open("w", encoding="utf-8") as fh:
+        for task in tasks:
+            record = trace_to_records([task])[0]
+            fh.write(json.dumps(record, separators=(",", ":")))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def iter_trace_jsonl(path: Union[str, Path]) -> Iterator[Task]:
+    """Lazily yield tasks from a :func:`save_trace_jsonl` file.
+
+    Reads line by line, so a multi-gigabyte trace streams in O(1)
+    memory.  Malformed lines raise :class:`ValueError` with the line
+    number — a replay source is trusted input, unlike a crash journal.
+    """
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace line: {exc}"
+                ) from exc
+            yield record_to_task(record)

@@ -149,3 +149,83 @@ class TestMetricsServer:
     def test_dashboard_endpoint_serves_html(self, server):
         html = self._get(server, "/dashboard")
         assert "<svg" in html and "System power" in html
+
+
+class TestMetricsServerLifecycle:
+    """stop() idempotence and the no-restart contract (service drain
+    paths and ``finally`` blocks may both call stop)."""
+
+    def _make(self):
+        bank = SeriesBank()
+        tel = Telemetry(metrics=build_registry(), series=bank)
+        return MetricsServer(tel, port=0), tel
+
+    def test_double_stop_is_idempotent(self):
+        server, _ = self._make()
+        server.start()
+        server.stop()
+        server.stop()  # must not raise or hang
+
+    def test_stop_without_start_is_safe(self):
+        server, _ = self._make()
+        server.stop()
+        server.stop()
+
+    def test_start_after_stop_raises(self):
+        server, _ = self._make()
+        server.start()
+        server.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            server.start()
+
+    def test_double_start_raises(self):
+        server, _ = self._make()
+        server.start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_concurrent_series_scrapes_while_sampling(self):
+        """GET /series.json from several threads while a writer records
+        new series — the snapshot path must never see a dict mutated
+        mid-iteration."""
+        import threading
+
+        server, tel = self._make()
+        server.start()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                tel.series.record(f"svc.metric.{i % 50}", float(i), float(i))
+                i += 1
+
+        def scraper():
+            try:
+                while not stop.is_set():
+                    with urllib.request.urlopen(
+                        f"http://127.0.0.1:{server.port}/series.json",
+                        timeout=5,
+                    ) as resp:
+                        json.loads(resp.read().decode("utf-8"))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)]
+        threads += [threading.Thread(target=scraper) for _ in range(3)]
+        try:
+            for t in threads:
+                t.start()
+            import time
+
+            time.sleep(0.5)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=5)
+            server.stop()
+        assert errors == []

@@ -1,0 +1,209 @@
+"""IngressQueue: admission policies, backpressure, ordering, watermarks."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, Telemetry
+from repro.service import (
+    REASON_CLOSED,
+    REASON_OUT_OF_ORDER,
+    REASON_QUEUE_FULL,
+    REASON_SHED,
+    AdmissionRejected,
+    IngressQueue,
+)
+from repro.workload.task import Task
+
+_SLACK = {"high": 0.1, "medium": 0.5, "low": 1.0}
+
+
+def make_task(tid: int, arrival: float = 0.0, prio: str = "high") -> Task:
+    act = 10.0
+    return Task(
+        tid=tid,
+        size_mi=100.0,
+        arrival_time=arrival,
+        act=act,
+        deadline=arrival + act * (1.0 + _SLACK[prio]),
+    )
+
+
+class TestValidation:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="max_queue"):
+            IngressQueue(max_queue=0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown admission policy"):
+            IngressQueue(policy="drop-everything")
+
+
+class TestBlockPolicy:
+    def test_admits_until_full_then_returns_false_nonblocking(self):
+        q = IngressQueue(max_queue=2, policy="block")
+        assert q.submit(make_task(0), block=False)
+        assert q.submit(make_task(1, 1.0), block=False)
+        assert not q.submit(make_task(2, 2.0), block=False)
+        assert q.admitted == 2
+        assert q.backpressure_waits == 1
+
+    def test_blocking_submit_times_out(self):
+        q = IngressQueue(max_queue=1, policy="block")
+        q.submit(make_task(0))
+        assert not q.submit(make_task(1, 1.0), timeout=0.01)
+
+    def test_pop_unblocks_capacity(self):
+        q = IngressQueue(max_queue=1, policy="block")
+        q.submit(make_task(0))
+        assert not q.submit(make_task(1, 1.0), block=False)
+        assert q.pop_next(float("inf")).tid == 0
+        assert q.submit(make_task(1, 1.0), block=False)
+
+
+class TestRejectPolicy:
+    def test_raises_typed_queue_full(self):
+        q = IngressQueue(max_queue=1, policy="reject")
+        q.submit(make_task(0))
+        with pytest.raises(AdmissionRejected) as exc_info:
+            q.submit(make_task(7, 1.0))
+        assert exc_info.value.reason == REASON_QUEUE_FULL
+        assert exc_info.value.tid == 7
+        assert q.rejected == 1
+        assert q.admitted == 1
+
+
+class TestShedLowPolicy:
+    def test_evicts_lowest_priority_queued(self):
+        q = IngressQueue(max_queue=2, policy="shed-low")
+        q.submit(make_task(0, 0.0, "low"))
+        q.submit(make_task(1, 1.0, "medium"))
+        assert q.submit(make_task(2, 2.0, "high"))
+        assert q.shed == 1
+        assert [t.tid for t in list(q._tasks)] == [1, 2]
+        # The shed victim still counts as admitted (it consumed input).
+        assert q.admitted == 3
+
+    def test_sheds_incoming_when_it_is_lowest(self):
+        q = IngressQueue(max_queue=2, policy="shed-low")
+        q.submit(make_task(0, 0.0, "high"))
+        q.submit(make_task(1, 1.0, "medium"))
+        with pytest.raises(AdmissionRejected) as exc_info:
+            q.submit(make_task(2, 2.0, "medium"))
+        assert exc_info.value.reason == REASON_SHED
+        assert q.shed == 1
+        assert q.depth == 2
+
+    def test_tie_breaks_toward_oldest(self):
+        q = IngressQueue(max_queue=2, policy="shed-low")
+        q.submit(make_task(0, 0.0, "low"))
+        q.submit(make_task(1, 1.0, "low"))
+        q.submit(make_task(2, 2.0, "high"))
+        assert [t.tid for t in list(q._tasks)] == [1, 2]
+
+
+class TestOrderingAndLifecycle:
+    def test_out_of_order_arrival_rejected(self):
+        q = IngressQueue()
+        q.submit(make_task(0, 10.0))
+        with pytest.raises(AdmissionRejected) as exc_info:
+            q.submit(make_task(1, 5.0))
+        assert exc_info.value.reason == REASON_OUT_OF_ORDER
+
+    def test_equal_arrival_times_admitted(self):
+        q = IngressQueue()
+        q.submit(make_task(0, 10.0))
+        assert q.submit(make_task(1, 10.0))
+
+    def test_closed_rejects(self):
+        q = IngressQueue()
+        q.submit(make_task(0))
+        q.close()
+        q.close()  # idempotent
+        with pytest.raises(AdmissionRejected) as exc_info:
+            q.submit(make_task(1, 1.0))
+        assert exc_info.value.reason == REASON_CLOSED
+        # Already-admitted work survives the close.
+        assert q.depth == 1
+        assert not q.drained
+        q.pop_next(float("inf"))
+        assert q.drained
+
+    def test_frontier_tracks_max_admitted_arrival(self):
+        q = IngressQueue()
+        q.submit(make_task(0, 3.0))
+        q.submit(make_task(1, 8.0))
+        q.pop_next(float("inf"))
+        q.pop_next(float("inf"))
+        assert q.frontier == 8.0  # popping does not retreat the frontier
+
+
+class TestPopNext:
+    def test_respects_horizon(self):
+        q = IngressQueue()
+        q.submit(make_task(0, 5.0))
+        q.submit(make_task(1, 15.0))
+        assert q.pop_next(10.0).tid == 0
+        assert q.pop_next(10.0) is None
+        assert q.head_arrival() == 15.0
+        assert q.pop_next(15.0).tid == 1
+
+    def test_empty_queue(self):
+        q = IngressQueue()
+        assert q.pop_next(float("inf")) is None
+        assert q.head_arrival() is None
+
+
+class TestRestore:
+    def test_bypasses_policy_and_capacity_reports_full(self):
+        q = IngressQueue(max_queue=1, policy="reject")
+        assert q.restore(make_task(0))
+        assert not q.restore(make_task(1, 1.0))  # full: no exception
+        assert q.admitted == 0  # restore never re-counts admission
+
+    def test_restore_rejected_after_close(self):
+        q = IngressQueue()
+        q.close()
+        with pytest.raises(AdmissionRejected):
+            q.restore(make_task(0))
+
+
+class TestWatermarksAndTelemetry:
+    def test_depth_high_watermark(self):
+        q = IngressQueue(max_queue=8)
+        for i in range(5):
+            q.submit(make_task(i, float(i)))
+        for _ in range(3):
+            q.pop_next(float("inf"))
+        q.submit(make_task(5, 5.0))
+        assert q.depth == 3
+        assert q.depth_high == 5
+
+    def test_metrics_counters_and_gauge(self):
+        tel = Telemetry(metrics=MetricsRegistry())
+        q = IngressQueue(max_queue=2, policy="reject", telemetry=tel)
+        q.submit(make_task(0))
+        q.submit(make_task(1, 1.0))
+        with pytest.raises(AdmissionRejected):
+            q.submit(make_task(2, 2.0))
+        registry = tel.metrics
+        assert registry.counter("service.admitted").value == 2
+        assert registry.counter("service.rejected").value == 1
+        gauge = registry.gauge("service.queue_depth")
+        assert gauge.value == 2
+        assert gauge.high == 2
+        q.pop_next(float("inf"))
+        assert gauge.value == 1
+        assert gauge.high == 2
+
+    def test_snapshot(self):
+        q = IngressQueue(max_queue=4)
+        q.submit(make_task(0))
+        snap = q.snapshot()
+        assert snap == {
+            "admitted": 1,
+            "rejected": 0,
+            "shed": 0,
+            "backpressure_waits": 0,
+            "depth": 1,
+            "depth_high": 1,
+            "closed": False,
+        }

@@ -1,0 +1,129 @@
+"""Batch/service determinism parity.
+
+The service's headline guarantee: for a fixed admitted task sequence,
+the sliced, incrementally-driven service run is *bit-identical* to the
+one-shot batch run — same AveRT, same ECS, same success rate, down to
+the IEEE-754 bit pattern.  These tests pin that equality against the
+golden-seed digest table, with deliberately awkward slice lengths and
+queue bounds so slice boundaries land everywhere.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.service import SchedulerService, SliceEngine
+from repro.sim.rng import RandomStreams
+from repro.workload.generator import WorkloadGenerator
+
+from ..integration.test_golden_seeds import (
+    ARRIVAL_PERIOD,
+    GOLDEN_DIGESTS,
+    NUM_TASKS,
+)
+
+
+def _config(scheduler: str, seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        scheduler=scheduler,
+        seed=seed,
+        num_tasks=NUM_TASKS,
+        arrival_period=ARRIVAL_PERIOD,
+    )
+
+
+def _producer(engine: SliceEngine):
+    return WorkloadGenerator(
+        engine.workload_spec(), RandomStreams(engine.config.seed)
+    ).iter_tasks()
+
+
+def _digest(metrics) -> str:
+    payload = "|".join(
+        [
+            metrics.avert.hex(),
+            metrics.ecs.hex(),
+            float(metrics.success_rate).hex(),
+        ]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@pytest.mark.parametrize(
+    "scheduler,seed",
+    [("adaptive-rl", 11), ("adaptive-rl", 47), ("fcfs", 23)],
+)
+def test_service_matches_golden_digest(scheduler: str, seed: int) -> None:
+    """The service run reproduces the pinned batch digests exactly."""
+    service = SchedulerService(
+        _config(scheduler, seed),
+        _producer,
+        max_queue=19,       # prime, small: constant backpressure
+        slice_len=13.7,     # never aligned with arrival epochs
+    )
+    report = service.run()
+    assert report.completed == NUM_TASKS
+    digest = _digest(report.metrics)
+    expected = GOLDEN_DIGESTS[f"{scheduler}/seed{seed}"]
+    assert digest == expected, (
+        f"{scheduler} seed={seed}: service digest {digest} != golden "
+        f"{expected}; slicing has perturbed the simulation trajectory"
+    )
+
+
+def test_slice_length_is_irrelevant() -> None:
+    """Wildly different slicing yields the same bits (fcfs, seed 11)."""
+    digests = set()
+    for slice_len, max_queue in ((3.1, 7), (250.0, 5000), (40.0, 64)):
+        service = SchedulerService(
+            _config("fcfs", 11),
+            _producer,
+            max_queue=max_queue,
+            slice_len=slice_len,
+        )
+        digests.add(_digest(service.run().metrics))
+    assert digests == {GOLDEN_DIGESTS["fcfs/seed11"]}
+
+
+def test_full_metrics_equality_not_just_digest() -> None:
+    """Makespan and the digest components all match the batch run."""
+    config = _config("fcfs", 47)
+    batch = run_experiment(config).metrics
+    service = SchedulerService(config, _producer, max_queue=17, slice_len=9.3)
+    served = service.run().metrics
+    assert served.makespan == batch.makespan
+    assert served.avert == batch.avert
+    assert served.ecs == batch.ecs
+    assert served.success_rate == batch.success_rate
+    assert served.num_tasks == batch.num_tasks
+
+
+def test_parity_survives_crash_resume(tmp_path) -> None:
+    """A mid-stream crash plus resume still lands on the golden bits.
+
+    The resumed engine replays the journaled admissions from simulated
+    time zero, so determinism is restored from the log alone.
+    """
+    config = _config("fcfs", 11)
+    life1 = SchedulerService(
+        config, _producer, max_queue=16, journal_dir=tmp_path, slice_len=10.0
+    )
+    for _ in range(30):
+        assert life1.step()
+    assert life1.ingress.admitted > 0
+    life1.journal.close()  # process dies; fsynced admits survive
+
+    life2 = SchedulerService(
+        config,
+        _producer,
+        max_queue=16,
+        journal_dir=tmp_path,
+        resume=True,
+        slice_len=10.0,
+    )
+    report = life2.run()
+    assert report.resumed
+    assert report.completed == NUM_TASKS
+    assert _digest(report.metrics) == GOLDEN_DIGESTS["fcfs/seed11"]

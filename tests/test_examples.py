@@ -49,6 +49,14 @@ class TestExamples:
         assert "failures injected" in out
         assert "80/80" in out
 
+    def test_service_stream(self):
+        out = run_example("service_stream.py", "60", "1")
+        assert "backpressure waits" in out
+        assert "resumed" in out
+        assert "parity (single) : bit-identical to batch" in out
+        assert "parity (resumed) : bit-identical to batch" in out
+        assert "DIVERGED" not in out
+
     def test_full_reproduction_help_only(self, tmp_path):
         # Running the full reproduction is a benchmark-scale job; the
         # smoke test only checks argument validation.
@@ -81,5 +89,6 @@ def test_all_examples_covered():
         "trace_replay.py",
         "failure_resilience.py",
         "full_reproduction.py",
+        "service_stream.py",
     }
     assert scripts == tested

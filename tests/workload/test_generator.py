@@ -152,3 +152,70 @@ class TestBatchedTailBitIdentity:
             assert g.act.hex() == w.act.hex()
             assert g.deadline.hex() == w.deadline.hex()
             assert g.priority is w.priority
+
+
+class TestIterTasksEquivalence:
+    """Lazy streaming must consume the RNG streams exactly as the batch
+    path does: ``iter_tasks()`` is bit-identical to ``generate()`` for
+    every chunk size and every spec variant."""
+
+    SPECS = {
+        "poisson-uniform": WorkloadSpec(num_tasks=300),
+        "mmpp": WorkloadSpec(num_tasks=300, arrival_process="mmpp"),
+        "pareto": WorkloadSpec(
+            num_tasks=300, size_distribution="bounded-pareto"
+        ),
+        "offset-mix": WorkloadSpec(
+            num_tasks=300,
+            first_arrival=250.0,
+            priority_mix=(0.5, 0.3, 0.2),
+        ),
+    }
+
+    @staticmethod
+    def _assert_same(got, want):
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert g.tid == w.tid
+            assert g.size_mi.hex() == w.size_mi.hex()
+            assert g.arrival_time.hex() == w.arrival_time.hex()
+            assert g.act.hex() == w.act.hex()
+            assert g.deadline.hex() == w.deadline.hex()
+            assert g.priority is w.priority
+
+    @pytest.mark.parametrize("name", sorted(SPECS))
+    @pytest.mark.parametrize("chunk", [1, 7, 64, 300, 1024])
+    def test_bit_identical_to_generate(self, name, chunk):
+        spec = self.SPECS[name]
+        want = WorkloadGenerator(spec, RandomStreams(seed=42)).generate()
+        got = list(
+            WorkloadGenerator(spec, RandomStreams(seed=42)).iter_tasks(
+                chunk=chunk
+            )
+        )
+        self._assert_same(got, want)
+
+    def test_lazy_prefix_matches(self):
+        """Consuming a prefix draws the same values as the batch head."""
+        import itertools
+
+        spec = WorkloadSpec(num_tasks=500)
+        want = WorkloadGenerator(spec, RandomStreams(seed=9)).generate()[:130]
+        stream = WorkloadGenerator(spec, RandomStreams(seed=9)).iter_tasks(
+            chunk=50
+        )
+        got = list(itertools.islice(stream, 130))
+        self._assert_same(got, want)
+
+    def test_dunder_iter_is_lazy_stream(self):
+        spec = WorkloadSpec(num_tasks=20)
+        gen = WorkloadGenerator(spec, RandomStreams(seed=3))
+        it = iter(gen)
+        assert next(it).tid == 0
+        want = WorkloadGenerator(spec, RandomStreams(seed=3)).generate()
+        self._assert_same([next(it) for _ in range(19)], want[1:])
+
+    def test_chunk_must_be_positive(self):
+        gen = WorkloadGenerator(WorkloadSpec(num_tasks=5), RandomStreams(1))
+        with pytest.raises(ValueError, match="chunk"):
+            list(gen.iter_tasks(chunk=0))

@@ -66,3 +66,58 @@ class TestRoundTrip:
         path.write_text(json.dumps(payload))
         with pytest.raises(ValueError, match="version"):
             load_trace(path)
+
+
+class TestJsonlTraces:
+    def test_jsonl_round_trip_is_bit_exact(self, tasks, tmp_path):
+        from repro.workload.traces import iter_trace_jsonl, save_trace_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        assert save_trace_jsonl(tasks, path) == len(tasks)
+        replayed = list(iter_trace_jsonl(path))
+        assert len(replayed) == len(tasks)
+        for orig, back in zip(tasks, replayed):
+            assert back.tid == orig.tid
+            assert back.size_mi == orig.size_mi          # bit-exact
+            assert back.arrival_time == orig.arrival_time
+            assert back.act == orig.act
+            assert back.deadline == orig.deadline
+            assert back.priority is orig.priority
+            assert back.start_time is None
+
+    def test_iteration_is_lazy(self, tasks, tmp_path):
+        from repro.workload.traces import iter_trace_jsonl, save_trace_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(tasks, path)
+        stream = iter_trace_jsonl(path)
+        first = next(stream)
+        assert first.tid == tasks[0].tid
+        # Corrupt the untouched remainder: a non-lazy reader would
+        # already have parsed (and choked on) it.
+        second = next(stream)
+        assert second.tid == tasks[1].tid
+        stream.close()
+
+    def test_malformed_line_reports_line_number(self, tasks, tmp_path):
+        from repro.workload.traces import iter_trace_jsonl, save_trace_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(tasks[:3], path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-4]  # truncate mid-record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"trace\.jsonl:2"):
+            list(iter_trace_jsonl(path))
+
+    def test_blank_lines_are_skipped(self, tasks, tmp_path):
+        from repro.workload.traces import iter_trace_jsonl, save_trace_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(tasks[:2], path)
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write("\n   \n")
+        assert [t.tid for t in iter_trace_jsonl(path)] == [
+            tasks[0].tid,
+            tasks[1].tid,
+        ]
