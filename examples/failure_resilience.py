@@ -45,7 +45,7 @@ def main() -> None:
     scheduler.attach(env, system, streams)
     done = scheduler.expect(len(tasks))
     model = FailureModel(mean_time_between_failures=mtbf, mean_time_to_repair=60.0)
-    injector = FailureInjector(env, system.nodes, model, streams["failures"])
+    injector = FailureInjector(env, system.nodes, model, streams)
     recorder = TimelineRecorder(env, system, interval=10.0, scheduler=scheduler)
 
     def arrivals():

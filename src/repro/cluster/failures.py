@@ -7,19 +7,56 @@ evaluate under failures; this module adds the capability so the
 reproduction can be stress-tested: nodes crash (abandoning their work,
 which schedulers transparently resubmit) and repair after a downtime,
 both exponentially distributed.
+
+Frontier-following design
+-------------------------
+Each node owns a *lifecycle*: an alternating fail/repair state machine
+whose transition epochs are drawn on demand from a **dedicated per-node
+RNG substream** (``streams["failures.<node_id>"]``), so the draw
+sequence of one node can never perturb another's and — crucially — is
+independent of how far the simulation is allowed to run.  Transitions
+are *armed* (scheduled into the environment, at their exact absolute
+epoch via :meth:`~repro.sim.core.Environment.schedule_at`) only up to
+the injector's **frontier**:
+
+- The batch runner knows its horizon up front and advances the frontier
+  to it at construction (``until=time_cap``) — every lifecycle then
+  self-arms its successor transition as it fires.
+- The streaming service has no horizon while the stream is open; the
+  :class:`~repro.service.engine.SliceEngine` advances the frontier
+  alongside its admission frontier before every kernel step, so no
+  transition is ever scheduled past simulated time the stream has
+  settled.  At drain, :meth:`close` fixes the horizon (the same
+  ``time_cap`` the batch runner uses) and the clamp semantics below
+  apply.
+
+Because per-node draws are horizon-independent and transitions fire at
+bit-exact precomputed epochs, a sliced service run and a one-shot batch
+run that reach the same final horizon inject the **identical** failure
+schedule — the property ``tests/service/test_parity.py`` pins.
+
+Horizon clamp semantics (applied only at/with a fixed horizon):
+
+- a pending *fail* past the horizon retires the lifecycle (the node
+  simply never fails again);
+- a pending *repair* past the horizon is **rescheduled at the horizon**
+  — a clamped run that completes its repairs leaves every node up,
+  rather than permanently downing whichever nodes happened to be mid-
+  repair when the horizon hit (the old end-of-horizon asymmetry).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
-
 from ..sim.core import Environment
+from ..sim.events import Event
+from ..sim.rng import RandomStreams
 from .node import ComputeNode
 
 __all__ = ["FailureModel", "FailureInjector"]
+
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -42,17 +79,69 @@ class FailureModel:
         return up / (up + self.mean_time_to_repair)
 
 
+_FAIL = "fail"
+_REPAIR = "repair"
+
+
+class _Lifecycle:
+    """One node's alternating fail/repair state machine."""
+
+    __slots__ = ("node", "rng", "at", "kind", "armed", "clamped", "retired")
+
+    def __init__(self, node: ComputeNode, rng) -> None:
+        self.node = node
+        self.rng = rng
+        #: Absolute epoch of the pending transition.
+        self.at = 0.0
+        self.kind = _FAIL
+        #: True while the pending transition is scheduled in the env.
+        self.armed = False
+        #: True when the pending repair was moved to the clamp horizon.
+        self.clamped = False
+        #: True once no further transition will ever be drawn.
+        self.retired = False
+
+
 class FailureInjector:
-    """Drives independent failure/repair processes on a set of nodes."""
+    """Drives independent failure/repair processes on a set of nodes.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    nodes:
+        Nodes to crash and repair.
+    model:
+        Exponential MTBF/MTTR parameters.
+    streams:
+        The run's :class:`~repro.sim.rng.RandomStreams` registry; each
+        node draws from its own ``failures.<node_id>`` substream, so
+        draws are reproducible per node regardless of lifecycle
+        interleaving or horizon.
+    start_after:
+        No failure before this simulated time.
+    until:
+        Optional injection horizon.  When given (the batch runner's
+        fixed ``time_cap``), the frontier opens to it immediately and
+        the clamp semantics apply from the start.  ``None`` injects
+        without bound (standalone/benchmark use).
+    defer_arming:
+        Streaming-service mode (requires ``until=None``): start with a
+        closed frontier and arm nothing — the caller advances the
+        frontier incrementally with :meth:`advance_frontier` and fixes
+        the horizon at drain with :meth:`close`.
+    """
 
     def __init__(
         self,
         env: Environment,
         nodes: Sequence[ComputeNode],
         model: FailureModel,
-        rng: np.random.Generator,
+        streams: RandomStreams,
         start_after: float = 0.0,
         until: Optional[float] = None,
+        *,
+        defer_arming: bool = False,
     ) -> None:
         if not nodes:
             raise ValueError("no nodes to inject failures into")
@@ -60,53 +149,156 @@ class FailureInjector:
             raise ValueError("start_after must be non-negative")
         if until is not None and until < start_after:
             raise ValueError("until must not precede start_after")
+        if defer_arming and until is not None:
+            raise ValueError(
+                "defer_arming is for open streams; a fixed horizon arms "
+                "eagerly (pass until=None and close() at drain instead)"
+            )
         self.env = env
         self.nodes = list(nodes)
+        ids = [node.node_id for node in self.nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError(
+                "duplicate node ids would alias per-node failure "
+                "substreams and break draw determinism"
+            )
         self.model = model
-        self._rng = rng
         self.start_after = start_after
         #: Injection horizon: no fail/repair event is scheduled past
-        #: this time.  Without a horizon, lifecycles kept scheduling
-        #: beyond the run's stop sentinel; those events never fired
-        #: under ``run(until=...)`` but inflated ``queue_size`` and —
-        #: for callers stepping the environment manually — injected
-        #: failures outside the window they asked for.  ``None`` keeps
-        #: the unbounded behavior.
+        #: this time, pending repairs clamp to it, pending fails retire.
+        #: ``None`` = not fixed yet (open stream).
         self.until = until
+        #: Largest simulated time transitions have been armed up to.
+        self.frontier = float("-inf")
         self.failures_injected = 0
         self.repairs_completed = 0
         self.log: list[tuple[float, str, str]] = []
+        self._lifecycles: list[_Lifecycle] = []
+        mtbf = model.mean_time_between_failures
         for node in self.nodes:
-            env.process(self._node_lifecycle(node))
+            lc = _Lifecycle(node, streams[f"failures.{node.node_id}"])
+            lc.at = start_after + float(lc.rng.exponential(mtbf))
+            self._lifecycles.append(lc)
+        if until is not None:
+            self.advance_frontier(until)
+        elif not defer_arming:
+            # Unbounded standalone use: every transition arms as soon
+            # as it is drawn, exactly as if the horizon were infinite.
+            self.advance_frontier(float("inf"))
 
-    def _node_lifecycle(self, node: ComputeNode):
-        env = self.env
-        until = self.until
-        if self.start_after > 0:
-            yield env.timeout(self.start_after)
-        while True:
-            uptime = float(
-                self._rng.exponential(self.model.mean_time_between_failures)
+    # -- frontier control ------------------------------------------------
+    def advance_frontier(self, time: float) -> None:
+        """Allow transitions up to *time*; arm every pending one ≤ it.
+
+        Monotone and idempotent.  The caller guarantees the simulation
+        clock has not yet passed *time* (the service engine calls this
+        immediately before each ``env.run(until=time)``); arming a
+        transition the clock already passed raises, because it would
+        mean a fail/repair was silently lost.
+        """
+        if self.until is not None and time > self.until:
+            time = self.until
+        if time <= self.frontier:
+            return
+        self.frontier = time
+        for lc in self._lifecycles:
+            if not lc.retired and not lc.armed and lc.at <= time:
+                self._arm(lc)
+
+    def close(self, horizon: float) -> None:
+        """Fix the injection horizon at drain time (streaming service).
+
+        Applies the clamp semantics to every pending transition —
+        repairs past the horizon reschedule *at* it, fails past it
+        retire — then opens the frontier to the horizon so the endgame
+        (run-to-last-completion) sees exactly the failure schedule a
+        batch run constructed with ``until=horizon`` would inject.
+        """
+        if self.until is not None:
+            raise RuntimeError("injection horizon is already fixed")
+        if self.frontier == float("inf"):
+            raise RuntimeError(
+                "close() is for defer_arming injectors; an unbounded "
+                "injector has already armed past every finite horizon"
             )
-            if until is not None and env.now + uptime > until:
-                return
-            yield env.timeout(uptime)
+        if horizon < self.frontier:
+            raise ValueError(
+                f"horizon {horizon} precedes the armed frontier "
+                f"{self.frontier}"
+            )
+        self.until = horizon
+        for lc in self._lifecycles:
+            if lc.retired or lc.armed or lc.at <= horizon:
+                continue
+            if lc.kind == _REPAIR:
+                lc.at = horizon
+                lc.clamped = True
+            else:
+                lc.retired = True
+        self.advance_frontier(horizon)
+
+    @property
+    def closed(self) -> bool:
+        """True once the injection horizon is fixed."""
+        return self.until is not None
+
+    # -- transition machinery --------------------------------------------
+    def _arm(self, lc: _Lifecycle) -> None:
+        event = Event(self.env)
+        event._ok = True
+        event._value = None
+        event.callbacks.append(lambda _e, lc=lc: self._fire(lc))
+        self.env.schedule_at(event, lc.at)
+        lc.armed = True
+
+    def _fire(self, lc: _Lifecycle) -> None:
+        lc.armed = False
+        node = lc.node
+        now = lc.at
+        if lc.kind == _FAIL:
             if not node.failed:
                 node.fail()
                 self.failures_injected += 1
-                self.log.append((env.now, node.node_id, "fail"))
-                self._observe("fail", node)
+                self.log.append((now, node.node_id, _FAIL))
+                self._observe(_FAIL, node)
+            # Draw the downtime unconditionally: RNG consumption must
+            # not depend on whether (or where) a horizon was supplied.
             downtime = float(
-                self._rng.exponential(self.model.mean_time_to_repair)
+                lc.rng.exponential(self.model.mean_time_to_repair)
             )
-            if until is not None and env.now + downtime > until:
-                return
-            yield env.timeout(downtime)
-            if node.failed:
-                node.repair()
-                self.repairs_completed += 1
-                self.log.append((env.now, node.node_id, "repair"))
-                self._observe("repair", node)
+            at = now + downtime
+            lc.kind = _REPAIR
+            if self.until is not None and at > self.until:
+                at = self.until
+                lc.clamped = True
+            lc.at = at
+            if at <= self.frontier:
+                self._arm(lc)
+            return
+        # Repair transition.
+        if node.failed:
+            node.repair()
+            self.repairs_completed += 1
+            self.log.append((now, node.node_id, _REPAIR))
+            self._observe(_REPAIR, node)
+        if lc.clamped:
+            # The natural repair epoch lay past the horizon; the next
+            # uptime would land even further out, so the lifecycle ends
+            # here without consuming a draw the unbounded run would
+            # spend *within* the horizon (there is none).
+            lc.retired = True
+            return
+        uptime = float(
+            lc.rng.exponential(self.model.mean_time_between_failures)
+        )
+        at = now + uptime
+        lc.kind = _FAIL
+        lc.at = at
+        if self.until is not None and at > self.until:
+            lc.retired = True
+            return
+        if at <= self.frontier:
+            self._arm(lc)
 
     def _observe(self, what: str, node: ComputeNode) -> None:
         """Emit the trace event and counter for one fail/repair."""

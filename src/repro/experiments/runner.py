@@ -137,7 +137,7 @@ def run_experiment(
             env,
             system.nodes,
             FailureModel(config.failure_mtbf, config.failure_mttr),
-            streams["failures"],
+            streams,
             until=time_cap,
         )
 

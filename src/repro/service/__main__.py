@@ -74,6 +74,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--replay", metavar="FILE", default=None,
         help="stream tasks from a JSONL trace instead of the generator",
     )
+    work.add_argument(
+        "--failure-mtbf", type=float, default=None, metavar="T",
+        help="inject node crash-stop failures with this mean time "
+        "between failures (simulated time; default: none). Ignored on "
+        "--resume — the journal's stored config governs",
+    )
+    work.add_argument(
+        "--failure-mttr", type=float, default=50.0, metavar="T",
+        help="mean time to repair a failed node (default: 50)",
+    )
     svc = parser.add_argument_group("service")
     svc.add_argument(
         "--max-queue", type=int, default=1024,
@@ -131,6 +141,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--arrival-rate must be positive")
     if args.sample_every is not None and args.sample_every <= 0:
         parser.error("--sample-every must be positive")
+    if args.failure_mtbf is not None and args.failure_mtbf <= 0:
+        parser.error("--failure-mtbf must be positive")
+    if args.failure_mttr <= 0:
+        parser.error("--failure-mttr must be positive")
 
     if args.resume:
         # The journal's stored config governs a resumed life; flags that
@@ -150,10 +164,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_tasks=args.num_tasks,
             arrival_period=None,
             mean_interarrival=1.0 / args.arrival_rate,
+            failure_mtbf=args.failure_mtbf,
+            failure_mttr=args.failure_mttr,
         )
     else:
         config = ExperimentConfig(
-            scheduler=args.scheduler, seed=args.seed, num_tasks=args.num_tasks
+            scheduler=args.scheduler,
+            seed=args.seed,
+            num_tasks=args.num_tasks,
+            failure_mtbf=args.failure_mtbf,
+            failure_mttr=args.failure_mttr,
         )
 
     if args.replay is not None:
@@ -248,9 +268,15 @@ def _print_summary(report) -> None:
         f"({report.rejected} rejected, {report.shed} shed, "
         f"{report.backpressure_waits} backpressure waits, "
         f"queue high-water {report.depth_high}), "
-        f"{report.completed}/{report.injected} completed "
+        f"{report.completed}/{report.tasks_injected} completed "
         f"by t={report.sim_time:.1f}"
     )
+    if report.failures_injected or report.repairs_completed:
+        line += (
+            f" [{report.failures_injected} failures, "
+            f"{report.repairs_completed} repairs, "
+            f"{report.tasks_resubmitted} resubmissions]"
+        )
     if report.resumed:
         line += f" [resumed; {report.recovered} tasks recovered]"
     print(line)

@@ -21,9 +21,16 @@ the batch arrival process waking at that epoch; slice boundaries add
 stop-sentinels that consume event ids uniformly without processing
 anything.
 
-Failure injection is a batch-only feature: the injector needs a fixed
-horizon up front, which an open-ended stream does not have, so a
-config carrying ``failure_mtbf`` is refused at construction.
+Failure injection follows the same frontier rule: the
+:class:`~repro.cluster.failures.FailureInjector` draws each node's
+fail/repair lifecycle from a per-node RNG substream and only *arms*
+transitions up to the engine's kernel cap — the injector's frontier is
+advanced immediately before every ``env.run`` call, so no fault is
+ever scheduled past simulated time the stream has settled.  At drain
+the injector's horizon is fixed to the batch runner's ``time_cap`` and
+the clamp semantics apply, making the sliced failure schedule — and
+hence crash-resubmission accounting — bitwise identical to a batch run
+reaching the same final horizon.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from __future__ import annotations
 import time as _time
 from typing import List, Optional
 
+from ..cluster.failures import FailureInjector, FailureModel
 from ..cluster.system import System, build_system
 from ..core.base import Scheduler
 from ..experiments.config import ExperimentConfig
@@ -46,6 +54,7 @@ from ..obs import (
 from ..sim.core import Environment
 from ..sim.events import AnyOf
 from ..sim.rng import RandomStreams
+from ..validate import AuditReport, InvariantAuditor, strict_mode_enabled
 from ..workload.generator import WorkloadSpec
 from ..workload.task import Task
 from .errors import ServiceError, ServiceStalled
@@ -80,13 +89,8 @@ class SliceEngine:
         self,
         config: ExperimentConfig,
         telemetry: Optional[Telemetry] = None,
+        strict: Optional[bool] = None,
     ) -> None:
-        if config.failure_mtbf is not None:
-            raise ValueError(
-                "service mode does not support failure injection: the "
-                "injector needs a fixed horizon, which a live stream "
-                "does not have (run failures through the batch runner)"
-            )
         self.config = config
         tel = telemetry if telemetry is not None else get_telemetry()
         self.telemetry = tel
@@ -113,6 +117,26 @@ class SliceEngine:
             config.scheduler, **dict(config.scheduler_kwargs)
         )
         self.scheduler.attach(self.env, self.system, self.streams)
+        #: Frontier-following failure injector, None when the config
+        #: carries no failure model.  Its horizon stays open while the
+        #: stream is live; :meth:`drain` fixes it to the batch cap.
+        self._failures: Optional[FailureInjector] = None
+        if config.failure_mtbf is not None:
+            self._failures = FailureInjector(
+                self.env,
+                self.system.nodes,
+                FailureModel(config.failure_mtbf, config.failure_mttr),
+                self.streams,
+                defer_arming=True,
+            )
+        strict_on = strict if strict is not None else strict_mode_enabled()
+        self.auditor: Optional[InvariantAuditor] = (
+            InvariantAuditor(self.env, self.system, self.scheduler)
+            if strict_on
+            else None
+        )
+        #: The auditor's findings; set by :meth:`drain` under strict mode.
+        self.audit: Optional[AuditReport] = None
         #: Tasks injected into the kernel, in injection (= arrival) order.
         self.injected: List[Task] = []
         #: Final metrics; set by :meth:`drain`, None until then (and
@@ -163,6 +187,21 @@ class SliceEngine:
     def drained(self) -> bool:
         return self._drained
 
+    @property
+    def tasks_injected(self) -> int:
+        """Tasks that entered the kernel (distinct from fault counts)."""
+        return len(self.injected)
+
+    @property
+    def failures_injected(self) -> int:
+        """Node faults injected so far (0 without a failure model)."""
+        return self._failures.failures_injected if self._failures else 0
+
+    @property
+    def repairs_completed(self) -> int:
+        """Node repairs completed so far (0 without a failure model)."""
+        return self._failures.repairs_completed if self._failures else 0
+
     # -- stepping --------------------------------------------------------
     def advance(self, ingress: IngressQueue, slice_len: float = DEFAULT_SLICE) -> int:
         """Run one bounded slice; returns how many tasks were injected.
@@ -192,6 +231,8 @@ class SliceEngine:
         else:
             cap = min(target, ingress.frontier)
         if cap > self.env.now:
+            if self._failures is not None:
+                self._failures.advance_frontier(cap)
             self.env.run(until=cap)
         if self._h_slice is not None:
             self._h_slice.observe(_time.perf_counter() - wall0)
@@ -207,6 +248,8 @@ class SliceEngine:
                 "invariant was violated"
             )
         if arrival > self.env.now:
+            if self._failures is not None:
+                self._failures.advance_frontier(arrival)
             # run(until=t) stops before any event at t, exactly where the
             # batch arrival process would wake to submit this task.
             self.env.run(until=arrival)
@@ -269,6 +312,11 @@ class SliceEngine:
         if len(self.scheduler.completed) < n:
             arrival_span = self.injected[-1].arrival_time
             time_cap = max(arrival_span, 1.0) * self.config.sim_time_factor
+            if self._failures is not None:
+                # The stream is settled: fix the injection horizon to
+                # the batch cap, so the endgame sees exactly the clamped
+                # failure schedule a batch run would have armed up front.
+                self._failures.close(time_cap)
             cap_event = self.env.timeout(max(time_cap - self.env.now, 0.0))
             self.env.run(until=AnyOf(self.env, [done, cap_event]))
             if not done.triggered:
@@ -287,6 +335,8 @@ class SliceEngine:
         for proc in self.system.processors:
             proc.meter.finalize(now)
         self._drained = True
+        if self.auditor is not None:
+            self.audit = self.auditor.finalize()
         tel = self.telemetry
         if tel.metering:
             registry = tel.metrics
@@ -310,5 +360,6 @@ class SliceEngine:
                 now,
                 scheduler=self.scheduler.name,
                 completed=len(self.scheduler.completed),
-                injected=len(self.injected),
+                tasks_injected=len(self.injected),
+                failures_injected=self.failures_injected,
             )

@@ -25,6 +25,7 @@ multi-threaded producers and a draining engine can share the queue.
 from __future__ import annotations
 
 import threading
+import time as _time
 from collections import deque
 from typing import List, Optional
 
@@ -146,6 +147,10 @@ class IngressQueue:
         """
         with self._cond:
             self._check_admissible(task)
+            # The timeout bounds the *total* wait: a per-iteration
+            # wait(timeout) would re-arm the clock on every spurious
+            # wakeup or still-full notify, making the wait unbounded.
+            deadline: Optional[float] = None
             while len(self._tasks) >= self.max_queue:
                 if self.policy == "reject":
                     self._journal_reject(task)
@@ -160,8 +165,14 @@ class IngressQueue:
                     self._c_waits.inc()
                 if not block:
                     return False
-                if not self._cond.wait(timeout):
-                    return False
+                if timeout is None:
+                    self._cond.wait()
+                else:
+                    if deadline is None:
+                        deadline = _time.monotonic() + timeout
+                    remaining = deadline - _time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        return False
                 self._check_admissible(task)
             self._admit(task)
             return True

@@ -21,7 +21,8 @@ Event vocabulary (one ``ev`` per line)::
     {"ev":"shed","tid":T}            cancels the admit carrying tid T
     {"ev":"reject","tid":T}          producer item consumed, never queued
     {"ev":"resume","recovered":N}    a new process life took over
-    {"ev":"drained","admitted":N,"completed":M}   clean shutdown marker
+    {"ev":"drained","admitted":N,"completed":M,
+     "failures_injected":F,"repairs_completed":R}  clean shutdown marker
 
 ``seq`` must be contiguous from 0 — a gap means entries were lost to
 something other than a torn tail, and the journal refuses to replay.
@@ -63,6 +64,11 @@ class JournalState:
     drained: bool = False
     #: Completion count recorded by a ``drained`` marker (if any).
     completed: Optional[int] = None
+    #: Failure-injection counters recorded by a ``drained`` marker
+    #: (0 for journals written without a failure model, and for
+    #: pre-failure-injection journals that lack the keys).
+    failures_injected: int = 0
+    repairs_completed: int = 0
 
 
 class AdmissionJournal:
@@ -136,12 +142,20 @@ class AdmissionJournal:
     def write_reject(self, tid: int) -> None:
         self._writer.append({"ev": "reject", "tid": int(tid)})
 
-    def write_drained(self, admitted: int, completed: int) -> None:
+    def write_drained(
+        self,
+        admitted: int,
+        completed: int,
+        failures_injected: int = 0,
+        repairs_completed: int = 0,
+    ) -> None:
         self._writer.append(
             {
                 "ev": "drained",
                 "admitted": int(admitted),
                 "completed": int(completed),
+                "failures_injected": int(failures_injected),
+                "repairs_completed": int(repairs_completed),
             }
         )
 
@@ -212,6 +226,12 @@ class AdmissionJournal:
             elif ev == "drained":
                 state.drained = True
                 state.completed = int(entry.get("completed", 0))
+                state.failures_injected = int(
+                    entry.get("failures_injected", 0)
+                )
+                state.repairs_completed = int(
+                    entry.get("repairs_completed", 0)
+                )
             elif ev == "service":
                 raise ServiceJournalError(
                     f"{path}:{lineno}: duplicate service header"

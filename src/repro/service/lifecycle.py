@@ -74,14 +74,26 @@ class ServiceReport:
     shed: int
     backpressure_waits: int
     depth_high: int
-    injected: int
+    #: Tasks that entered the kernel this life.
+    tasks_injected: int
     completed: int
     sim_time: float
+    #: Node faults injected / repairs completed (0 without a failure
+    #: model), and tasks transparently resubmitted after a node crash.
+    failures_injected: int = 0
+    repairs_completed: int = 0
+    tasks_resubmitted: int = 0
     resumed: bool = False
     recovered: int = 0
     #: True when resume found a ``drained`` marker: nothing to do.
     already_drained: bool = False
     metrics: Optional[RunMetrics] = field(default=None, repr=False)
+
+    @property
+    def injected(self) -> int:
+        """Deprecated alias for :attr:`tasks_injected` (kept so callers
+        written before failure counters existed keep parsing)."""
+        return self.tasks_injected
 
     def to_dict(self) -> dict:
         data = {
@@ -93,7 +105,13 @@ class ServiceReport:
             "shed": self.shed,
             "backpressure_waits": self.backpressure_waits,
             "depth_high": self.depth_high,
-            "injected": self.injected,
+            "tasks_injected": self.tasks_injected,
+            # Deprecated alias for tasks_injected, predating the
+            # failures_injected counter; kept for existing parsers.
+            "injected": self.tasks_injected,
+            "failures_injected": self.failures_injected,
+            "repairs_completed": self.repairs_completed,
+            "tasks_resubmitted": self.tasks_resubmitted,
             "completed": self.completed,
             "sim_time": self.sim_time,
             "resumed": self.resumed,
@@ -345,6 +363,8 @@ class SchedulerService:
             self.journal.write_drained(
                 admitted=self.ingress.admitted,
                 completed=self.engine.completed,
+                failures_injected=self.engine.failures_injected,
+                repairs_completed=self.engine.repairs_completed,
             )
         self.state = ServiceState.STOPPED
         self._report = self._build_report(metrics)
@@ -372,9 +392,12 @@ class SchedulerService:
             shed=snap["shed"],
             backpressure_waits=snap["backpressure_waits"],
             depth_high=snap["depth_high"],
-            injected=len(self.engine.injected),
+            tasks_injected=len(self.engine.injected),
             completed=self.engine.completed,
             sim_time=self.engine.now,
+            failures_injected=self.engine.failures_injected,
+            repairs_completed=self.engine.repairs_completed,
+            tasks_resubmitted=self.engine.scheduler.tasks_resubmitted,
             resumed=self.journal_state is not None,
             recovered=(
                 len(self.journal_state.pending_tasks)
@@ -400,9 +423,11 @@ class SchedulerService:
                 shed=state.shed,
                 backpressure_waits=0,
                 depth_high=0,
-                injected=0,
+                tasks_injected=0,
                 completed=state.completed or 0,
                 sim_time=0.0,
+                failures_injected=state.failures_injected,
+                repairs_completed=state.repairs_completed,
                 resumed=True,
                 recovered=0,
                 already_drained=True,

@@ -13,6 +13,14 @@ shutdown paths the service guarantees:
    ``--resume`` and assert exactly-once admission: every producer task
    admitted exactly once across both lives, all of them completed.
 
+Both phases run twice: once plain and once with ``--failure-mtbf`` so
+node crashes and crash-resubmission ride along.  With failures on, the
+checks additionally assert ``completed == tasks_injected`` (the
+scheduler resubmitted every orphan), a nonzero ``failures_injected`` in
+the report *and* in the journal's drained marker, and that the resumed
+life re-derives the failure schedule from the journal's stored config
+alone (``--resume`` passes no failure flags).
+
 CI runs this as ``python -m repro.service.selfcheck``; it is equally
 useful locally after touching the service.  Exit status 0 means every
 assertion held.
@@ -99,9 +107,53 @@ def _journal_admits(journal_dir: Path) -> List[int]:
     return tids
 
 
-def _check_graceful(workdir: Path, num_tasks: int, timeout: float) -> List[str]:
+def _assert_fault_counters(
+    tag: str, report: dict, jdir: Path, failures: List[str]
+) -> None:
+    """With failure injection on, the report and the journal's drained
+    marker must both carry a nonzero failure count, the scheduler must
+    have resubmitted every orphan (completed == tasks_injected), and the
+    two sources must agree."""
+    if report["completed"] != report["tasks_injected"]:
+        failures.append(
+            f"{tag}: {report['completed']} completed != "
+            f"{report['tasks_injected']} tasks_injected — "
+            "crash-resubmission lost work"
+        )
+    if report.get("failures_injected", 0) <= 0:
+        failures.append(
+            f"{tag}: failures_injected is zero — the injector never "
+            "fired (mtbf too high for this stream?)"
+        )
+    state = AdmissionJournal.load(jdir)
+    if state.failures_injected != report.get("failures_injected"):
+        failures.append(
+            f"{tag}: drained marker records "
+            f"{state.failures_injected} failures, report says "
+            f"{report.get('failures_injected')}"
+        )
+    if state.repairs_completed != report.get("repairs_completed"):
+        failures.append(
+            f"{tag}: drained marker records "
+            f"{state.repairs_completed} repairs, report says "
+            f"{report.get('repairs_completed')}"
+        )
+
+
+def _check_graceful(
+    workdir: Path,
+    num_tasks: int,
+    timeout: float,
+    failure_mtbf: Optional[float] = None,
+) -> List[str]:
     failures: List[str] = []
-    jdir = workdir / "graceful"
+    tag = "graceful+failures" if failure_mtbf is not None else "graceful"
+    jdir = workdir / tag
+    extra = (
+        ["--failure-mtbf", str(failure_mtbf), "--failure-mttr", "40"]
+        if failure_mtbf is not None
+        else []
+    )
     proc = _spawn(
         [
             "--scheduler", "fcfs",
@@ -111,6 +163,7 @@ def _check_graceful(workdir: Path, num_tasks: int, timeout: float) -> List[str]:
             "--journal-dir", str(jdir),
             "--serve-metrics", "0",
             "--quiet",
+            *extra,
         ]
     )
     deadline = time.monotonic() + timeout
@@ -125,10 +178,10 @@ def _check_graceful(workdir: Path, num_tasks: int, timeout: float) -> List[str]:
             time.sleep(0.05)
         if admitted < 50:
             failures.append(
-                f"graceful: only {admitted:.0f} admissions before timeout"
+                f"{tag}: only {admitted:.0f} admissions before timeout"
             )
         if _metric(_scrape(port), "repro_service_queue_depth") is None:
-            failures.append("graceful: /metrics lacks the queue depth gauge")
+            failures.append(f"{tag}: /metrics lacks the queue depth gauge")
         proc.send_signal(signal.SIGTERM)
         out, _ = proc.communicate(timeout=timeout)
     finally:
@@ -136,53 +189,71 @@ def _check_graceful(workdir: Path, num_tasks: int, timeout: float) -> List[str]:
             proc.kill()
             proc.communicate()
     if proc.returncode != 0:
-        failures.append(f"graceful: exit code {proc.returncode}, expected 0")
+        failures.append(f"{tag}: exit code {proc.returncode}, expected 0")
         return failures
     report = _parse_report(out)
     if report["state"] != "stopped":
-        failures.append(f"graceful: final state {report['state']!r}")
-    if report["completed"] != report["injected"]:
+        failures.append(f"{tag}: final state {report['state']!r}")
+    if report["completed"] != report["tasks_injected"]:
         failures.append(
-            f"graceful: {report['completed']} completed != "
-            f"{report['injected']} injected — drain lost tasks"
+            f"{tag}: {report['completed']} completed != "
+            f"{report['tasks_injected']} injected — drain lost tasks"
         )
     if report["admitted"] >= num_tasks:
         failures.append(
-            "graceful: the full stream was admitted before SIGTERM — "
+            f"{tag}: the full stream was admitted before SIGTERM — "
             "the drain path was never exercised (raise --tasks)"
         )
     state = AdmissionJournal.load(jdir)
     if not state.drained:
-        failures.append("graceful: journal has no drained marker")
+        failures.append(f"{tag}: journal has no drained marker")
+    if failure_mtbf is not None:
+        _assert_fault_counters(tag, report, jdir, failures)
     # Resuming a drained journal must be a clean no-op.
     proc2 = _spawn(["--journal-dir", str(jdir), "--resume", "--quiet"])
     out2, _ = proc2.communicate(timeout=timeout)
     if proc2.returncode != 0:
-        failures.append(f"graceful resume: exit code {proc2.returncode}")
+        failures.append(f"{tag} resume: exit code {proc2.returncode}")
     else:
         report2 = _parse_report(out2)
         if not report2["already_drained"]:
-            failures.append("graceful resume: expected already_drained")
+            failures.append(f"{tag} resume: expected already_drained")
         if report2["admitted"] != report["admitted"]:
             failures.append(
-                "graceful resume: admitted count changed "
+                f"{tag} resume: admitted count changed "
                 f"({report['admitted']} -> {report2['admitted']})"
             )
     if not failures:
+        extra_note = (
+            f", {report.get('failures_injected', 0)} node failures "
+            f"({report.get('tasks_resubmitted', 0)} resubmissions)"
+            if failure_mtbf is not None
+            else ""
+        )
         print(
-            f"graceful drain ok: SIGTERM after {report['admitted']} "
-            f"admissions, {report['completed']} completed, exit 0, "
-            "resume reports already drained"
+            f"{tag} drain ok: SIGTERM after {report['admitted']} "
+            f"admissions, {report['completed']} completed{extra_note}, "
+            "exit 0, resume reports already drained"
         )
     return failures
 
 
 def _check_crash_resume(
-    workdir: Path, num_tasks: int, kill_after: int, timeout: float
+    workdir: Path,
+    num_tasks: int,
+    kill_after: int,
+    timeout: float,
+    failure_mtbf: Optional[float] = None,
 ) -> List[str]:
     failures: List[str] = []
-    jdir = workdir / "crash"
+    tag = "crash+failures" if failure_mtbf is not None else "crash"
+    jdir = workdir / tag
     journal_path = jdir / JOURNAL_FILENAME
+    extra = (
+        ["--failure-mtbf", str(failure_mtbf), "--failure-mttr", "40"]
+        if failure_mtbf is not None
+        else []
+    )
     proc = _spawn(
         [
             "--scheduler", "fcfs",
@@ -191,6 +262,7 @@ def _check_crash_resume(
             "--max-queue", "64",
             "--journal-dir", str(jdir),
             "--quiet",
+            *extra,
         ]
     )
     deadline = time.monotonic() + timeout
@@ -203,7 +275,7 @@ def _check_crash_resume(
             time.sleep(0.02)
         if proc.poll() is not None:
             failures.append(
-                "crash: service finished before the kill point — "
+                f"{tag}: service finished before the kill point — "
                 "raise --tasks or lower --kill-after"
             )
             proc.communicate()
@@ -217,13 +289,15 @@ def _check_crash_resume(
     first_life = _journal_admits(jdir)
     if len(first_life) < kill_after:
         failures.append(
-            f"crash: only {len(first_life)} admits journaled at kill time"
+            f"{tag}: only {len(first_life)} admits journaled at kill time"
         )
+    # No failure flags on resume: the journal's stored config must carry
+    # the failure model into the second life on its own.
     proc2 = _spawn(["--journal-dir", str(jdir), "--resume", "--quiet"])
     out2, _ = proc2.communicate(timeout=timeout * 4)
     if proc2.returncode != 0:
         failures.append(
-            f"crash resume: exit code {proc2.returncode}\n{out2}"
+            f"{tag} resume: exit code {proc2.returncode}\n{out2}"
         )
         return failures
     report = _parse_report(out2)
@@ -231,29 +305,37 @@ def _check_crash_resume(
     if sorted(tids) != list(range(num_tasks)):
         dupes = len(tids) - len(set(tids))
         failures.append(
-            f"crash resume: admission not exactly-once "
+            f"{tag} resume: admission not exactly-once "
             f"({len(tids)} admits, {dupes} duplicates, {num_tasks} expected)"
         )
     if report["admitted"] != num_tasks:
         failures.append(
-            f"crash resume: report admitted {report['admitted']}, "
+            f"{tag} resume: report admitted {report['admitted']}, "
             f"expected {num_tasks}"
         )
     if report["completed"] != report["admitted"] - report["shed"]:
         failures.append(
-            f"crash resume: completed {report['completed']} != admitted "
+            f"{tag} resume: completed {report['completed']} != admitted "
             f"{report['admitted']} - shed {report['shed']}"
         )
     if not report["resumed"]:
-        failures.append("crash resume: report not marked as resumed")
+        failures.append(f"{tag} resume: report not marked as resumed")
     state = AdmissionJournal.load(jdir)
     if not state.drained:
-        failures.append("crash resume: journal has no drained marker")
+        failures.append(f"{tag} resume: journal has no drained marker")
+    if failure_mtbf is not None:
+        _assert_fault_counters(f"{tag} resume", report, jdir, failures)
     if not failures:
+        extra_note = (
+            f", {report.get('failures_injected', 0)} node failures "
+            f"({report.get('tasks_resubmitted', 0)} resubmissions)"
+            if failure_mtbf is not None
+            else ""
+        )
         print(
-            f"crash resume ok: killed after {len(first_life)} admissions, "
+            f"{tag} resume ok: killed after {len(first_life)} admissions, "
             f"resumed to {report['admitted']} exactly-once, "
-            f"{report['completed']} completed"
+            f"{report['completed']} completed{extra_note}"
         )
     return failures
 
@@ -273,6 +355,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="per-phase timeout in seconds (default: 120)",
     )
     parser.add_argument(
+        "--failure-mtbf", type=float, default=250.0,
+        help="mean time between node failures for the fault-injection "
+        "phases (simulated time; default: 250)",
+    )
+    parser.add_argument(
         "--dir", default=None, help="work dir (default: temp dir)"
     )
     args = parser.parse_args(argv)
@@ -282,10 +369,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures += _check_crash_resume(
         workdir, args.tasks, args.kill_after, args.timeout
     )
+    failures += _check_graceful(
+        workdir, args.tasks, args.timeout, failure_mtbf=args.failure_mtbf
+    )
+    failures += _check_crash_resume(
+        workdir, args.tasks, args.kill_after, args.timeout,
+        failure_mtbf=args.failure_mtbf,
+    )
     for message in failures:
         print(f"FAIL: {message}")
     if not failures:
-        print("service selfcheck ok: graceful drain + crash resume verified")
+        print(
+            "service selfcheck ok: graceful drain + crash resume "
+            "verified, with and without failure injection"
+        )
     return 1 if failures else 0
 
 

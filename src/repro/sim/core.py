@@ -218,6 +218,46 @@ class Environment:
             return
         heappush(self._queue, (at, priority, next(self._eid), event))
 
+    def schedule_at(
+        self, event: Event, time: float, priority: int = NORMAL
+    ) -> None:
+        """Queue *event* to fire at the absolute simulated *time*.
+
+        Unlike :meth:`schedule`, the fire time is taken verbatim — there
+        is no ``now + delay`` float round-trip — so a caller holding a
+        precomputed epoch can pin the event to it bit-exactly no matter
+        *when* it arms the event.  The failure injector relies on this:
+        a fail/repair transition armed lazily (as the service's
+        admission frontier advances) must fire at the identical IEEE-754
+        time it would have fired at had it been armed at construction,
+        or sliced and batch runs diverge.
+        """
+        time = float(time)
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time}, before the current time "
+                f"({self._now})"
+            )
+        if time == self._now:
+            entry = (self._now, priority, next(self._eid), event)
+            if priority == NORMAL:
+                self._normal.append(entry)
+            elif priority == URGENT:
+                self._urgent.append(entry)
+            else:
+                heappush(self._queue, entry)
+            return
+        if priority == NORMAL:
+            entry = (time, NORMAL, next(self._eid), event)
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [entry]
+                heappush(self._times, time)
+            else:
+                bucket.append(entry)
+            return
+        heappush(self._queue, (time, priority, next(self._eid), event))
+
     def _pop(self) -> Optional[tuple[float, int, int, Event]]:
         """Pop the globally smallest scheduled entry, or None if empty."""
         queue = self._queue

@@ -224,6 +224,11 @@ class InvariantAuditor:
         self._completions: dict[Any, int] = {}
         self._completions_total = 0
         self._resubmissions_seen = 0
+        #: Tasks handed back by node-failure orphan callbacks.  Every
+        #: orphan must come back through ``submit`` (the resubmission
+        #: leg of task conservation — the invariant that makes failure
+        #: injection safe under service-mode slicing).
+        self._orphans_seen = 0
         self._memory = None
         #: (label, dense table, shadow dict table) triples.
         self._qmirrors: list[tuple[str, DenseQTable, QTable]] = []
@@ -380,6 +385,7 @@ class InvariantAuditor:
 
         for node in scheduler.system.nodes:
             node.on_task_complete(self._on_task_complete)
+            node.on_tasks_orphaned(self._on_tasks_orphaned)
 
         orig_cycle = scheduler._sample_cycle
 
@@ -520,6 +526,30 @@ class InvariantAuditor:
                 f"task:{task.tid}",
                 "completed a task that was never submitted",
             )
+
+    def _on_tasks_orphaned(self, tasks: Any, node: Any) -> None:
+        """A node crash handed back its incomplete tasks.
+
+        Runs *after* the scheduler's own orphan callback (registered at
+        attach), so by now every orphan must already have been pushed
+        back through the wrapped ``submit`` — the per-sweep
+        orphans == resubmissions check closes the loop.
+        """
+        for task in tasks:
+            if task.tid not in self._tasks:
+                self._violate(
+                    INV_CONSERVATION,
+                    f"task:{task.tid}",
+                    f"node {node.node_id} orphaned a task that was "
+                    "never submitted",
+                )
+            elif task.completed:
+                self._violate(
+                    INV_CONSERVATION,
+                    f"task:{task.tid}",
+                    f"node {node.node_id} orphaned a completed task",
+                )
+        self._orphans_seen += len(tasks)
 
     # -- structural sweeps ---------------------------------------------------
     def sweep(self, *, final: bool = False) -> None:
@@ -716,6 +746,16 @@ class InvariantAuditor:
                 sch.name,
                 f"scheduler counted {sch.tasks_resubmitted} "
                 f"resubmissions, auditor saw {self._resubmissions_seen}",
+            )
+        if self._orphans_seen != self._resubmissions_seen:
+            self._violate(
+                INV_CONSERVATION,
+                sch.name,
+                f"node crashes orphaned {self._orphans_seen} task(s) "
+                f"but only {self._resubmissions_seen} came back through "
+                f"submit — a crash lost or duplicated work",
+                orphaned=self._orphans_seen,
+                resubmitted=self._resubmissions_seen,
             )
 
     def _sweep_memory(self) -> None:

@@ -14,13 +14,13 @@ from repro.energy import ProcState, constant_power_profile
 from repro.workload import Task
 
 
-def make_node(env, n_procs=2):
+def make_node(env, n_procs=2, name="n0"):
     procs = [
         Processor(f"p{i}", 1000.0, constant_power_profile())
         for i in range(n_procs)
     ]
     return ComputeNode(
-        env, "n0", "s0", procs, sleep_policy=SleepPolicy(allow_sleep=False)
+        env, name, "s0", procs, sleep_policy=SleepPolicy(allow_sleep=False)
     )
 
 
@@ -140,7 +140,7 @@ class TestInjector:
     def test_lifecycle_produces_failures_and_repairs(self, env, streams):
         nodes = [make_node(env)]
         model = FailureModel(5.0, 1.0)
-        inj = FailureInjector(env, nodes, model, streams["failures"])
+        inj = FailureInjector(env, nodes, model, streams)
         env.run(until=100.0)
         assert inj.failures_injected > 5
         assert inj.repairs_completed >= inj.failures_injected - 1
@@ -150,20 +150,20 @@ class TestInjector:
     def test_start_after_delays_first_failure(self, env, streams):
         nodes = [make_node(env)]
         inj = FailureInjector(
-            env, nodes, FailureModel(1.0, 1.0), streams["failures"], start_after=50.0
+            env, nodes, FailureModel(1.0, 1.0), streams, start_after=50.0
         )
         env.run(until=49.0)
         assert inj.failures_injected == 0
 
     def test_validation(self, env, streams):
         with pytest.raises(ValueError):
-            FailureInjector(env, [], FailureModel(1, 1), streams["failures"])
+            FailureInjector(env, [], FailureModel(1, 1), streams)
         with pytest.raises(ValueError):
             FailureInjector(
                 env,
                 [make_node(env)],
                 FailureModel(1, 1),
-                streams["failures"],
+                streams,
                 start_after=-1,
             )
 
@@ -173,7 +173,7 @@ class TestInjector:
                 env,
                 [make_node(env)],
                 FailureModel(1, 1),
-                streams["failures"],
+                streams,
                 start_after=10.0,
                 until=5.0,
             )
@@ -181,10 +181,10 @@ class TestInjector:
     def test_until_clamps_lifecycle_to_horizon(self, env, streams):
         """Regression: lifecycles used to schedule fail/repair events past
         the run horizon; with ``until`` no log entry may exceed it."""
-        nodes = [make_node(env) for _ in range(4)]
+        nodes = [make_node(env, name=f"n{i}") for i in range(4)]
         horizon = 60.0
         inj = FailureInjector(
-            env, nodes, FailureModel(5.0, 1.0), streams["failures"], until=horizon
+            env, nodes, FailureModel(5.0, 1.0), streams, until=horizon
         )
         env.run(until=1000.0)
         assert inj.log, "expected at least one failure within the horizon"
@@ -205,9 +205,9 @@ class TestInjector:
         def run(until):
             e = Environment()
             s = RandomStreams(seed=1234)
-            nodes = [make_node(e) for _ in range(3)]
+            nodes = [make_node(e, name=f"n{i}") for i in range(3)]
             inj = FailureInjector(
-                e, nodes, FailureModel(5.0, 1.0), s["failures"], until=until
+                e, nodes, FailureModel(5.0, 1.0), s, until=until
             )
             e.run(until=horizon)
             return inj.log
@@ -216,6 +216,88 @@ class TestInjector:
         unbounded = run(None)
         assert bounded == [entry for entry in unbounded if entry[0] <= horizon]
 
+    def test_rng_consumption_is_horizon_independent(self):
+        """The draw sequence each node consumes must not depend on
+        whether (or where) a horizon was supplied — the property that
+        makes sliced service runs bitwise-equal to batch runs.  After
+        running both variants to the same time, every per-node substream
+        must sit at the identical position."""
+        from repro.sim import Environment, RandomStreams
+
+        horizon = 40.0
+
+        def probe(until):
+            e = Environment()
+            s = RandomStreams(seed=1234)
+            nodes = [make_node(e, name=f"n{i}") for i in range(3)]
+            FailureInjector(e, nodes, FailureModel(5.0, 1.0), s, until=until)
+            e.run(until=horizon)
+            return [
+                float(s[f"failures.{n.node_id}"].exponential(1.0))
+                for n in nodes
+            ]
+
+        assert probe(horizon) == probe(None)
+
+    def test_clamped_run_leaves_all_nodes_up(self):
+        """Regression (end-of-horizon asymmetry): a downtime draw landing
+        past ``until`` used to strand the node permanently failed.  The
+        pending repair now fires at the clamp horizon, so once a bounded
+        run completes its repairs every node is up again."""
+        from repro.sim import Environment, RandomStreams
+
+        # Long downtimes against a short horizon make mid-repair clamps
+        # near-certain across seeds.
+        for seed in range(5):
+            e = Environment()
+            s = RandomStreams(seed=seed)
+            nodes = [make_node(e, name=f"n{i}") for i in range(4)]
+            inj = FailureInjector(
+                e, nodes, FailureModel(10.0, 30.0), s, until=50.0
+            )
+            e.run(until=1000.0)
+            assert inj.failures_injected > 0
+            assert inj.repairs_completed == inj.failures_injected
+            assert all(not n.failed for n in nodes)
+
+    def test_deferred_arming_follows_the_frontier(self):
+        """Service mode: nothing fires until the frontier is advanced,
+        close() fixes the horizon, and the resulting schedule matches an
+        eagerly-armed bounded injector's bit for bit."""
+        from repro.sim import Environment, RandomStreams
+
+        horizon = 60.0
+
+        def eager():
+            e = Environment()
+            s = RandomStreams(seed=99)
+            nodes = [make_node(e, name=f"n{i}") for i in range(3)]
+            inj = FailureInjector(
+                e, nodes, FailureModel(5.0, 1.0), s, until=horizon
+            )
+            e.run(until=1000.0)
+            return inj.log
+
+        def deferred(cuts):
+            e = Environment()
+            s = RandomStreams(seed=99)
+            nodes = [make_node(e, name=f"n{i}") for i in range(3)]
+            inj = FailureInjector(
+                e, nodes, FailureModel(5.0, 1.0), s, defer_arming=True
+            )
+            assert inj.log == []
+            for cut in cuts:
+                inj.advance_frontier(cut)
+                e.run(until=cut)
+            inj.close(horizon)
+            e.run(until=1000.0)
+            return inj.log
+
+        want = eager()
+        assert want
+        assert deferred([10.0, 25.0, 40.0]) == want
+        assert deferred([3.0, 55.0]) == want
+
     def test_same_seed_runs_are_identical(self, env, streams):
         """Injector determinism: two same-seed runs produce the same log."""
         from repro.sim import Environment, RandomStreams
@@ -223,8 +305,8 @@ class TestInjector:
         def run():
             e = Environment()
             s = RandomStreams(seed=777)
-            nodes = [make_node(e) for _ in range(3)]
-            inj = FailureInjector(e, nodes, FailureModel(5.0, 1.0), s["failures"])
+            nodes = [make_node(e, name=f"n{i}") for i in range(3)]
+            inj = FailureInjector(e, nodes, FailureModel(5.0, 1.0), s)
             e.run(until=200.0)
             return inj.log, inj.failures_injected, inj.repairs_completed
 
@@ -258,7 +340,7 @@ class TestSchedulerResilience:
         sched.attach(env, system, streams)
         done = sched.expect(len(tasks))
         FailureInjector(
-            env, system.nodes, FailureModel(200.0, 40.0), streams["failures"]
+            env, system.nodes, FailureModel(200.0, 40.0), streams
         )
 
         def arrivals():

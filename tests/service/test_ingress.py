@@ -58,6 +58,45 @@ class TestBlockPolicy:
         assert q.pop_next(float("inf")).tid == 0
         assert q.submit(make_task(1, 1.0), block=False)
 
+    def test_timeout_bounds_total_wait_across_wakeups(self):
+        """Regression: the block loop used to re-arm the full timeout on
+        every condition wakeup, so a notify that found the queue still
+        full (or a spurious wakeup) reset the clock and the total wait
+        was unbounded.  Against a never-draining queue poked awake
+        repeatedly, submit(timeout=0.4) must still return in ~0.4 s."""
+        import threading
+        import time
+
+        q = IngressQueue(max_queue=1, policy="block")
+        q.submit(make_task(0))
+
+        stop = threading.Event()
+
+        def poke():
+            # Forced wakeups well inside the timeout window, without
+            # ever freeing capacity.
+            while not stop.is_set():
+                with q._cond:
+                    q._cond.notify_all()
+                time.sleep(0.05)
+
+        waker = threading.Thread(target=poke, daemon=True)
+        waker.start()
+        try:
+            t0 = time.monotonic()
+            admitted = q.submit(make_task(1, 1.0), timeout=0.4)
+            elapsed = time.monotonic() - t0
+        finally:
+            stop.set()
+            waker.join()
+        assert not admitted
+        assert elapsed < 1.5, (
+            f"timeout re-armed across wakeups: waited {elapsed:.2f}s "
+            "for a 0.4s timeout"
+        )
+        # Each still-full wakeup counts one backpressure wait.
+        assert q.backpressure_waits >= 2
+
 
 class TestRejectPolicy:
     def test_raises_typed_queue_full(self):

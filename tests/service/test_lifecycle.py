@@ -86,9 +86,25 @@ class TestDrainTriggers:
         assert 0 < report.admitted < 40
         assert report.completed == report.injected
 
-    def test_failure_injection_refused(self):
-        with pytest.raises(ValueError, match="failure injection"):
-            SchedulerService(small_config(failure_mtbf=100.0), producer)
+    def test_failure_injection_runs_under_service_mode(self):
+        """The old refusal is gone: a config carrying failure_mtbf
+        streams to completion, resubmitting crashed work, and reports
+        the fault counters under their new, unambiguous names."""
+        service = SchedulerService(
+            small_config(failure_mtbf=150.0, failure_mttr=30.0), producer
+        )
+        report = service.run()
+        assert report.state == "stopped"
+        assert report.completed == report.tasks_injected == 40
+        assert report.failures_injected > 0
+        data = report.to_dict()
+        assert data["tasks_injected"] == 40
+        assert data["failures_injected"] == report.failures_injected
+        assert data["repairs_completed"] == report.repairs_completed
+        assert data["tasks_resubmitted"] == report.tasks_resubmitted
+        # Deprecated alias for pre-failure-injection parsers.
+        assert data["injected"] == data["tasks_injected"]
+        assert report.injected == report.tasks_injected
 
     def test_resume_requires_journal_dir(self):
         with pytest.raises(ValueError, match="journal directory"):

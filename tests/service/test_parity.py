@@ -100,6 +100,123 @@ def test_full_metrics_equality_not_just_digest() -> None:
     assert served.num_tasks == batch.num_tasks
 
 
+def _failure_config(scheduler: str = "fcfs", seed: int = 11) -> ExperimentConfig:
+    return ExperimentConfig(
+        scheduler=scheduler,
+        seed=seed,
+        num_tasks=NUM_TASKS,
+        arrival_period=ARRIVAL_PERIOD,
+        failure_mtbf=400.0,
+        failure_mttr=60.0,
+    )
+
+
+class TestFailureInjectionParity:
+    """Bitwise batch/service equality *with failure injection on*.
+
+    The frontier-following injector draws every node's lifecycle from a
+    per-node substream and fires transitions at absolute epochs, so the
+    failure schedule — and the crash-resubmission accounting downstream
+    of it — must be bit-identical no matter how the run is sliced, cut,
+    or crash-resumed.
+    """
+
+    def test_service_matches_batch_bit_for_bit(self) -> None:
+        config = _failure_config()
+        batch = run_experiment(config)
+        assert batch.scheduler.tasks_resubmitted > 0, (
+            "failure model too mild: no node crash orphaned work, the "
+            "parity claim would be vacuous"
+        )
+        service = SchedulerService(
+            config, _producer, max_queue=19, slice_len=13.7
+        )
+        report = service.run()
+        assert report.completed == NUM_TASKS
+        assert report.failures_injected > 0
+        assert report.tasks_resubmitted == batch.scheduler.tasks_resubmitted
+        assert _digest(report.metrics) == _digest(batch.metrics)
+        assert report.metrics.makespan == batch.metrics.makespan
+
+    def test_slice_cut_is_irrelevant_under_failures(self) -> None:
+        results = []
+        for slice_len, max_queue in ((3.1, 7), (250.0, 5000)):
+            service = SchedulerService(
+                _failure_config(),
+                _producer,
+                max_queue=max_queue,
+                slice_len=slice_len,
+            )
+            report = service.run()
+            results.append(
+                (
+                    _digest(report.metrics),
+                    report.failures_injected,
+                    report.repairs_completed,
+                    report.tasks_resubmitted,
+                )
+            )
+        assert results[0] == results[1]
+        assert results[0][1] > 0
+
+    def test_crash_resume_lands_on_the_batch_bits(self, tmp_path) -> None:
+        """kill -9 mid-stream, then --resume: the fresh engine re-derives
+        the per-node failure substreams and replays the journaled
+        admissions, landing on the exact batch digest — and the drained
+        marker records the fault counters."""
+        from repro.service.journal import AdmissionJournal
+
+        config = _failure_config()
+        batch = run_experiment(config)
+
+        life1 = SchedulerService(
+            config, _producer, max_queue=16,
+            journal_dir=tmp_path, slice_len=10.0,
+        )
+        for _ in range(30):
+            assert life1.step()
+        assert life1.ingress.admitted > 0
+        life1.journal.close()  # process dies; fsynced admits survive
+
+        life2 = SchedulerService(
+            config, _producer, max_queue=16,
+            journal_dir=tmp_path, resume=True, slice_len=10.0,
+        )
+        report = life2.run()
+        assert report.resumed
+        assert report.completed == NUM_TASKS
+        assert report.failures_injected > 0
+        assert _digest(report.metrics) == _digest(batch.metrics)
+        assert report.tasks_resubmitted == batch.scheduler.tasks_resubmitted
+
+        state = AdmissionJournal.load(tmp_path)
+        assert state.drained
+        assert state.failures_injected == report.failures_injected
+        assert state.repairs_completed == report.repairs_completed
+
+    def test_parity_holds_under_strict_mode(self) -> None:
+        """REPRO_STRICT semantics: the auditor rides along — including
+        the orphans == resubmissions conservation leg — without
+        perturbing the bits."""
+        from repro.validate import set_strict, strict_mode_enabled
+
+        config = _failure_config(seed=47)
+        was = strict_mode_enabled()
+        set_strict(True)
+        try:
+            batch = run_experiment(config)
+            service = SchedulerService(
+                config, _producer, max_queue=19, slice_len=13.7
+            )
+            report = service.run()
+        finally:
+            set_strict(was)
+        assert service.engine.audit is not None
+        assert service.engine.audit.violations == []
+        assert report.failures_injected > 0
+        assert _digest(report.metrics) == _digest(batch.metrics)
+
+
 def test_parity_survives_crash_resume(tmp_path) -> None:
     """A mid-stream crash plus resume still lands on the golden bits.
 
