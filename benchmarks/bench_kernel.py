@@ -28,6 +28,8 @@ import sys
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.obs import NULL_TELEMETRY, capture
 from repro.sim import Environment, Store
 
@@ -164,6 +166,12 @@ def bench_kernel_store_contention(benchmark):
 # ---------------------------------------------------------------------------
 
 BASELINE_PATH = Path(__file__).parent / "baselines" / "kernel_baseline.json"
+#: Frozen snapshot from before the struct-of-arrays kernel work; kept so
+#: the SoA speedup (events/sec vs the scalar hot loop) stays measurable
+#: after ``--update-baseline`` raises the regression floor.
+PRE_SOA_BASELINE_PATH = (
+    Path(__file__).parent / "baselines" / "kernel_baseline_pre_soa.json"
+)
 OUT_PATH = Path(__file__).parent / "out" / "kernel_throughput.json"
 
 #: Shape of the decisions/sec experiment (mirrors the golden-seed config).
@@ -191,7 +199,29 @@ _SCENARIO_HORIZONS = {
     "timeouts": 9_973.0,        # ~199 live ticks at the default cadence
     "pingpong": 1.0,            # zero-delay: all work at t=0
     "many_processes": 33.0,     # 20 ticks x max period 1.6
+    "soa_ticks": 10_000.0,      # full extent of the columnar tick span
 }
+
+#: Tick and timeout volume of the ``soa_ticks`` scenario.
+_SOA_TICKS = 1_000_000
+_SOA_TIMEOUTS = 200
+
+
+def _scenario_soa_ticks(env: Environment) -> None:
+    """1M clock ticks via columnar batches, chunk-drained by timeouts.
+
+    :meth:`Environment.schedule_ticks` stores the ticks as one sorted
+    float64 array (:class:`~repro.sim.columnar.TickBatch`); the run loop
+    drains them with ``np.searchsorted`` instead of per-event heap
+    traffic.  The interleaved timeouts (one every 50 time units) bound
+    each drain to ~5k ticks, so the measurement exercises the chunked
+    fast path a real telemetry/metering cadence produces — not one
+    degenerate whole-array skip.
+    """
+    env.schedule_ticks(np.linspace(0.0, 10_000.0, _SOA_TICKS))
+    for i in range(_SOA_TIMEOUTS):
+        env.timeout(50.0 * i)
+    env.run()
 
 
 def _scenario_pingpong(env: Environment) -> None:
@@ -226,15 +256,25 @@ def _scenario_many_processes(env: Environment) -> None:
     env.run()
 
 
+#: ``(name, scenario, events)`` — *events* is the exact kernel event
+#: count when it is analytic (spares a metered dry run over large
+#: scenarios), or ``None`` to count via a metered dry run.
 KERNEL_SCENARIOS = (
-    ("timeouts", _scenario_timeouts),
-    ("pingpong", _scenario_pingpong),
-    ("many_processes", _scenario_many_processes),
+    ("timeouts", _scenario_timeouts, 100_000),
+    ("pingpong", _scenario_pingpong, None),
+    ("many_processes", _scenario_many_processes, None),
+    ("soa_ticks", _scenario_soa_ticks, _SOA_TICKS + _SOA_TIMEOUTS),
 )
 
 
-def _count_events(scenario) -> int:
-    """Exact kernel events processed by *scenario* (metered dry run)."""
+def _count_events(scenario, events: int | None = None) -> int:
+    """Exact kernel events processed by *scenario*.
+
+    Uses the declared analytic count when available; otherwise a
+    metered dry run.
+    """
+    if events is not None:
+        return events
     tel = capture(trace=False, metrics=True)
     env = Environment(telemetry=tel)
     scenario(env)
@@ -278,8 +318,8 @@ def measure_events_per_sec(
     per_scenario: dict[str, dict] = {}
     total_events = 0
     total_seconds = 0.0
-    for name, scenario in KERNEL_SCENARIOS:
-        events = _count_events(scenario)
+    for name, scenario, declared in KERNEL_SCENARIOS:
+        events = _count_events(scenario, declared)
         best = float("inf")
         for _ in range(repeats):
             env = (
@@ -384,6 +424,13 @@ def check_against_baseline(payload: dict, min_ratio: float = 0.8) -> list[str]:
         print(line)
         if ratio < min_ratio:
             failures.append(f"regression: {line} < {min_ratio:.2f}x floor")
+    if PRE_SOA_BASELINE_PATH.exists():
+        pre = json.loads(PRE_SOA_BASELINE_PATH.read_text())["events_per_sec"]
+        speedup = payload["events_per_sec"] / pre if pre else float("inf")
+        print(
+            f"events_per_sec speedup vs pre-SoA snapshot "
+            f"({pre:,.0f}): {speedup:.1f}x"
+        )
     return failures
 
 

@@ -127,6 +127,12 @@ class System:
         self._slowest_speed_mips = min(
             p.speed_mips for p in self._processors
         )
+        # Meter-bank gather index in topology order: whole-system state
+        # scans (busy counts, power sums) read columns instead of
+        # walking processor objects.
+        self._meter_rows = np.array(
+            [p.meter._row for p in self._processors], dtype=np.intp
+        )
 
     def __iter__(self):
         return iter(self.sites)
@@ -163,9 +169,9 @@ class System:
 
     def busy_processors(self) -> int:
         """Number of processors currently executing a task."""
-        from ..energy.meter import ProcState
+        from ..energy.meter import BANK
 
-        return sum(1 for p in self.processors if p.state is ProcState.BUSY)
+        return BANK.busy_count(self._meter_rows)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -14,10 +14,12 @@ import abc
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..cluster.node import ComputeNode
 from ..cluster.system import System
 from ..cluster.taskgroup import TaskGroup
-from ..energy.meter import ProcState
+from ..energy.meter import BANK
 from ..obs import CAT_TASK, NULL_TELEMETRY, Telemetry
 from ..sim.core import Environment
 from ..sim.events import Event
@@ -72,6 +74,7 @@ class Scheduler(abc.ABC):
         #: Meters in topology order, prebound at attach time so the
         #: per-cycle sampler skips the processor indirection.
         self._meters: list = []
+        self._meter_rows = np.empty(0, dtype=np.intp)
         self._expected: Optional[int] = None
         #: Triggered when `expect(n)` tasks have completed.
         self.all_done: Optional[Event] = None
@@ -90,6 +93,11 @@ class Scheduler(abc.ABC):
         self._wakeup = Event(env)
         self.all_done = Event(env)
         self._meters = [p.meter for p in system.processors]
+        # Row gather-index into the meter bank, prebound so the per-cycle
+        # sampler is one fancy-indexed column read instead of a loop.
+        self._meter_rows = np.array(
+            [m._row for m in self._meters], dtype=np.intp
+        )
         for node in system.nodes:
             node.on_task_complete(self._task_completed)
             node.on_slot_freed(lambda n: self.kick())
@@ -203,27 +211,11 @@ class Scheduler(abc.ABC):
     def _sample_cycle(self) -> None:
         assert self.system is not None and self.env is not None
         now = self.env.now
-        busy = 0.0
-        powered = 0.0
-        busy_count = 0
-        # One fused pass over the prebound meters, reading the plain
-        # accumulator attributes directly: the same per-processor sums
-        # (and float bits) as meter.powered_times + busy_processors(),
-        # without two scans and a method call per processor.
-        is_busy = ProcState.BUSY
-        is_idle = ProcState.IDLE
-        for m in self._meters:
-            b = m._busy_time
-            i = m._idle_time
-            state = m._state
-            if state is is_busy:
-                busy_count += 1
-                if m._finalized_at is None:
-                    b += now - m._since
-            elif state is is_idle and m._finalized_at is None:
-                i += now - m._since
-            busy += b
-            powered += b + i
+        # One gathered columnar read over the prebound meter-bank rows:
+        # the same per-processor sums (and float bits) as the former
+        # per-meter attribute loop — meter.powered_times +
+        # busy_processors() — see MeterBank.sample_cycle.
+        busy, powered, busy_count = BANK.sample_cycle(self._meter_rows, now)
         total = self.system.num_processors
         self.cycle_log.append(
             CycleSample(

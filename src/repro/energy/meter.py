@@ -7,6 +7,26 @@ sampling error.  The paper's per-processor energy
     ``PPj = pmax · Σ ETi + pmin · t_idle``            (Eq. 5)
 
 is the special case with no sleep time.
+
+Struct-of-arrays layout
+-----------------------
+Since the columnar refactor a meter owns no accumulators: all Eq. 5
+state (current power state, last-transition time, the six per-state
+time/energy totals, the DVFS override, the per-state profile powers)
+lives in the module-level :class:`MeterBank` — one preallocated float64
+/ int8 column per field, one row per meter.  The meter object is a
+2-slot ``(bank, row)`` view whose methods perform the identical IEEE-754
+operations on array cells, and whose ``_busy_time``-style attributes
+survive as properties (the strict-mode auditor and the learning-cycle
+sampler read them; tests write them to provoke violations).
+
+What the layout buys: whole-population readers — the per-cycle sampler
+(:meth:`MeterBank.sample_cycle`), the busy-processor count
+(:meth:`MeterBank.busy_count`), the per-node power snapshot
+(:meth:`MeterBank.current_power`) — gather columns with one NumPy fancy
+index instead of a Python loop over meter objects, while keeping the
+exact per-meter float bits (sums stay left-to-right where the scalar
+code summed left-to-right).
 """
 
 from __future__ import annotations
@@ -15,9 +35,12 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
+from ..sim.columnar import FloatColumn, IntColumn
 from .power_model import PowerProfile
 
-__all__ = ["ProcState", "ProcessorEnergyMeter", "EnergyBreakdown"]
+__all__ = ["ProcState", "ProcessorEnergyMeter", "EnergyBreakdown", "MeterBank"]
 
 
 class ProcState(enum.Enum):
@@ -26,6 +49,18 @@ class ProcState(enum.Enum):
     BUSY = "busy"
     IDLE = "idle"
     SLEEP = "sleep"
+
+
+#: Column encoding of :class:`ProcState` (int8 codes).
+BUSY_CODE, IDLE_CODE, SLEEP_CODE = 0, 1, 2
+_STATE_TO_CODE = {
+    ProcState.BUSY: BUSY_CODE,
+    ProcState.IDLE: IDLE_CODE,
+    ProcState.SLEEP: SLEEP_CODE,
+}
+_CODE_TO_STATE = (ProcState.BUSY, ProcState.IDLE, ProcState.SLEEP)
+
+_NAN = float("nan")
 
 
 @dataclass(frozen=True)
@@ -61,27 +96,135 @@ class EnergyBreakdown:
         return self.busy_time / powered if powered > 0 else 0.0
 
 
+class MeterBank:
+    """Columnar Eq. 5 accumulators across every meter in the process.
+
+    Rows are append-only and never recycled; columns grow by doubling.
+    Meters are created at system-construction time and mutated by the
+    single engine thread, so access is lock-free.
+    """
+
+    __slots__ = (
+        "state",
+        "since",
+        "busy_time",
+        "idle_time",
+        "sleep_time",
+        "busy_energy",
+        "idle_energy",
+        "sleep_energy",
+        "power_override",
+        "finalized_at",
+        "p_busy",
+        "p_idle",
+        "p_sleep",
+    )
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.state = IntColumn(capacity, dtype=np.int8)
+        self.since = FloatColumn(capacity)
+        self.busy_time = FloatColumn(capacity)
+        self.idle_time = FloatColumn(capacity)
+        self.sleep_time = FloatColumn(capacity)
+        self.busy_energy = FloatColumn(capacity)
+        self.idle_energy = FloatColumn(capacity)
+        self.sleep_energy = FloatColumn(capacity)
+        #: DVFS busy-power override; NaN = "use the profile's draw".
+        self.power_override = FloatColumn(capacity)
+        #: Finalization time; NaN = still metering.
+        self.finalized_at = FloatColumn(capacity)
+        # Per-state profile powers, denormalized per row so vectorized
+        # power reads never touch the profile objects.
+        self.p_busy = FloatColumn(capacity)
+        self.p_idle = FloatColumn(capacity)
+        self.p_sleep = FloatColumn(capacity)
+
+    def __len__(self) -> int:
+        return len(self.since)
+
+    def add(self, profile: PowerProfile, start_time: float) -> int:
+        """Allocate a row for a new meter (initially IDLE)."""
+        row = self.state.append(IDLE_CODE)
+        self.since.append(start_time)
+        self.busy_time.append(0.0)
+        self.idle_time.append(0.0)
+        self.sleep_time.append(0.0)
+        self.busy_energy.append(0.0)
+        self.idle_energy.append(0.0)
+        self.sleep_energy.append(0.0)
+        self.power_override.append(_NAN)
+        self.finalized_at.append(_NAN)
+        self.p_busy.append(profile.power_at(ProcState.BUSY.value))
+        self.p_idle.append(profile.power_at(ProcState.IDLE.value))
+        self.p_sleep.append(profile.power_at(ProcState.SLEEP.value))
+        return row
+
+    # -- vectorized whole-population readers ----------------------------
+    def sample_cycle(self, rows: np.ndarray, now: float):
+        """``(busy_sum, powered_sum, busy_count)`` over *rows* at *now*.
+
+        Bit-identical to the scalar per-meter loop it replaces: the
+        accruing span is added with the same ``b + (now - since)``
+        expression, and both sums run left-to-right over the gathered
+        (row-ordered) values, exactly like the ``+=`` loop did.
+        """
+        b = self.busy_time.data[rows]
+        i = self.idle_time.data[rows]
+        codes = self.state.data[rows]
+        live = np.isnan(self.finalized_at.data[rows])
+        spans = now - self.since.data[rows]
+        busy_mask = codes == BUSY_CODE
+        b = np.where(busy_mask & live, b + spans, b)
+        i = np.where((codes == IDLE_CODE) & live, i + spans, i)
+        busy = sum(b.tolist())
+        powered = sum((b + i).tolist())
+        return busy, powered, int(np.count_nonzero(busy_mask))
+
+    def busy_count(self, rows: np.ndarray) -> int:
+        """Number of *rows* currently in the BUSY state."""
+        return int(np.count_nonzero(self.state.data[rows] == BUSY_CODE))
+
+    def current_power(self, rows: np.ndarray) -> np.ndarray:
+        """Instantaneous draw per row — vectorized ``_current_power``."""
+        codes = self.state.data[rows]
+        by_state = np.where(
+            codes == BUSY_CODE,
+            self.p_busy.data[rows],
+            np.where(
+                codes == IDLE_CODE,
+                self.p_idle.data[rows],
+                self.p_sleep.data[rows],
+            ),
+        )
+        override = self.power_override.data[rows]
+        return np.where(np.isnan(override), by_state, override)
+
+    def sleep_count(self, rows: np.ndarray) -> int:
+        """Number of *rows* currently in the SLEEP state."""
+        return int(np.count_nonzero(self.state.data[rows] == SLEEP_CODE))
+
+
+#: Process-wide bank backing every :class:`ProcessorEnergyMeter`.
+BANK = MeterBank()
+
+
 class ProcessorEnergyMeter:
-    """Integrates a single processor's energy across state transitions."""
+    """Integrates a single processor's energy across state transitions.
+
+    A ``(bank, row)`` view over :data:`BANK` (see module docstring); the
+    public surface — and the ``_``-prefixed accumulator attributes the
+    auditor and sampler rely on — is unchanged from the per-object
+    version.  Deliberately no ``__slots__``: the strict-mode auditor
+    shims ``set_state``/``finalize`` per instance.
+    """
 
     def __init__(self, profile: PowerProfile, start_time: float = 0.0) -> None:
         self.profile = profile
-        self._state = ProcState.IDLE
         #: Time metering began — kept so auditors can check time closure
         #: (``busy + idle + sleep == last_transition − start_time``).
         self.start_time = float(start_time)
-        self._since = float(start_time)
-        # Per-state accumulators as plain attributes: the learning-cycle
-        # sampler reads these for every processor on every cycle, and
-        # attribute access beats enum-keyed dict lookups there.
-        self._busy_time = 0.0
-        self._idle_time = 0.0
-        self._sleep_time = 0.0
-        self._busy_energy = 0.0
-        self._idle_energy = 0.0
-        self._sleep_energy = 0.0
-        self._finalized_at: float | None = None
-        self._power_override: Optional[float] = None
+        self._bank = BANK
+        self._row = BANK.add(profile, self.start_time)
         # Optional observability hookup (None keeps set_state at one
         # extra attribute check); see bind_telemetry().
         self._telemetry = None
@@ -94,15 +237,103 @@ class ProcessorEnergyMeter:
         self._telemetry = telemetry
         self.owner = owner
 
+    # -- columnar cell accessors (auditor/sampler-visible "privates") ----
+    @property
+    def _state(self) -> ProcState:
+        return _CODE_TO_STATE[self._bank.state.data[self._row]]
+
+    @_state.setter
+    def _state(self, state: ProcState) -> None:
+        self._bank.state.data[self._row] = _STATE_TO_CODE[state]
+
+    @property
+    def _since(self) -> float:
+        return self._bank.since.data[self._row]
+
+    @_since.setter
+    def _since(self, value: float) -> None:
+        self._bank.since.data[self._row] = value
+
+    @property
+    def _busy_time(self) -> float:
+        return self._bank.busy_time.data[self._row]
+
+    @_busy_time.setter
+    def _busy_time(self, value: float) -> None:
+        self._bank.busy_time.data[self._row] = value
+
+    @property
+    def _idle_time(self) -> float:
+        return self._bank.idle_time.data[self._row]
+
+    @_idle_time.setter
+    def _idle_time(self, value: float) -> None:
+        self._bank.idle_time.data[self._row] = value
+
+    @property
+    def _sleep_time(self) -> float:
+        return self._bank.sleep_time.data[self._row]
+
+    @_sleep_time.setter
+    def _sleep_time(self, value: float) -> None:
+        self._bank.sleep_time.data[self._row] = value
+
+    @property
+    def _busy_energy(self) -> float:
+        return self._bank.busy_energy.data[self._row]
+
+    @_busy_energy.setter
+    def _busy_energy(self, value: float) -> None:
+        self._bank.busy_energy.data[self._row] = value
+
+    @property
+    def _idle_energy(self) -> float:
+        return self._bank.idle_energy.data[self._row]
+
+    @_idle_energy.setter
+    def _idle_energy(self, value: float) -> None:
+        self._bank.idle_energy.data[self._row] = value
+
+    @property
+    def _sleep_energy(self) -> float:
+        return self._bank.sleep_energy.data[self._row]
+
+    @_sleep_energy.setter
+    def _sleep_energy(self, value: float) -> None:
+        self._bank.sleep_energy.data[self._row] = value
+
+    @property
+    def _power_override(self) -> Optional[float]:
+        v = self._bank.power_override.data[self._row]
+        return None if v != v else v
+
+    @_power_override.setter
+    def _power_override(self, value: Optional[float]) -> None:
+        self._bank.power_override.data[self._row] = (
+            _NAN if value is None else value
+        )
+
+    @property
+    def _finalized_at(self) -> Optional[float]:
+        v = self._bank.finalized_at.data[self._row]
+        return None if v != v else v
+
+    @_finalized_at.setter
+    def _finalized_at(self, value: Optional[float]) -> None:
+        self._bank.finalized_at.data[self._row] = (
+            _NAN if value is None else value
+        )
+
+    # -- public surface --------------------------------------------------
     @property
     def state(self) -> ProcState:
         """The processor's current power state."""
-        return self._state
+        return _CODE_TO_STATE[self._bank.state.data[self._row]]
 
     @property
     def last_transition(self) -> float:
         """Time of the most recent state change."""
-        return self._since
+        return self._bank.since.data[self._row]
 
     def set_state(
         self, state: ProcState, now: float, power_w: Optional[float] = None
@@ -113,55 +344,66 @@ class ProcessorEnergyMeter:
         used by DVFS, where busy power depends on the frequency the task
         runs at rather than on the state alone.
         """
-        if self._finalized_at is not None:
+        bank, row = self._bank, self._row
+        if not np.isnan(bank.finalized_at.data[row]):
             raise RuntimeError("meter already finalized")
         if not isinstance(state, ProcState):
             raise TypeError(f"state must be a ProcState, got {state!r}")
         if power_w is not None and power_w < 0:
             raise ValueError("power_w must be non-negative")
         tel = self._telemetry
-        if tel is not None and tel.tracing and state is not self._state:
+        code = _STATE_TO_CODE[state]
+        if tel is not None and tel.tracing and code != bank.state.data[row]:
             tel.emit(
                 "energy",
                 "state",
                 now,
                 proc=self.owner,
-                from_state=self._state.value,
+                from_state=_CODE_TO_STATE[bank.state.data[row]].value,
                 to_state=state.value,
             )
         self._charge(now)
-        self._state = state
-        self._power_override = power_w
+        bank.state.data[row] = code
+        bank.power_override.data[row] = _NAN if power_w is None else power_w
 
     def _current_power(self) -> float:
-        if self._power_override is not None:
-            return self._power_override
-        return self.profile.power_at(self._state.value)
+        bank, row = self._bank, self._row
+        override = bank.power_override.data[row]
+        if override == override:
+            return override
+        code = bank.state.data[row]
+        if code == BUSY_CODE:
+            return bank.p_busy.data[row]
+        if code == IDLE_CODE:
+            return bank.p_idle.data[row]
+        return bank.p_sleep.data[row]
 
     def _charge(self, now: float) -> None:
-        if now < self._since:
+        bank, row = self._bank, self._row
+        since = bank.since.data[row]
+        if now < since:
             raise ValueError(
-                f"time moved backwards: {now} < last transition {self._since}"
+                f"time moved backwards: {now} < last transition {since}"
             )
-        span = now - self._since
+        span = now - since
         if span > 0:
             energy = span * self._current_power()
-            state = self._state
-            if state is ProcState.BUSY:
-                self._busy_time += span
-                self._busy_energy += energy
-            elif state is ProcState.IDLE:
-                self._idle_time += span
-                self._idle_energy += energy
+            code = bank.state.data[row]
+            if code == BUSY_CODE:
+                bank.busy_time.data[row] += span
+                bank.busy_energy.data[row] += energy
+            elif code == IDLE_CODE:
+                bank.idle_time.data[row] += span
+                bank.idle_energy.data[row] += energy
             else:
-                self._sleep_time += span
-                self._sleep_energy += energy
-        self._since = now
+                bank.sleep_time.data[row] += span
+                bank.sleep_energy.data[row] += energy
+        bank.since.data[row] = now
 
     def finalize(self, now: float) -> EnergyBreakdown:
         """Charge the final span and freeze the meter."""
         self._charge(now)
-        self._finalized_at = now
+        self._bank.finalized_at.data[self._row] = now
         return self.snapshot()
 
     def powered_times(self, now: float) -> tuple[float, float]:
@@ -173,15 +415,18 @@ class ProcessorEnergyMeter:
         span is added to the current state's total) while skipping the
         dict copies and the :class:`EnergyBreakdown` construction.
         """
-        busy = self._busy_time
-        idle = self._idle_time
-        if self._finalized_at is None:
-            if now < self._since:
+        bank, row = self._bank, self._row
+        busy = bank.busy_time.data[row]
+        idle = bank.idle_time.data[row]
+        if np.isnan(bank.finalized_at.data[row]):
+            since = bank.since.data[row]
+            if now < since:
                 raise ValueError("snapshot time precedes last transition")
-            span = now - self._since
-            if self._state is ProcState.BUSY:
+            span = now - since
+            code = bank.state.data[row]
+            if code == BUSY_CODE:
                 busy += span
-            elif self._state is ProcState.IDLE:
+            elif code == IDLE_CODE:
                 idle += span
         return busy, idle
 
@@ -191,22 +436,24 @@ class ProcessorEnergyMeter:
         Passing *now* includes the currently accruing span without
         mutating the meter.
         """
-        busy_time = self._busy_time
-        idle_time = self._idle_time
-        sleep_time = self._sleep_time
-        busy_energy = self._busy_energy
-        idle_energy = self._idle_energy
-        sleep_energy = self._sleep_energy
-        if now is not None and self._finalized_at is None:
-            if now < self._since:
+        bank, row = self._bank, self._row
+        busy_time = bank.busy_time.data[row]
+        idle_time = bank.idle_time.data[row]
+        sleep_time = bank.sleep_time.data[row]
+        busy_energy = bank.busy_energy.data[row]
+        idle_energy = bank.idle_energy.data[row]
+        sleep_energy = bank.sleep_energy.data[row]
+        if now is not None and np.isnan(bank.finalized_at.data[row]):
+            since = bank.since.data[row]
+            if now < since:
                 raise ValueError("snapshot time precedes last transition")
-            span = now - self._since
+            span = now - since
             accrued = span * self._current_power()
-            state = self._state
-            if state is ProcState.BUSY:
+            code = bank.state.data[row]
+            if code == BUSY_CODE:
                 busy_time += span
                 busy_energy += accrued
-            elif state is ProcState.IDLE:
+            elif code == IDLE_CODE:
                 idle_time += span
                 idle_energy += accrued
             else:

@@ -67,15 +67,17 @@ def collect_metrics(
     boundary.
     """
     completed = scheduler.completed
-    response = summarize_response_times(completed)
     stream = getattr(scheduler, "stream", None)
     if stream is not None and stream.completed == len(completed):
         # The scheduler accumulated these incrementally as tasks
-        # finished (integer counts and a running max — bit-identical to
+        # finished (integer counts, a running max, and columnar
+        # response/wait logs in completion order — bit-identical to
         # the rescans below, without the end-of-run O(N) passes).
+        response = stream.response_summary()
         success = stream.success_summary(submitted=len(tasks))
         makespan = stream.makespan
     else:
+        response = summarize_response_times(completed)
         success = summarize_success(completed, submitted=len(tasks))
         makespan = max(
             (t.finish_time for t in completed if t.completed), default=0.0

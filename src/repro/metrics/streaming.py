@@ -10,14 +10,25 @@ count for those fields.
 Only order-insensitive accumulators live here: integer counts are exact
 and ``max`` is associative, so the streamed values are bit-identical to
 the batch rescans they replace.  Distributional statistics (median, p95)
-still need the full sample and stay in
-:mod:`~repro.metrics.response_time`.
+need the full sample, so :meth:`StreamingRunStats.record` also appends
+each completion's response/wait time to preallocated columnar logs
+(:class:`~repro.sim.columnar.FloatColumn`); because appends happen in
+completion order, the logged arrays carry the exact float64 values, in
+the exact order, of the end-of-run rescan
+``np.array([t.response_time for t in completed])`` — so
+:meth:`StreamingRunStats.response_summary` is bit-identical to
+:func:`~repro.metrics.response_time.summarize_response_times` without
+the O(N) object walk.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from ..sim.columnar import FloatColumn
 from ..workload.priorities import Priority
 from ..workload.task import Task
+from .response_time import ResponseTimeSummary
 from .success_rate import SuccessSummary
 
 __all__ = ["StreamingRunStats"]
@@ -37,6 +48,8 @@ class StreamingRunStats:
         "makespan",
         "response_sum",
         "wait_sum",
+        "response_log",
+        "wait_log",
         "_per_priority",
     )
 
@@ -48,6 +61,10 @@ class StreamingRunStats:
         self.makespan = 0.0
         self.response_sum = 0.0
         self.wait_sum = 0.0
+        #: Columnar logs in completion order — the full sample the
+        #: distributional summary needs, without rescanning tasks.
+        self.response_log = FloatColumn()
+        self.wait_log = FloatColumn()
         self._per_priority: dict[Priority, list[int]] = {
             prio: [0, 0] for prio in Priority
         }
@@ -65,13 +82,40 @@ class StreamingRunStats:
         finish = task.finish_time
         if finish is not None and finish > self.makespan:
             self.makespan = finish
-        self.response_sum += task.response_time
-        self.wait_sum += task.waiting_time
+        response = task.response_time
+        wait = task.waiting_time
+        self.response_sum += response
+        self.wait_sum += wait
+        self.response_log.append(response)
+        self.wait_log.append(wait)
 
     @property
     def mean_response(self) -> float:
         """Running ``AveRT`` (Eq. 4) over recorded completions."""
         return self.response_sum / self.completed if self.completed else 0.0
+
+    def response_summary(self) -> ResponseTimeSummary:
+        """Distributional summary over the streamed completion logs.
+
+        Runs the same NumPy reductions, over the same float64 values in
+        the same (completion) order, as
+        :func:`~repro.metrics.response_time.summarize_response_times`
+        applied to the completed-task list — so the result is
+        bit-identical while skipping the per-task property walk.
+        """
+        if not self.completed:
+            return ResponseTimeSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        rts = self.response_log.view()
+        waits = self.wait_log.view()
+        return ResponseTimeSummary(
+            count=self.completed,
+            mean=float(rts.mean()),
+            median=float(np.median(rts)),
+            p95=float(np.percentile(rts, 95)),
+            maximum=float(rts.max()),
+            mean_wait=float(waits.mean()),
+            mean_execution=float((rts - waits).mean()),
+        )
 
     def success_summary(self, submitted: int) -> SuccessSummary:
         """Deadline outcomes so far, against *submitted* total tasks."""

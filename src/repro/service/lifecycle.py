@@ -89,12 +89,6 @@ class ServiceReport:
     already_drained: bool = False
     metrics: Optional[RunMetrics] = field(default=None, repr=False)
 
-    @property
-    def injected(self) -> int:
-        """Deprecated alias for :attr:`tasks_injected` (kept so callers
-        written before failure counters existed keep parsing)."""
-        return self.tasks_injected
-
     def to_dict(self) -> dict:
         data = {
             "state": self.state,
@@ -106,9 +100,6 @@ class ServiceReport:
             "backpressure_waits": self.backpressure_waits,
             "depth_high": self.depth_high,
             "tasks_injected": self.tasks_injected,
-            # Deprecated alias for tasks_injected, predating the
-            # failures_injected counter; kept for existing parsers.
-            "injected": self.tasks_injected,
             "failures_injected": self.failures_injected,
             "repairs_completed": self.repairs_completed,
             "tasks_resubmitted": self.tasks_resubmitted,

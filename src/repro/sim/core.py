@@ -49,7 +49,10 @@ from heapq import heappop, heappush
 from itertools import count
 from typing import Optional, Union
 
+import numpy as np
+
 from ..obs import NULL_TELEMETRY, Counter, Telemetry
+from .columnar import TickBatch
 from .events import NORMAL, URGENT, AllOf, AnyOf, Event, Timeout
 from .exceptions import EmptySchedule, SimulationError, StopSimulation
 from .process import Process, ProcessGenerator
@@ -95,6 +98,8 @@ class Environment:
         self._times: list[float] = []
         #: Ring holding the entries of already-merged calendar buckets.
         self._active: deque[tuple[float, int, int, Event]] = deque()
+        #: Columnar bulk-tick batches (struct-of-arrays event source).
+        self._tick_batches: list[TickBatch] = []
         self._eid = count()
         self._active_proc: Optional[Process] = None
         #: Optional per-event observer for strict-mode validation
@@ -146,6 +151,10 @@ class Environment:
             best = self._normal[0][0]
         if self._times and self._times[0] < best:
             best = self._times[0]
+        for batch in self._tick_batches:
+            head = batch.times[batch.cursor]
+            if head < best:
+                best = float(head)
         return best
 
     @property
@@ -165,6 +174,7 @@ class Environment:
             + len(self._urgent)
             + len(self._normal)
             + sum(len(bucket) for bucket in self._buckets.values())
+            + sum(batch.remaining for batch in self._tick_batches)
         )
 
     # -- factories -------------------------------------------------------
@@ -258,6 +268,71 @@ class Environment:
             return
         heappush(self._queue, (time, priority, next(self._eid), event))
 
+    def schedule_ticks(self, times) -> TickBatch:
+        """Schedule a sorted block of bare clock ticks as one columnar unit.
+
+        *times* is a non-decreasing 1-D array of absolute fire times, all
+        at or after ``now``.  Each tick is processed exactly like a
+        NORMAL-priority event with no callbacks: the clock advances to
+        its time (and the event counter, when armed, counts it) and
+        nothing else happens.  The whole batch consumes a single
+        insertion id, so ticks keep their place in the kernel's
+        ``(time, priority, insertion-order)`` total order: they fire
+        after previously scheduled same-time events and before later
+        ones, and in array order within the batch.
+
+        Because ticks are payload-free, the run loop drains every tick
+        that precedes the next ordinary event with one ``searchsorted``
+        instead of a Python iteration per event — see
+        :class:`~repro.sim.columnar.TickBatch`.  Use bare ticks for
+        pacing grids, sampling rasters, and horizon fences where only
+        the passage of simulated time matters; anything that must *react*
+        to a time needs a :class:`Timeout`.
+        """
+        arr = np.array(times, dtype=np.float64, copy=True)
+        if arr.ndim != 1:
+            raise ValueError("tick times must be a 1-D array")
+        if len(arr) == 0:
+            raise ValueError("tick batch must contain at least one time")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("tick times must be finite")
+        if len(arr) > 1 and np.any(np.diff(arr) < 0):
+            raise ValueError("tick times must be non-decreasing")
+        if arr[0] < self._now:
+            raise ValueError(
+                f"cannot schedule ticks at {arr[0]}, before the current "
+                f"time ({self._now})"
+            )
+        batch = TickBatch(arr, next(self._eid))
+        self._tick_batches.append(batch)
+        return batch
+
+    def _best_tick_batch(self) -> Optional[TickBatch]:
+        """The batch whose head tick fires first (ties on batch id)."""
+        batches = self._tick_batches
+        if not batches:
+            return None
+        best = batches[0]
+        for batch in batches[1:]:
+            head = batch.times[batch.cursor]
+            best_head = best.times[best.cursor]
+            if head < best_head or (
+                head == best_head and batch.eid < best.eid
+            ):
+                best = batch
+        return best
+
+    def _pop_tick(self, batch: TickBatch) -> tuple[float, int, int, Event]:
+        """Consume *batch*'s head tick; returns a synthetic bare entry."""
+        at = float(batch.times[batch.cursor])
+        batch.cursor += 1
+        if batch.cursor == len(batch.times):
+            self._tick_batches.remove(batch)
+        tick = Event(self)
+        tick._ok = True
+        tick._value = None
+        return (at, NORMAL, batch.eid, tick)
+
     def _pop(self) -> Optional[tuple[float, int, int, Event]]:
         """Pop the globally smallest scheduled entry, or None if empty."""
         queue = self._queue
@@ -282,6 +357,28 @@ class Environment:
                 best = head
                 source = 3
         times = self._times
+        if self._tick_batches:
+            # A bare tick's key is (time, NORMAL, batch-eid); pop it when
+            # it beats the best head AND the earliest calendar bucket.
+            tb = self._best_tick_batch()
+            t = tb.times[tb.cursor]
+            tick_wins = (
+                best is None
+                or t < best[0]
+                or (
+                    t == best[0]
+                    and (
+                        best[1] > NORMAL
+                        or (best[1] == NORMAL and tb.eid < best[2])
+                    )
+                )
+            )
+            if tick_wins and times:
+                at = times[0]
+                if at < t or (at == t and self._buckets[at][0][2] < tb.eid):
+                    tick_wins = False
+            if tick_wins:
+                return self._pop_tick(tb)
         if times:
             at = times[0]
             # The earliest calendar bucket wins when its time beats the
@@ -384,6 +481,7 @@ class Environment:
         active = self._active
         times = self._times
         buckets = self._buckets
+        tick_batches = self._tick_batches
         c_events = self._c_events
         audit = self._audit_hook
         try:
@@ -406,6 +504,66 @@ class Environment:
                         if best is None or head < best:
                             best = head
                             source = 3
+                    if tick_batches:
+                        tb = tick_batches[0]
+                        if len(tick_batches) > 1:
+                            for other in tick_batches[1:]:
+                                h = other.times[other.cursor]
+                                bh = tb.times[tb.cursor]
+                                if h < bh or (h == bh and other.eid < tb.eid):
+                                    tb = other
+                        arr = tb.times
+                        cur = tb.cursor
+                        t = arr[cur]
+                        tick_wins = (
+                            best is None
+                            or t < best[0]
+                            or (
+                                t == best[0]
+                                and (
+                                    best[1] > NORMAL
+                                    or (
+                                        best[1] == NORMAL
+                                        and tb.eid < best[2]
+                                    )
+                                )
+                            )
+                        )
+                        if tick_wins and times:
+                            at = times[0]
+                            if at < t or (
+                                at == t and buckets[at][0][2] < tb.eid
+                            ):
+                                tick_wins = False
+                        if tick_wins:
+                            # Columnar drain: every tick strictly before
+                            # the next ordinary event (or the equal-time
+                            # run, when the tick won a tie) falls in one
+                            # searchsorted instead of one loop iteration
+                            # per event.
+                            bound = best[0] if best is not None else None
+                            if times and (bound is None or times[0] < bound):
+                                bound = times[0]
+                            for other in tick_batches:
+                                if other is not tb:
+                                    h = other.times[other.cursor]
+                                    if bound is None or h < bound:
+                                        bound = h
+                            if bound is None:
+                                end = len(arr)
+                            elif t < bound:
+                                end = int(
+                                    np.searchsorted(arr, bound, side="left")
+                                )
+                            else:
+                                end = int(
+                                    np.searchsorted(arr, t, side="right")
+                                )
+                            self._now = float(arr[end - 1])
+                            tb.cursor = end
+                            if end == len(arr):
+                                tick_batches.remove(tb)
+                            continue
                     if times:
                         at = times[0]
                         if (
@@ -455,6 +613,62 @@ class Environment:
                         if best is None or head < best:
                             best = head
                             source = 3
+                    if tick_batches:
+                        tb = tick_batches[0]
+                        if len(tick_batches) > 1:
+                            for other in tick_batches[1:]:
+                                h = other.times[other.cursor]
+                                bh = tb.times[tb.cursor]
+                                if h < bh or (h == bh and other.eid < tb.eid):
+                                    tb = other
+                        arr = tb.times
+                        cur = tb.cursor
+                        t = arr[cur]
+                        tick_wins = (
+                            best is None
+                            or t < best[0]
+                            or (
+                                t == best[0]
+                                and (
+                                    best[1] > NORMAL
+                                    or (
+                                        best[1] == NORMAL
+                                        and tb.eid < best[2]
+                                    )
+                                )
+                            )
+                        )
+                        if tick_wins and times:
+                            at = times[0]
+                            if at < t or (
+                                at == t and buckets[at][0][2] < tb.eid
+                            ):
+                                tick_wins = False
+                        if tick_wins:
+                            bound = best[0] if best is not None else None
+                            if times and (bound is None or times[0] < bound):
+                                bound = times[0]
+                            for other in tick_batches:
+                                if other is not tb:
+                                    h = other.times[other.cursor]
+                                    if bound is None or h < bound:
+                                        bound = h
+                            if bound is None:
+                                end = len(arr)
+                            elif t < bound:
+                                end = int(
+                                    np.searchsorted(arr, bound, side="left")
+                                )
+                            else:
+                                end = int(
+                                    np.searchsorted(arr, t, side="right")
+                                )
+                            self._now = float(arr[end - 1])
+                            tb.cursor = end
+                            if end == len(arr):
+                                tick_batches.remove(tb)
+                            c_events.value += end - cur
+                            continue
                     if times:
                         at = times[0]
                         if (
@@ -498,6 +712,7 @@ class Environment:
                                 len(queue) + len(active) + len(urgent)
                                 + len(normal)
                                 + sum(len(b) for b in buckets.values())
+                                + sum(b.remaining for b in tick_batches)
                             )
                     callbacks, event.callbacks = event.callbacks, None
                     for callback in callbacks:

@@ -59,6 +59,45 @@ class RandomStreams:
             self._streams[name] = gen
         return gen
 
+    def batch_draw(
+        self, name: str, n: int, dist: str = "uniform", *args, **kwargs
+    ) -> np.ndarray:
+        """Draw *n* variates from stream *name* in one vectorized call.
+
+        Consumption-order contract: for every supported distribution,
+        NumPy ``Generator`` methods fill a ``size=n`` request value by
+        value from the same bit-generator state sequence as ``n``
+        sequential scalar calls, so ``batch_draw(name, n, dist, ...)``
+        leaves the stream in **exactly** the state — and returns exactly
+        the values — of ``[streams[name].dist(...) for _ in range(n)]``.
+        The columnar hot paths rely on this to batch their draws without
+        perturbing any golden-seed digest
+        (pinned by ``tests/sim/test_rng.py``).
+        """
+        if not isinstance(n, int) or n < 0:
+            raise ValueError(f"n must be a non-negative int, got {n!r}")
+        if dist not in self._BATCHABLE:
+            raise ValueError(
+                f"unsupported distribution {dist!r}; "
+                f"expected one of {sorted(self._BATCHABLE)}"
+            )
+        return getattr(self[name], dist)(*args, size=n, **kwargs)
+
+    #: Generator methods whose ``size=n`` draws are bit-identical in
+    #: consumption order to ``n`` sequential scalar draws.
+    _BATCHABLE = frozenset(
+        {
+            "uniform",
+            "exponential",
+            "normal",
+            "standard_normal",
+            "random",
+            "integers",
+            "poisson",
+            "choice",
+        }
+    )
+
     def __contains__(self, name: str) -> bool:
         return name in self._streams
 

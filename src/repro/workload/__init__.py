@@ -6,7 +6,12 @@ deadline-derived three-level priorities.
 """
 
 from .distributions import MMPP2, bounded_pareto, mmpp2_interarrivals
-from .generator import DEFAULT_PRIORITY_MIX, WorkloadGenerator, WorkloadSpec
+from .generator import (
+    DEFAULT_PRIORITY_MIX,
+    WorkloadGenerator,
+    WorkloadSpec,
+    oracle_mode,
+)
 from .priorities import (
     HIGH_SLACK_MAX,
     LOW_SLACK_MIN,
@@ -17,10 +22,13 @@ from .priorities import (
 )
 from .stats import WorkloadStats, summarize
 from .task import Task
+from .taskstore import TaskStore
 from .traces import load_trace, records_to_tasks, save_trace, trace_to_records
 
 __all__ = [
     "Task",
+    "TaskStore",
+    "oracle_mode",
     "Priority",
     "classify_slack",
     "slack_band",

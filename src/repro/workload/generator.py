@@ -13,6 +13,7 @@ the authors used are substituted with a seeded synthetic generator:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
@@ -21,8 +22,25 @@ import numpy as np
 from ..sim.rng import RandomStreams
 from .priorities import Priority, slack_band
 from .task import Task
+from .taskstore import TaskStore
 
-__all__ = ["WorkloadSpec", "WorkloadGenerator", "DEFAULT_PRIORITY_MIX"]
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "DEFAULT_PRIORITY_MIX",
+    "oracle_mode",
+]
+
+#: Environment variable selecting the pre-refactor scalar construction
+#: path (one ``Task(...)`` call per task) instead of the columnar bulk
+#: fill.  The two paths are bit-identical — the oracle exists so the
+#: property suite can prove it (``tests/property/test_soa_oracle.py``).
+ORACLE_ENV = "REPRO_SOA_ORACLE"
+
+
+def oracle_mode() -> bool:
+    """True when :data:`ORACLE_ENV` selects the scalar oracle path."""
+    return os.environ.get(ORACLE_ENV, "0").lower() not in ("0", "", "false")
 
 #: Equal thirds by default; experiments override this mix.
 DEFAULT_PRIORITY_MIX = (1 / 3, 1 / 3, 1 / 3)
@@ -148,20 +166,29 @@ class WorkloadGenerator:
         act = sizes / spec.reference_speed_mips
         deadline = arrivals + act * (1.0 + slack_fraction)
 
-        size_list = sizes.tolist()
-        arrival_list = arrivals.tolist()
-        act_list = act.tolist()
-        deadline_list = deadline.tolist()
-        return [
-            Task(
-                tid=i,
-                size_mi=size_list[i],
-                arrival_time=arrival_list[i],
-                act=act_list[i],
-                deadline=deadline_list[i],
-            )
-            for i in range(n)
-        ]
+        if oracle_mode():
+            # Scalar oracle: the pre-refactor per-object path, kept so
+            # the property suite can pin bulk/scalar bit-identity.
+            size_list = sizes.tolist()
+            arrival_list = arrivals.tolist()
+            act_list = act.tolist()
+            deadline_list = deadline.tolist()
+            return [
+                Task(
+                    tid=i,
+                    size_mi=size_list[i],
+                    arrival_time=arrival_list[i],
+                    act=act_list[i],
+                    deadline=deadline_list[i],
+                )
+                for i in range(n)
+            ]
+        # Columnar fill: one store for the whole workload, no per-field
+        # Python boxing; validation and slack classification run
+        # vectorized in bulk_append with exact scalar parity.
+        store = TaskStore(capacity=n)
+        rows = store.bulk_append(range(n), sizes, arrivals, act, deadline)
+        return [Task._view(store, row) for row in range(rows.start, rows.stop)]
 
     def iter_tasks(self, chunk: int = 1024) -> Iterator[Task]:
         """Lazily yield the same tasks as :meth:`generate`, in order.
@@ -192,6 +219,10 @@ class WorkloadGenerator:
             raise ValueError("chunk must be positive")
         spec = self.spec
         n = spec.num_tasks
+        scalar = oracle_mode()
+        # One store for the whole stream; presized so yielded views
+        # never see a column reallocation mid-iteration.
+        store = None if scalar else TaskStore(capacity=n)
 
         # Position-dependent slack-stream layout: draw both columns now.
         prio_idx = self._slack.choice(3, size=n, p=list(spec.priority_mix))
@@ -243,18 +274,25 @@ class WorkloadGenerator:
             act = sizes / spec.reference_speed_mips
             deadline = arrivals + act * (1.0 + slack_fraction)
 
-            size_list = sizes.tolist()
-            arrival_list = arrivals.tolist()
-            act_list = act.tolist()
-            deadline_list = deadline.tolist()
-            for i in range(m):
-                yield Task(
-                    tid=start + i,
-                    size_mi=size_list[i],
-                    arrival_time=arrival_list[i],
-                    act=act_list[i],
-                    deadline=deadline_list[i],
+            if scalar:
+                size_list = sizes.tolist()
+                arrival_list = arrivals.tolist()
+                act_list = act.tolist()
+                deadline_list = deadline.tolist()
+                for i in range(m):
+                    yield Task(
+                        tid=start + i,
+                        size_mi=size_list[i],
+                        arrival_time=arrival_list[i],
+                        act=act_list[i],
+                        deadline=deadline_list[i],
+                    )
+            else:
+                rows = store.bulk_append(
+                    range(start, start + m), sizes, arrivals, act, deadline
                 )
+                for row in range(rows.start, rows.stop):
+                    yield Task._view(store, row)
 
     def __iter__(self) -> Iterator[Task]:
         """Stream tasks lazily (the service-ingress producer protocol)."""

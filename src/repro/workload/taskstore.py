@@ -1,0 +1,195 @@
+"""Columnar task storage — the struct-of-arrays backing for :class:`Task`.
+
+A :class:`TaskStore` holds one field across many tasks in a growable,
+preallocated column (:mod:`repro.sim.columnar`): the immutable
+specification (size, arrival, ACT, deadline, priority code) in float64 /
+int8 arrays, and the mutable execution record (start/finish times in
+float64 with NaN = "not yet", processor/site ids in plain lists).  A
+:class:`~repro.workload.task.Task` is a 2-slot ``(store, row)`` view —
+the object API is unchanged, but bulk construction (the workload
+generator) fills whole columns without boxing a single Python float,
+and whole-population reductions (metrics, verifiers) can read the
+columns directly.
+
+Identifier fields (``tid``, ``processor_id``, ``site_id``) stay in plain
+Python lists: tids must remain ``int`` (``np.int64`` is not an ``int``
+subclass, which breaks JSON serialization and dict keys) and the id
+strings are objects anyway.
+
+Thread-safety
+-------------
+Column growth reallocates the backing array, so a write racing a
+concurrent append could land in a dead buffer (the service ingress
+constructs tasks from a producer thread while the engine fills
+execution records).  Every mutation therefore holds the store's
+:attr:`~TaskStore.lock` — appends here, execution-record writes in the
+:class:`Task` mutators.  Reads stay lock-free: growth copies all
+committed values before the swap, and a task's record cells are only
+ever written by its owning thread.
+
+Validation parity
+-----------------
+:meth:`TaskStore.bulk_append` enforces exactly the scalar
+:class:`Task` constructor contract — same checks, same error messages,
+and the *first offending row* (by index) raises, with its first failing
+check, so a bulk fill of ``k`` tasks is indistinguishable from ``k``
+sequential constructions.  Slack classification matches
+:func:`~repro.workload.priorities.classify_slack` bit for bit: the
+slack fraction is re-derived from the stored fields with the same
+IEEE-754 expression the scalar property uses.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+from ..sim.columnar import FloatColumn, IntColumn
+from .priorities import HIGH_SLACK_MAX, LOW_SLACK_MIN
+
+__all__ = ["TaskStore"]
+
+
+class TaskStore:
+    """Struct-of-arrays storage for task fields.
+
+    Columns are append-only; a row index, once returned, is stable for
+    the lifetime of the store.  Execution-record columns start as
+    NaN/None and are written through the :class:`Task` view's
+    ``mark_started``/``mark_finished``/``reset_execution`` hooks.
+    """
+
+    __slots__ = (
+        "tids",
+        "size_mi",
+        "arrival_time",
+        "act",
+        "deadline",
+        "prio_code",
+        "start_time",
+        "finish_time",
+        "processor_ids",
+        "site_ids",
+        "lock",
+    )
+
+    def __init__(self, capacity: int = 16) -> None:
+        self.lock = threading.Lock()
+        self.tids: list[int] = []
+        self.size_mi = FloatColumn(capacity)
+        self.arrival_time = FloatColumn(capacity)
+        self.act = FloatColumn(capacity)
+        self.deadline = FloatColumn(capacity)
+        self.prio_code = IntColumn(capacity, dtype=np.int8)
+        self.start_time = FloatColumn(capacity)
+        self.finish_time = FloatColumn(capacity)
+        self.processor_ids: list[Optional[str]] = []
+        self.site_ids: list[Optional[str]] = []
+
+    def __len__(self) -> int:
+        return len(self.tids)
+
+    # -- scalar path -----------------------------------------------------
+    def append(
+        self,
+        tid: int,
+        size_mi: float,
+        arrival_time: float,
+        act: float,
+        deadline: float,
+        prio_code: int,
+    ) -> int:
+        """Append one *pre-validated* task spec; returns its row."""
+        with self.lock:
+            row = self.size_mi.append(size_mi)
+            self.arrival_time.append(arrival_time)
+            self.act.append(act)
+            self.deadline.append(deadline)
+            self.prio_code.append(prio_code)
+            self.start_time.append(np.nan)
+            self.finish_time.append(np.nan)
+            self.tids.append(tid)
+            self.processor_ids.append(None)
+            self.site_ids.append(None)
+        return row
+
+    # -- bulk path -------------------------------------------------------
+    def bulk_append(
+        self,
+        tids,
+        size_mi,
+        arrival_time,
+        act,
+        deadline,
+        prio_code=None,
+    ) -> slice:
+        """Append a block of task specs; returns the row slice they occupy.
+
+        Validates and (when *prio_code* is ``None``) slack-classifies the
+        whole block vectorized, with exact scalar-constructor parity (see
+        module docstring).  Nothing is appended unless every row passes.
+        """
+        sizes = np.asarray(size_mi, dtype=np.float64)
+        arrivals = np.asarray(arrival_time, dtype=np.float64)
+        acts = np.asarray(act, dtype=np.float64)
+        deadlines = np.asarray(deadline, dtype=np.float64)
+        n = len(sizes)
+        if not (len(arrivals) == len(acts) == len(deadlines) == n):
+            raise ValueError("task field columns must have equal length")
+        tids = list(tids)
+        if len(tids) != n:
+            raise ValueError("task field columns must have equal length")
+
+        # The scalar constructor's checks, elementwise.  The slack
+        # fraction is re-derived from the stored fields with the same
+        # expression as Task.slack_fraction so classification bits match.
+        bad_size = sizes <= 0
+        bad_act = acts <= 0
+        bad_deadline = deadlines < arrivals
+        with np.errstate(divide="ignore", invalid="ignore"):
+            slack = ((deadlines - arrivals) - acts) / acts
+        bad_slack = slack <= -1e-9
+        bad = bad_size | bad_act | bad_deadline
+        if prio_code is None:
+            bad = bad | bad_slack
+        if bad.any():
+            i = int(np.argmax(bad))
+            if bad_size[i]:
+                raise ValueError(f"task {tids[i]}: size must be positive")
+            if bad_act[i]:
+                raise ValueError(f"task {tids[i]}: ACT must be positive")
+            if bad_deadline[i]:
+                raise ValueError(f"task {tids[i]}: deadline precedes arrival")
+            raise ValueError(
+                f"slack fraction must be non-negative, got {slack[i]}"
+            )
+
+        if prio_code is None:
+            clamped = np.where(slack < 0, 0.0, slack)
+            codes = np.where(
+                clamped <= HIGH_SLACK_MAX,
+                np.int8(0),
+                np.where(clamped >= LOW_SLACK_MIN, np.int8(2), np.int8(1)),
+            ).astype(np.int8)
+        else:
+            codes = np.asarray(prio_code, dtype=np.int8)
+            if len(codes) != n:
+                raise ValueError("task field columns must have equal length")
+
+        with self.lock:
+            rows = self.size_mi.extend(sizes)
+            self.arrival_time.extend(arrivals)
+            self.act.extend(acts)
+            self.deadline.extend(deadlines)
+            self.prio_code.extend(codes)
+            self.start_time.extend(np.full(n, np.nan))
+            self.finish_time.extend(np.full(n, np.nan))
+            self.tids.extend(tids)
+            self.processor_ids.extend([None] * n)
+            self.site_ids.extend([None] * n)
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TaskStore size={len(self.tids)}>"

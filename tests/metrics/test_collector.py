@@ -39,6 +39,30 @@ class TestRunMetrics:
         assert m.ecs < m.energy.total_energy
         assert m.energy.num_processors == run_result.system.num_processors
 
+    def test_streamed_response_summary_matches_rescan(self, run_result):
+        # collect_metrics took the streamed path (columnar completion
+        # logs); the end-of-run object rescan must agree bit for bit.
+        from repro.metrics.response_time import summarize_response_times
+
+        sched = run_result.scheduler
+        streamed = sched.stream.response_summary()
+        rescanned = summarize_response_times(sched.completed)
+        assert streamed == rescanned
+        assert run_result.metrics.response == rescanned
+
+    def test_streamed_logs_track_completion_order(self, run_result):
+        import numpy as np
+
+        sched = run_result.scheduler
+        assert np.array_equal(
+            sched.stream.response_log.view(),
+            np.array([t.response_time for t in sched.completed]),
+        )
+        assert np.array_equal(
+            sched.stream.wait_log.view(),
+            np.array([t.waiting_time for t in sched.completed]),
+        )
+
     def test_success_submitted_denominator(self, run_result):
         m = run_result.metrics
         assert m.success.submitted == 60

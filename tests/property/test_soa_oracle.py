@@ -1,0 +1,100 @@
+"""Columnar-vs-oracle equivalence: the SoA refactor changes no bits.
+
+``REPRO_SOA_ORACLE=1`` routes workload construction through the
+pre-refactor scalar path (one ``Task(...)`` per task) instead of the
+columnar ``TaskStore.bulk_append`` fill.  These properties drive the
+*same* experiment config through both paths and require equality at
+every completion — task state, queue depth, and the running energy
+accumulator — not just at the end of the run, so an ordering or
+accumulation divergence anywhere in the hot loop fails loudly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import PlatformSpec
+from repro.core.base import Scheduler
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.workload.generator import ORACLE_ENV
+
+
+@st.composite
+def small_configs(draw):
+    scheduler = draw(st.sampled_from(["adaptive-rl", "edf", "fcfs"]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_tasks = draw(st.integers(min_value=5, max_value=40))
+    platform = PlatformSpec(
+        num_sites=draw(st.integers(min_value=1, max_value=2)),
+        nodes_per_site=(1, 2),
+        procs_per_node=(2, 4),
+    )
+    return ExperimentConfig(
+        scheduler=scheduler,
+        seed=seed,
+        num_tasks=num_tasks,
+        arrival_period=draw(st.sampled_from([100.0, 400.0])),
+        platform=platform,
+    )
+
+
+def _run_traced(config, oracle: bool):
+    """Run *config*, recording a per-completion state snapshot.
+
+    The spy shadows ``Scheduler._task_completed`` at class level so it
+    sees every completion in delivery order, before the scheduler
+    reacts — capturing task execution record, platform queue depth,
+    busy count, and the ``ECS`` energy accumulator at that instant.
+    """
+    trace = []
+    orig = Scheduler._task_completed
+
+    def spy(self, task, node):
+        trace.append(
+            (
+                task.tid,
+                task.size_mi.hex(),
+                task.arrival_time.hex(),
+                task.deadline.hex(),
+                int(task.priority),
+                task.start_time.hex(),
+                task.finish_time.hex(),
+                task.processor_id,
+                task.site_id,
+                bool(task.met_deadline),
+                self.env.now.hex(),
+                sum(n.pending_tasks for n in self.system.nodes),
+                self.system.busy_processors(),
+                self.system.energy(self.env.now).ecs.hex(),
+            )
+        )
+        orig(self, task, node)
+
+    with pytest.MonkeyPatch.context() as mp:
+        if oracle:
+            mp.setenv(ORACLE_ENV, "1")
+        else:
+            mp.delenv(ORACLE_ENV, raising=False)
+        mp.setattr(Scheduler, "_task_completed", spy)
+        result = run_experiment(config)
+    digest = (
+        result.metrics.avert.hex(),
+        result.metrics.ecs.hex(),
+        float(result.metrics.success_rate).hex(),
+        result.metrics.makespan.hex(),
+    )
+    return trace, digest
+
+
+class TestColumnarOracleEquivalence:
+    @given(config=small_configs())
+    @settings(max_examples=10, deadline=None)
+    def test_bit_identical_at_every_completion(self, config):
+        columnar_trace, columnar_digest = _run_traced(config, oracle=False)
+        oracle_trace, oracle_digest = _run_traced(config, oracle=True)
+
+        assert len(columnar_trace) == config.num_tasks
+        # Every completion event matches field-for-field, bit-for-bit,
+        # in the same delivery order.
+        assert columnar_trace == oracle_trace
+        assert columnar_digest == oracle_digest

@@ -36,7 +36,7 @@ class TestRunToCompletion:
         assert service.state is ServiceState.STOPPED
         assert report.state == "stopped"
         assert report.admitted == 40
-        assert report.injected == 40
+        assert report.tasks_injected == 40
         assert report.completed == 40
         assert report.metrics is not None
         assert report.metrics.num_tasks == 40
@@ -69,7 +69,7 @@ class TestDrainTriggers:
         )
         report = service.run()
         assert 0 < report.admitted < 40
-        assert report.completed == report.injected == report.admitted
+        assert report.completed == report.tasks_injected == report.admitted
         # Every admitted arrival lies within the horizon.
         assert all(
             t.arrival_time <= 100.0 for t in service.engine.injected
@@ -84,12 +84,12 @@ class TestDrainTriggers:
         report = service.report()
         assert report.state == "stopped"
         assert 0 < report.admitted < 40
-        assert report.completed == report.injected
+        assert report.completed == report.tasks_injected
 
     def test_failure_injection_runs_under_service_mode(self):
         """The old refusal is gone: a config carrying failure_mtbf
         streams to completion, resubmitting crashed work, and reports
-        the fault counters under their new, unambiguous names."""
+        the fault counters under their unambiguous names."""
         service = SchedulerService(
             small_config(failure_mtbf=150.0, failure_mttr=30.0), producer
         )
@@ -102,9 +102,9 @@ class TestDrainTriggers:
         assert data["failures_injected"] == report.failures_injected
         assert data["repairs_completed"] == report.repairs_completed
         assert data["tasks_resubmitted"] == report.tasks_resubmitted
-        # Deprecated alias for pre-failure-injection parsers.
-        assert data["injected"] == data["tasks_injected"]
-        assert report.injected == report.tasks_injected
+        # The deprecated "injected" report alias is gone for good.
+        assert "injected" not in data
+        assert not hasattr(report, "injected")
 
     def test_resume_requires_journal_dir(self):
         with pytest.raises(ValueError, match="journal directory"):
