@@ -1,14 +1,22 @@
 """Workload-robustness bench (extension).
 
 The paper evaluates only Poisson/uniform workloads (§V.A).  This bench
-checks that Adaptive-RL's headline win over Online RL survives two
-realistic perturbations: bursty MMPP(2) arrivals and heavy-tailed
-(bounded-Pareto) task sizes.
+checks that Adaptive-RL's headline win over Online RL survives four
+realistic perturbations: bursty MMPP(2) arrivals, heavy-tailed
+(bounded-Pareto) task sizes, sinusoidal day/night (diurnal) arrival
+cycles, and a frozen SWF job-log replay.
 """
+
+from pathlib import Path
 
 from repro.experiments import ExperimentConfig, run_experiment
 
 from .conftest import BENCH_SEEDS
+
+SWF_TRACE = (
+    Path(__file__).resolve().parents[1]
+    / "src/repro/workload/scenarios/swf-excerpt/trace.jsonl"
+)
 
 SCENARIOS = {
     "paper (poisson/uniform)": {},
@@ -16,6 +24,11 @@ SCENARIOS = {
     "heavy-tail (pareto a=1.2)": {
         "size_distribution": "bounded-pareto",
         "pareto_alpha": 1.2,
+    },
+    "diurnal (amp 0.9)": {
+        "arrival_process": "diurnal",
+        "diurnal_amplitude": 0.9,
+        "diurnal_period": 300.0,
     },
 }
 
@@ -33,6 +46,16 @@ def bench_robustness_workloads(once):
                     workload_overrides=overrides,
                 )
                 results[(label, name)] = run_experiment(cfg).metrics
+        # Trace replay: both schedulers see the *same* frozen input, so
+        # the comparison isolates policy, not workload sampling.
+        for name in ("adaptive-rl", "online-rl"):
+            cfg = ExperimentConfig(
+                scheduler=name,
+                num_tasks=1500,  # ignored: the trace fixes the task set
+                seed=BENCH_SEEDS[0],
+                workload_trace=str(SWF_TRACE),
+            )
+            results[("swf replay (108 jobs)", name)] = run_experiment(cfg).metrics
         return results
 
     results = once(run_all)
@@ -43,10 +66,14 @@ def bench_robustness_workloads(once):
             f"{label:28s}{name:14s}{m.avert:>9.1f}{m.ecs / 1e6:>9.3f}"
             f"{m.success_rate:>7.1%}"
         )
-    for label in SCENARIOS:
+    for label in list(SCENARIOS) + ["swf replay (108 jobs)"]:
         adaptive = results[(label, "adaptive-rl")]
         online = results[(label, "online-rl")]
-        # The response-time win must survive every workload shape.
-        assert adaptive.avert <= online.avert * 1.05, label
+        # The response-time win must survive every workload shape.  The
+        # SWF excerpt is only 108 jobs, so its ratio is noisier than the
+        # 1500-task synthetic sweeps; give it a wider (but still small)
+        # band rather than dropping the check.
+        avert_band = 1.10 if label.startswith("swf") else 1.05
+        assert adaptive.avert <= online.avert * avert_band, label
         # Energy stays in the "comparable" band.
         assert adaptive.ecs <= online.ecs * 1.15, label

@@ -88,6 +88,21 @@ def main(argv: list[str] | None = None) -> int:
         "--seeds", type=int, nargs="+", default=[1], help="seeds to average"
     )
     parser.add_argument(
+        "--arrival-process",
+        choices=("poisson", "mmpp", "diurnal"),
+        default=None,
+        help="override the arrival process for every figure run "
+        "(default: the paper's poisson)",
+    )
+    parser.add_argument(
+        "--workload-trace",
+        metavar="FILE",
+        default=None,
+        help="replay a frozen workload trace (.json/.jsonl/.swf) in every "
+        "figure run instead of synthesizing workloads — task-count sweeps "
+        "then vary only the scheduler, not the input",
+    )
+    parser.add_argument(
         "--save-dir",
         default=None,
         help="directory to write each figure's data as JSON",
@@ -206,6 +221,26 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.sample_every is not None and args.sample_every <= 0:
         parser.error("--sample-every must be positive")
+
+    if args.workload_trace is not None or args.arrival_process is not None:
+        from .config import set_workload_defaults
+
+        if args.workload_trace is not None:
+            import os
+
+            if not os.path.exists(args.workload_trace):
+                parser.error(f"--workload-trace: no such file: {args.workload_trace}")
+        overrides = None
+        if args.arrival_process is not None:
+            overrides = {"arrival_process": args.arrival_process}
+        # Process-wide defaults, like set_strict above.  Figure code builds
+        # ExperimentConfigs in this process and ships them *by value* to
+        # --jobs workers, so the defaults reach every run.
+        set_workload_defaults(overrides=overrides, trace=args.workload_trace)
+        if args.workload_trace is not None:
+            print(f"workload: replaying trace {args.workload_trace} in every run")
+        if args.arrival_process is not None:
+            print(f"workload: arrival process overridden to {args.arrival_process}")
 
     # Fail before the (potentially minutes-long) runs, not after, if an
     # output path cannot be written; create missing parent directories.

@@ -16,7 +16,45 @@ from typing import Any, Mapping
 from ..cluster.system import PlatformSpec
 from ..workload.generator import DEFAULT_PRIORITY_MIX
 
-__all__ = ["ExperimentConfig", "default_platform"]
+__all__ = [
+    "ExperimentConfig",
+    "default_platform",
+    "set_workload_defaults",
+]
+
+
+#: Process-wide workload defaults installed by CLI flags
+#: (``--arrival-process`` / ``--workload-trace``), consulted by the
+#: ``ExperimentConfig`` field factories below — the same pattern as
+#: ``repro.validate.set_strict``.  Explicit per-config values always
+#: win; configs built *before* the flags are applied are unaffected.
+_WORKLOAD_DEFAULT_OVERRIDES: dict[str, Any] = {}
+_WORKLOAD_DEFAULT_TRACE: str | None = None
+
+
+def set_workload_defaults(
+    overrides: Mapping[str, Any] | None = None,
+    trace: str | None = None,
+) -> None:
+    """Install process-wide workload defaults for subsequent configs.
+
+    ``overrides`` merge into the default ``workload_overrides`` (e.g.
+    ``{"arrival_process": "diurnal"}``); ``trace`` becomes the default
+    ``workload_trace``.  Passing neither resets both.
+    """
+    global _WORKLOAD_DEFAULT_TRACE
+    _WORKLOAD_DEFAULT_OVERRIDES.clear()
+    if overrides:
+        _WORKLOAD_DEFAULT_OVERRIDES.update(overrides)
+    _WORKLOAD_DEFAULT_TRACE = trace
+
+
+def _default_workload_overrides() -> dict[str, Any]:
+    return dict(_WORKLOAD_DEFAULT_OVERRIDES)
+
+
+def _default_workload_trace() -> str | None:
+    return _WORKLOAD_DEFAULT_TRACE
 
 
 def default_platform(**overrides: Any) -> PlatformSpec:
@@ -67,7 +105,15 @@ class ExperimentConfig:
     priority_mix: tuple[float, float, float] = DEFAULT_PRIORITY_MIX
     #: Extra WorkloadSpec keyword overrides (e.g. arrival_process="mmpp",
     #: size_distribution="bounded-pareto") for robustness studies.
-    workload_overrides: Mapping[str, Any] = field(default_factory=dict)
+    workload_overrides: Mapping[str, Any] = field(
+        default_factory=_default_workload_overrides
+    )
+    #: Path to a frozen workload trace (``.json`` / ``.jsonl`` / ``.swf``).
+    #: When set, the run replays the trace instead of synthesizing a
+    #: workload — ``num_tasks`` and the arrival/size parameters above are
+    #: ignored (the trace *is* the workload) and the workload RNG streams
+    #: go unconsumed.
+    workload_trace: str | None = field(default_factory=_default_workload_trace)
     platform: PlatformSpec = field(default_factory=default_platform)
     #: Crash-stop failure injection (None = no failures): mean time
     #: between failures per node, exponentially distributed.
@@ -131,6 +177,7 @@ class ExperimentConfig:
             "reference_speed_mips": self.reference_speed_mips,
             "priority_mix": list(self.priority_mix),
             "workload_overrides": dict(self.workload_overrides),
+            "workload_trace": self.workload_trace,
             "platform": self.platform.to_dict(),
             "failure_mtbf": self.failure_mtbf,
             "failure_mttr": self.failure_mttr,
@@ -157,6 +204,9 @@ class ExperimentConfig:
             reference_speed_mips=None if reference is None else float(reference),
             priority_mix=tuple(float(v) for v in data["priority_mix"]),
             workload_overrides=dict(data["workload_overrides"]),
+            # .get: configs journaled before trace-driven workloads
+            # existed lack the key.
+            workload_trace=data.get("workload_trace"),
             platform=PlatformSpec.from_dict(data["platform"]),
             failure_mtbf=None if mtbf is None else float(mtbf),
             failure_mttr=float(data["failure_mttr"]),

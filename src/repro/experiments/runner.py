@@ -96,28 +96,45 @@ def run_experiment(
             seed=config.seed,
         )
 
-    reference = (
-        config.reference_speed_mips
-        if config.reference_speed_mips is not None
-        else system.slowest_speed_mips
-    )
-    spec = WorkloadSpec(
-        num_tasks=config.num_tasks,
-        mean_interarrival=config.effective_mean_interarrival,
-        size_range_mi=config.size_range_mi,
-        priority_mix=config.priority_mix,
-        reference_speed_mips=reference,
-        **dict(config.workload_overrides),
-    )
-    tasks = WorkloadGenerator(spec, streams).generate()
-    if not tasks:
-        # ExperimentConfig rejects num_tasks <= 0, but a generator
-        # override can still produce nothing; fail loudly rather than
-        # crash on tasks[-1] below.
-        raise ValueError(
-            f"workload generated no tasks (num_tasks={config.num_tasks}); "
-            "a run needs at least one task"
+    if config.workload_trace is not None:
+        # Trace-driven run: the frozen trace *is* the workload.  The
+        # workload RNG streams go unconsumed (they are name-keyed and
+        # disjoint, so system/scheduler streams are unaffected), and the
+        # synthesis parameters in the config are ignored.
+        from ..workload.traces import load_workload
+
+        tasks = sorted(
+            load_workload(config.workload_trace),
+            key=lambda t: t.arrival_time,
         )
+        if not tasks:
+            raise ValueError(
+                f"workload trace {config.workload_trace!r} holds no tasks; "
+                "a run needs at least one task"
+            )
+    else:
+        reference = (
+            config.reference_speed_mips
+            if config.reference_speed_mips is not None
+            else system.slowest_speed_mips
+        )
+        spec = WorkloadSpec(
+            num_tasks=config.num_tasks,
+            mean_interarrival=config.effective_mean_interarrival,
+            size_range_mi=config.size_range_mi,
+            priority_mix=config.priority_mix,
+            reference_speed_mips=reference,
+            **dict(config.workload_overrides),
+        )
+        tasks = WorkloadGenerator(spec, streams).generate()
+        if not tasks:
+            # ExperimentConfig rejects num_tasks <= 0, but a generator
+            # override can still produce nothing; fail loudly rather than
+            # crash on tasks[-1] below.
+            raise ValueError(
+                f"workload generated no tasks (num_tasks={config.num_tasks}); "
+                "a run needs at least one task"
+            )
 
     if scheduler is None:
         scheduler = make_scheduler(config.scheduler, **dict(config.scheduler_kwargs))

@@ -1,0 +1,229 @@
+"""Scenario runner — execute a scheduler on a frozen scenario.
+
+The producer side of the benchmark loop whose consumer is the
+scheduler-independent verifier (:mod:`repro.workload.verify`)::
+
+    python -m repro.experiments.scenario swf-excerpt \\
+        --scheduler adaptive-rl --out results.json
+    python -m repro.workload.verify swf-excerpt --results results.json
+
+The results file holds the run's *raw execution records* (per-task
+start/finish/processor, per-processor time/energy breakdowns) plus the
+reported headline metrics, so the verifier can recompute every score
+without importing a line of scheduler code.
+
+Maintenance flows::
+
+    ... swf-excerpt --regen-trace       # rebuild trace.jsonl from source
+    ... swf-excerpt --scheduler adaptive-rl --write-baseline
+                                        # refresh baseline.json entry
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..sim.rng import RandomStreams
+from ..workload.generator import WorkloadGenerator, WorkloadSpec
+from ..workload.swf import SWFMapping, iter_swf_tasks
+from ..workload.traces import save_trace_jsonl
+from ..workload.verify import (
+    BASELINE_FILE,
+    BASELINE_METRICS,
+    SCENARIO_FILE,
+    Scenario,
+    file_sha256,
+    list_scenarios,
+    load_scenario,
+)
+from .config import ExperimentConfig
+from .runner import RunResult, run_experiment
+
+__all__ = ["run_scenario", "export_run_records", "regen_trace", "main"]
+
+
+def export_run_records(result: RunResult, scenario: Scenario) -> dict:
+    """Flatten a finished run into the verifier's results-file schema."""
+    tasks = []
+    for t in result.tasks:
+        tasks.append(
+            {
+                "tid": t.tid,
+                "start": t.start_time,
+                "finish": t.finish_time,
+                "processor": t.processor_id,
+                "site": t.site_id,
+            }
+        )
+    processors = []
+    for node in result.system.nodes:
+        for proc in node.processors:
+            b = proc.meter.snapshot()
+            processors.append(
+                {
+                    "pid": proc.pid,
+                    "node": node.node_id,
+                    "busy_time": b.busy_time,
+                    "idle_time": b.idle_time,
+                    "sleep_time": b.sleep_time,
+                    "energy": b.total_energy,
+                }
+            )
+    m = result.metrics
+    return {
+        "version": 1,
+        "scenario": scenario.name,
+        "trace_sha256": file_sha256(scenario.trace_path),
+        "scheduler": result.config.scheduler,
+        "seed": result.config.seed,
+        "metrics": {
+            "avert": m.avert,
+            "ecs": m.ecs,
+            "success_rate": m.success_rate,
+            "makespan": m.makespan,
+            "completed": m.success.completed,
+            "submitted": m.num_tasks,
+        },
+        "tasks": tasks,
+        "processors": processors,
+    }
+
+
+def run_scenario(
+    scenario: Scenario, scheduler: str, seed: Optional[int] = None
+) -> RunResult:
+    """Run *scheduler* on the scenario's frozen trace."""
+    run = scenario.run
+    config = ExperimentConfig(
+        scheduler=scheduler,
+        seed=int(run.get("seed", 1)) if seed is None else seed,
+        workload_trace=str(scenario.trace_path),
+        sim_time_factor=float(run.get("sim_time_factor", 50.0)),
+    )
+    return run_experiment(config)
+
+
+def regen_trace(scenario: Scenario) -> int:
+    """Rebuild ``trace.jsonl`` from the scenario's ``source`` block.
+
+    Returns the task count and refreshes ``trace_sha256`` in
+    ``scenario.json``.  Deterministic sources (the seeded generator, an
+    SWF log) regenerate bit-identically — CI relies on that.
+    """
+    source = scenario.source
+    kind = source.get("kind")
+    if kind == "generator":
+        spec = WorkloadSpec(**source["spec"])
+        streams = RandomStreams(seed=int(source.get("seed", 1)))
+        tasks = WorkloadGenerator(spec, streams).iter_tasks()
+    elif kind == "swf":
+        swf_path = scenario.directory / str(source["file"])
+        mapping = SWFMapping(**source.get("mapping", {}))
+        tasks = iter_swf_tasks(swf_path, mapping=mapping)
+    else:
+        raise ValueError(
+            f"scenario {scenario.name!r}: cannot regenerate from "
+            f"source kind {kind!r}"
+        )
+    n = save_trace_jsonl(tasks, scenario.trace_path)
+
+    meta_path = scenario.directory / SCENARIO_FILE
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    meta["trace_sha256"] = file_sha256(scenario.trace_path)
+    meta_path.write_text(json.dumps(meta, indent=1) + "\n", encoding="utf-8")
+    return n
+
+
+def _write_baseline(scenario: Scenario, results: dict) -> None:
+    path = scenario.directory / BASELINE_FILE
+    payload = {"version": 1, "schedulers": {}}
+    if path.is_file():
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload.setdefault("schedulers", {})
+    payload["schedulers"][results["scheduler"]] = {
+        name: results["metrics"][name] for name in BASELINE_METRICS
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.scenario", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        help="scenario directory, or the name of a committed scenario",
+    )
+    parser.add_argument(
+        "--scheduler", default="adaptive-rl", help="scheduler to run"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's pinned seed",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the verifier results file here (- for stdout)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record this run's metrics in the scenario's baseline.json",
+    )
+    parser.add_argument(
+        "--regen-trace", action="store_true",
+        help="rebuild trace.jsonl from the scenario's source block "
+        "(and refresh trace_sha256), then exit",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list committed scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in list_scenarios():
+            print(name)
+        return 0
+    if args.scenario is None:
+        parser.error("a scenario is required (or --list)")
+
+    try:
+        scenario = load_scenario(args.scenario)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.regen_trace:
+        n = regen_trace(scenario)
+        print(f"{scenario.name}: regenerated {n} tasks -> {scenario.trace_path}")
+        return 0
+
+    result = run_scenario(scenario, args.scheduler, seed=args.seed)
+    results = export_run_records(result, scenario)
+    m = results["metrics"]
+    print(
+        f"{scenario.name} / {args.scheduler}: "
+        f"{m['completed']}/{m['submitted']} completed, "
+        f"AveRT={m['avert']:.2f} ECS={m['ecs']:.4g} "
+        f"success={m['success_rate']:.3f} makespan={m['makespan']:.1f}"
+    )
+    if args.out is not None:
+        text = json.dumps(results)
+        if args.out == "-":
+            sys.stdout.write(text + "\n")
+        else:
+            Path(args.out).write_text(text, encoding="utf-8")
+            print(f"results -> {args.out}")
+    if args.write_baseline:
+        _write_baseline(scenario, results)
+        print(f"baseline[{args.scheduler}] -> {scenario.directory / BASELINE_FILE}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

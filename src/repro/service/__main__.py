@@ -10,7 +10,8 @@ Usage::
     python -m repro.service --journal-dir /tmp/svc --resume
 
 The service admits tasks from a live generator (``--num-tasks`` /
-``--arrival-rate``) or a JSONL trace (``--replay``), runs them through
+``--arrival-rate``) or a trace file (``--replay``, JSONL/JSON/SWF), runs
+them through
 the simulation kernel in bounded slices, and drains gracefully on
 producer exhaustion, ``--drain-after``, SIGINT, or SIGTERM — exit code
 0 means every admitted task completed.  With ``--journal-dir`` every
@@ -40,7 +41,7 @@ from ..obs import (
 )
 from ..sim.rng import RandomStreams
 from ..workload.generator import WorkloadGenerator
-from ..workload.traces import iter_trace_jsonl
+from ..workload.traces import iter_workload
 from .engine import DEFAULT_SLICE
 from .errors import ServiceError
 from .ingress import ADMISSION_POLICIES
@@ -72,7 +73,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     work.add_argument(
         "--replay", metavar="FILE", default=None,
-        help="stream tasks from a JSONL trace instead of the generator",
+        help="stream tasks from a trace (.jsonl, .json, or .swf) instead "
+        "of the generator",
     )
     work.add_argument(
         "--failure-mtbf", type=float, default=None, metavar="T",
@@ -180,7 +182,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         replay_path = args.replay
 
         def producer(engine):
-            return iter_trace_jsonl(replay_path)
+            return iter_workload(replay_path)
 
     else:
 

@@ -5,7 +5,15 @@ tasks ``Ti = {si, di}`` with Poisson arrivals, uniform MI sizes, and
 deadline-derived three-level priorities.
 """
 
-from .distributions import MMPP2, bounded_pareto, mmpp2_interarrivals
+from .distributions import (
+    MMPP2,
+    DiurnalRate,
+    PiecewiseRate,
+    bounded_pareto,
+    diurnal_interarrivals,
+    mmpp2_interarrivals,
+    thinned_interarrivals,
+)
 from .generator import (
     DEFAULT_PRIORITY_MIX,
     WorkloadGenerator,
@@ -21,9 +29,19 @@ from .priorities import (
     slack_band,
 )
 from .stats import WorkloadStats, summarize
+from .swf import SWFJob, SWFMapping, SWFParseStats, iter_swf_tasks, load_swf, read_swf_header
 from .task import Task
 from .taskstore import TaskStore
-from .traces import load_trace, records_to_tasks, save_trace, trace_to_records
+from .traces import (
+    iter_trace_jsonl,
+    iter_workload,
+    load_trace,
+    load_workload,
+    records_to_tasks,
+    save_trace,
+    save_trace_jsonl,
+    trace_to_records,
+)
 
 __all__ = [
     "Task",
@@ -41,10 +59,24 @@ __all__ = [
     "MMPP2",
     "mmpp2_interarrivals",
     "bounded_pareto",
+    "DiurnalRate",
+    "PiecewiseRate",
+    "diurnal_interarrivals",
+    "thinned_interarrivals",
     "WorkloadStats",
     "summarize",
     "save_trace",
     "load_trace",
+    "save_trace_jsonl",
+    "iter_trace_jsonl",
     "trace_to_records",
     "records_to_tasks",
+    "load_workload",
+    "iter_workload",
+    "SWFJob",
+    "SWFMapping",
+    "SWFParseStats",
+    "read_swf_header",
+    "iter_swf_tasks",
+    "load_swf",
 ]

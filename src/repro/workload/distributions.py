@@ -7,19 +7,34 @@ traces are burstier and heavier-tailed, so the generator also supports:
   alternating between a calm and a bursty phase, the standard minimal
   model of arrival burstiness;
 - **bounded-Pareto sizes** — heavy-tailed computational sizes truncated
-  to a band, the standard model of compute-job size skew.
+  to a band, the standard model of compute-job size skew;
+- **diurnal arrivals** — a rate-modulated (non-homogeneous) Poisson
+  process whose intensity follows a sinusoidal day/night cycle, sampled
+  exactly by Lewis–Shedler thinning.  :func:`thinned_interarrivals` is
+  the generic thinning core; :class:`PiecewiseRate` supports arbitrary
+  step-function rate profiles through the same core.
 
-Both are exercised by the robustness bench
+All are exercised by the robustness bench
 (``benchmarks/bench_robustness.py``).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["MMPP2", "bounded_pareto", "mmpp2_interarrivals"]
+__all__ = [
+    "MMPP2",
+    "bounded_pareto",
+    "mmpp2_interarrivals",
+    "DiurnalRate",
+    "PiecewiseRate",
+    "thinned_interarrivals",
+    "diurnal_interarrivals",
+]
 
 
 @dataclass(frozen=True)
@@ -135,3 +150,136 @@ def bounded_pareto(
     u = rng.uniform(0.0, 1.0, size=n)
     c = 1.0 - (lo / hi) ** alpha
     return lo * (1.0 - u * c) ** (-1.0 / alpha)
+
+
+@dataclass(frozen=True)
+class DiurnalRate:
+    """Sinusoidal day/night arrival-rate profile.
+
+    ``rate(t) = base_rate · (1 + amplitude · sin(2πt/period + phase))``
+
+    The sinusoid integrates to zero over a full cycle, so ``base_rate``
+    is also the long-run mean arrival rate.  ``amplitude`` in ``[0, 1]``
+    keeps the rate non-negative (1 lets the trough touch zero — a fully
+    quiet night).
+    """
+
+    base_rate: float
+    period: float
+    amplitude: float = 0.8
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ValueError("amplitude must lie in [0, 1]")
+
+    @property
+    def max_rate(self) -> float:
+        """Peak rate — the thinning envelope."""
+        return self.base_rate * (1.0 + self.amplitude)
+
+    def __call__(self, t: float) -> float:
+        return self.base_rate * (
+            1.0
+            + self.amplitude * math.sin(2.0 * math.pi * t / self.period + self.phase)
+        )
+
+
+@dataclass(frozen=True)
+class PiecewiseRate:
+    """Cyclic step-function arrival-rate profile.
+
+    ``breakpoints`` are offsets into one cycle (strictly increasing,
+    starting at 0); ``rates[i]`` applies on ``[breakpoints[i],
+    breakpoints[i+1])``, the last segment running to ``period``.  Models
+    e.g. a business-hours plateau with an overnight floor.
+    """
+
+    period: float
+    breakpoints: Sequence[float]
+    rates: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        bp = list(self.breakpoints)
+        if not bp or bp[0] != 0.0:
+            raise ValueError("breakpoints must start at 0")
+        if any(b >= c for b, c in zip(bp, bp[1:])):
+            raise ValueError("breakpoints must be strictly increasing")
+        if bp[-1] >= self.period:
+            raise ValueError("breakpoints must lie inside one period")
+        if len(self.rates) != len(bp):
+            raise ValueError("need one rate per breakpoint")
+        if any(r < 0 for r in self.rates):
+            raise ValueError("rates must be non-negative")
+        if max(self.rates) <= 0:
+            raise ValueError("at least one segment rate must be positive")
+
+    @property
+    def max_rate(self) -> float:
+        return max(self.rates)
+
+    def __call__(self, t: float) -> float:
+        offset = t % self.period
+        rate = self.rates[0]
+        for b, r in zip(self.breakpoints, self.rates):
+            if offset < b:
+                break
+            rate = r
+        return rate
+
+
+def thinned_interarrivals(
+    n: int,
+    rate_fn: Callable[[float], float],
+    rate_max: float,
+    rng: np.random.Generator,
+    t0: float = 0.0,
+) -> np.ndarray:
+    """Draw *n* inter-arrival times from a rate-modulated Poisson process.
+
+    Lewis–Shedler thinning: candidate points arrive as a homogeneous
+    Poisson process at the envelope rate ``rate_max``; a candidate at
+    time ``t`` is accepted with probability ``rate_fn(t) / rate_max``.
+    The accepted points are exactly a non-homogeneous Poisson process
+    with intensity ``rate_fn`` (which must never exceed ``rate_max``).
+
+    RNG consumption is strictly sequential — one exponential plus one
+    uniform per *candidate* — so a given ``(rate_fn, rate_max, seed)``
+    always consumes the stream identically, independent of how callers
+    chunk the returned array.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if rate_max <= 0:
+        raise ValueError("rate_max must be positive")
+    iats = np.empty(n)
+    t = t0
+    for i in range(n):
+        last = t
+        while True:
+            t += float(rng.exponential(1.0 / rate_max))
+            rate = rate_fn(t)
+            if rate > rate_max * (1.0 + 1e-12):
+                raise ValueError(
+                    f"rate_fn({t}) = {rate} exceeds the envelope {rate_max}"
+                )
+            if float(rng.uniform(0.0, 1.0)) * rate_max <= rate:
+                break
+        iats[i] = t - last
+    return iats
+
+
+def diurnal_interarrivals(
+    n: int,
+    profile: DiurnalRate,
+    rng: np.random.Generator,
+    t0: float = 0.0,
+) -> np.ndarray:
+    """Draw *n* inter-arrival times from a sinusoidal diurnal cycle."""
+    return thinned_interarrivals(n, profile, profile.max_rate, rng, t0=t0)

@@ -73,10 +73,18 @@ class WorkloadSpec:
     priority_mix: tuple[float, float, float] = DEFAULT_PRIORITY_MIX
     reference_speed_mips: float = 500.0
     first_arrival: float = 0.0
-    #: "poisson" (paper §V.A) or "mmpp" (bursty robustness extension).
+    #: "poisson" (paper §V.A), "mmpp" (bursty robustness extension) or
+    #: "diurnal" (sinusoidal day/night rate modulation via thinning).
     arrival_process: str = "poisson"
     #: Burst-to-calm rate ratio for the MMPP arrival process.
     mmpp_burstiness: float = 4.0
+    #: Day/night cycle length for the diurnal arrival process.
+    diurnal_period: float = 1000.0
+    #: Rate-swing fraction for the diurnal process (0 = flat Poisson,
+    #: 1 = the overnight trough touches zero).
+    diurnal_amplitude: float = 0.8
+    #: Phase offset (radians) of the diurnal sinusoid at ``t = 0``.
+    diurnal_phase: float = 0.0
     #: "uniform" (paper §V.A) or "bounded-pareto" (heavy-tail extension).
     size_distribution: str = "uniform"
     #: Tail index for bounded-Pareto sizes (smaller = heavier tail).
@@ -99,16 +107,29 @@ class WorkloadSpec:
             raise ValueError(f"priority_mix must sum to 1, got {total}")
         if self.reference_speed_mips <= 0:
             raise ValueError("reference_speed_mips must be positive")
-        if self.arrival_process not in ("poisson", "mmpp"):
+        if self.arrival_process not in ("poisson", "mmpp", "diurnal"):
             raise ValueError(f"unknown arrival process {self.arrival_process!r}")
         if self.mmpp_burstiness <= 1:
             raise ValueError("mmpp_burstiness must exceed 1")
+        if self.diurnal_period <= 0:
+            raise ValueError("diurnal_period must be positive")
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            raise ValueError("diurnal_amplitude must lie in [0, 1]")
         if self.size_distribution not in ("uniform", "bounded-pareto"):
             raise ValueError(
                 f"unknown size distribution {self.size_distribution!r}"
             )
         if self.pareto_alpha <= 0:
             raise ValueError("pareto_alpha must be positive")
+        if self.size_distribution == "bounded-pareto" and lo == hi:
+            # A degenerate band passes the 0 < lo <= hi check above but
+            # bounded_pareto() needs strictly lo < hi; fail at spec
+            # construction, not deep inside generation.
+            raise ValueError(
+                f"size_range_mi={self.size_range_mi} is degenerate: "
+                'size_distribution="bounded-pareto" requires lo < hi '
+                '(use size_distribution="uniform" for a point mass)'
+            )
 
 
 class WorkloadGenerator:
@@ -124,6 +145,35 @@ class WorkloadGenerator:
         self._sizes = streams["workload.sizes"]
         self._slack = streams["workload.slack"]
 
+    def _modulated_interarrivals(self, n: int) -> np.ndarray:
+        """Draw all *n* inter-arrivals for a state-carrying process.
+
+        MMPP and diurnal arrivals both thread hidden state (the Markov
+        phase, the thinning clock) across draws, so — unlike the plain
+        Poisson path — they are drawn in full upfront by both
+        :meth:`generate` and :meth:`iter_tasks`, which keeps RNG stream
+        consumption bit-identical between the two paths.
+        """
+        spec = self.spec
+        if spec.arrival_process == "mmpp":
+            from .distributions import MMPP2, mmpp2_interarrivals
+
+            params = MMPP2.with_mean_interarrival(
+                spec.mean_interarrival, burstiness=spec.mmpp_burstiness
+            )
+            return mmpp2_interarrivals(n, params, self._arrivals)
+        from .distributions import DiurnalRate, diurnal_interarrivals
+
+        profile = DiurnalRate(
+            base_rate=1.0 / spec.mean_interarrival,
+            period=spec.diurnal_period,
+            amplitude=spec.diurnal_amplitude,
+            phase=spec.diurnal_phase,
+        )
+        return diurnal_interarrivals(
+            n, profile, self._arrivals, t0=spec.first_arrival
+        )
+
     def generate(self) -> list[Task]:
         """Generate the full task list, sorted by arrival time."""
         spec = self.spec
@@ -131,12 +181,7 @@ class WorkloadGenerator:
         if spec.arrival_process == "poisson":
             iats = self._arrivals.exponential(spec.mean_interarrival, size=n)
         else:
-            from .distributions import MMPP2, mmpp2_interarrivals
-
-            params = MMPP2.with_mean_interarrival(
-                spec.mean_interarrival, burstiness=spec.mmpp_burstiness
-            )
-            iats = mmpp2_interarrivals(n, params, self._arrivals)
+            iats = self._modulated_interarrivals(n)
         arrivals = spec.first_arrival + np.cumsum(iats)
         if spec.size_distribution == "uniform":
             sizes = self._sizes.uniform(*spec.size_range_mi, size=n)
@@ -202,8 +247,9 @@ class WorkloadGenerator:
         - the *arrivals* and *sizes* streams are drawn per chunk —
           NumPy fills arrays value by value, so ``k`` chunked draws
           consume a ``Generator`` exactly like one ``size=n`` draw
-          (MMPP arrivals are the exception: the state chain carries
-          across draws, so they are drawn in full upfront);
+          (MMPP and diurnal arrivals are the exception: hidden state —
+          the Markov phase, the thinning clock — carries across draws,
+          so they are drawn in full upfront);
         - the *slack* stream's batch layout is position-dependent (all
           ``n`` priority draws, then all ``n`` slack draws from the one
           stream), so those two columns are drawn upfront — O(n)
@@ -234,12 +280,7 @@ class WorkloadGenerator:
 
         all_iats = None
         if spec.arrival_process != "poisson":
-            from .distributions import MMPP2, mmpp2_interarrivals
-
-            params = MMPP2.with_mean_interarrival(
-                spec.mean_interarrival, burstiness=spec.mmpp_burstiness
-            )
-            all_iats = mmpp2_interarrivals(n, params, self._arrivals)
+            all_iats = self._modulated_interarrivals(n)
 
         iat_sum = 0.0  # running np.cumsum carry across chunks
         for start in range(0, n, chunk):

@@ -20,6 +20,60 @@ class TestCLI:
         assert "shape checks:" in out
         assert rc in (0, 1)
 
+    def test_workload_trace_flag_replays_frozen_input(
+        self, capsys, monkeypatch
+    ):
+        from pathlib import Path
+
+        from repro.experiments.config import set_workload_defaults
+
+        trace = (
+            Path(cli.__file__).resolve().parents[1]
+            / "workload/scenarios/swf-excerpt/trace.jsonl"
+        )
+        monkeypatch.setattr(cli, "QUICK_HEAVY", 60)
+        try:
+            rc = cli.main(
+                ["fig9", "--quick", "--workload-trace", str(trace)]
+            )
+        finally:
+            set_workload_defaults()  # never leak into other tests
+        out = capsys.readouterr().out
+        assert "replaying trace" in out
+        assert rc in (0, 1)
+
+    def test_workload_trace_flag_requires_existing_file(self, capsys):
+        from repro.experiments.config import set_workload_defaults
+
+        try:
+            with pytest.raises(SystemExit):
+                cli.main(["fig9", "--workload-trace", "/no/such/file.jsonl"])
+        finally:
+            set_workload_defaults()
+        assert "no such file" in capsys.readouterr().err
+
+    def test_arrival_process_flag_sets_default(self, capsys, monkeypatch):
+        from repro.experiments.config import ExperimentConfig, set_workload_defaults
+
+        figure_calls = {}
+
+        def fake_figures(*a, **k):
+            # Snapshot what a figure-constructed config would see.
+            figure_calls["cfg"] = ExperimentConfig()
+            return 0
+
+        monkeypatch.setattr(cli, "_run_figures", fake_figures)
+        try:
+            rc = cli.main(["fig9", "--quick", "--arrival-process", "diurnal"])
+        finally:
+            set_workload_defaults()
+        assert rc == 0
+        assert (
+            figure_calls["cfg"].workload_overrides["arrival_process"]
+            == "diurnal"
+        )
+        assert "diurnal" in capsys.readouterr().out
+
     def test_save_dir_writes_figure_json(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setattr(cli, "QUICK_HEAVY", 60)
         cli.main(["fig9", "--quick", "--save-dir", str(tmp_path)])

@@ -1,0 +1,67 @@
+"""Unit tests for the scenario runner (repro.experiments.scenario)."""
+
+import json
+
+import pytest
+
+from repro.experiments.scenario import (
+    export_run_records,
+    regen_trace,
+    run_scenario,
+)
+from repro.workload.verify import file_sha256, list_scenarios, load_scenario
+
+
+class TestRegen:
+    @pytest.mark.parametrize("name", ["synthetic-diurnal", "synthetic-burst", "swf-excerpt"])
+    def test_committed_traces_regenerate_bit_identically(self, name, tmp_path):
+        """The frozen trace.jsonl is exactly what the recorded source
+        produces — anyone can regenerate and diff it."""
+        scenario = load_scenario(name)
+        committed = scenario.trace_path.read_bytes()
+
+        # Rebuild in a scratch copy of the scenario directory so the
+        # committed files are never touched.
+        for f in scenario.directory.iterdir():
+            (tmp_path / f.name).write_bytes(f.read_bytes())
+        scratch = load_scenario(tmp_path)
+        regen_trace(scratch)
+        assert (tmp_path / "trace.jsonl").read_bytes() == committed
+        meta = json.loads((tmp_path / "scenario.json").read_text())
+        assert meta["trace_sha256"] == file_sha256(scenario.trace_path)
+
+
+class TestRunAndExport:
+    def test_export_schema_round_trips_through_json(self):
+        scenario = load_scenario("synthetic-burst")
+        result = run_scenario(scenario, "fcfs")
+        results = json.loads(json.dumps(export_run_records(result, scenario)))
+        assert results["version"] == 1
+        assert results["scenario"] == "synthetic-burst"
+        assert results["scheduler"] == "fcfs"
+        assert results["trace_sha256"] == scenario.trace_sha256
+        assert results["metrics"]["submitted"] == 150
+        assert len(results["tasks"]) == results["metrics"]["completed"]
+        assert {"tid", "start", "finish", "processor", "site"} <= set(
+            results["tasks"][0]
+        )
+        assert {"pid", "node", "busy_time", "idle_time", "sleep_time", "energy"} <= set(
+            results["processors"][0]
+        )
+
+    def test_exported_results_satisfy_the_verifier(self):
+        from repro.workload.verify import (
+            VerifyReport,
+            verify_results,
+            verify_scenario,
+        )
+
+        scenario = load_scenario("synthetic-burst")
+        result = run_scenario(scenario, "fcfs")
+        results = export_run_records(result, scenario)
+        report, trace = verify_scenario(scenario)
+        verify_results(scenario, results, trace, report)
+        assert report.passed, [f.name for f in report.failures]
+
+    def test_every_scenario_has_a_directory(self):
+        assert len(list_scenarios()) >= 3

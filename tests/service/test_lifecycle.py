@@ -156,6 +156,26 @@ class TestReplayProducer:
         assert replay_report.metrics.avert == direct_report.metrics.avert
         assert replay_report.metrics.ecs == direct_report.metrics.ecs
 
+    def test_swf_log_feeds_the_service(self):
+        """--replay dispatches on suffix: an SWF job log streams straight
+        into the ingress queue."""
+        from pathlib import Path
+
+        import repro.workload as workload
+        from repro.workload.traces import iter_workload
+
+        swf = (
+            Path(workload.__file__).resolve().parent
+            / "scenarios/swf-excerpt/excerpt.swf"
+        )
+        service = SchedulerService(
+            small_config(), lambda engine: iter_workload(swf), max_queue=16
+        )
+        report = service.run()
+        assert report.state == "stopped"
+        assert report.admitted == 108  # runnable jobs in the excerpt
+        assert report.completed == 108
+
 
 class TestResume:
     def test_exactly_once_across_crash(self, tmp_path):

@@ -6,10 +6,14 @@ import pytest
 from repro.sim import RandomStreams
 from repro.workload import (
     MMPP2,
+    DiurnalRate,
+    PiecewiseRate,
     WorkloadGenerator,
     WorkloadSpec,
     bounded_pareto,
+    diurnal_interarrivals,
     mmpp2_interarrivals,
+    thinned_interarrivals,
 )
 
 
@@ -98,6 +102,100 @@ class TestBoundedPareto:
     def test_invalid(self, rng, kwargs):
         with pytest.raises(ValueError):
             bounded_pareto(rng=rng, **kwargs)
+
+
+class TestDiurnalRate:
+    def test_peak_and_trough(self):
+        p = DiurnalRate(base_rate=2.0, period=100.0, amplitude=0.5)
+        assert p(25.0) == pytest.approx(3.0)  # sin peak at period/4
+        assert p(75.0) == pytest.approx(1.0)  # trough at 3*period/4
+        assert p.max_rate == pytest.approx(3.0)
+
+    def test_mean_over_cycle_is_base_rate(self):
+        p = DiurnalRate(base_rate=4.0, period=50.0, amplitude=0.9)
+        ts = np.linspace(0.0, 50.0, 10_001)[:-1]
+        assert np.mean([p(t) for t in ts]) == pytest.approx(4.0, rel=1e-3)
+
+    def test_phase_shifts_the_peak(self):
+        p = DiurnalRate(base_rate=1.0, period=100.0, amplitude=1.0, phase=np.pi / 2)
+        assert p(0.0) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(base_rate=0, period=10),
+            dict(base_rate=1, period=0),
+            dict(base_rate=1, period=10, amplitude=-0.1),
+            dict(base_rate=1, period=10, amplitude=1.1),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            DiurnalRate(**kwargs)
+
+
+class TestPiecewiseRate:
+    def test_cyclic_lookup(self):
+        p = PiecewiseRate(period=24.0, breakpoints=(0.0, 8.0, 18.0), rates=(1.0, 5.0, 2.0))
+        assert p(3.0) == 1.0
+        assert p(10.0) == 5.0
+        assert p(20.0) == 2.0
+        assert p(27.0) == 1.0  # wraps into the next day
+        assert p.max_rate == 5.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(period=0, breakpoints=(0.0,), rates=(1.0,)),
+            dict(period=10, breakpoints=(1.0,), rates=(1.0,)),  # must start at 0
+            dict(period=10, breakpoints=(0.0, 5.0, 3.0), rates=(1.0, 1.0, 1.0)),
+            dict(period=10, breakpoints=(0.0, 12.0), rates=(1.0, 1.0)),
+            dict(period=10, breakpoints=(0.0, 5.0), rates=(1.0,)),  # length mismatch
+            dict(period=10, breakpoints=(0.0,), rates=(0.0,)),  # no positive rate
+            dict(period=10, breakpoints=(0.0, 5.0), rates=(1.0, -1.0)),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            PiecewiseRate(**kwargs)
+
+
+class TestThinnedArrivals:
+    def test_constant_rate_reduces_to_poisson_mean(self, rng):
+        iats = thinned_interarrivals(20_000, lambda t: 2.0, 2.0, rng)
+        assert iats.mean() == pytest.approx(0.5, rel=0.05)
+
+    def test_envelope_violation_raises(self, rng):
+        with pytest.raises(ValueError, match="exceeds"):
+            thinned_interarrivals(100, lambda t: 5.0, 2.0, rng)
+
+    def test_diurnal_mean_rate_matches_base(self, rng):
+        p = DiurnalRate(base_rate=1.0, period=200.0, amplitude=0.8)
+        iats = diurnal_interarrivals(20_000, p, rng)
+        assert np.all(iats > 0)
+        assert iats.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_arrivals_cluster_at_peak(self, rng):
+        """More arrivals must land in the high-rate half-cycle."""
+        p = DiurnalRate(base_rate=1.0, period=100.0, amplitude=0.9)
+        arrivals = np.cumsum(diurnal_interarrivals(20_000, p, rng))
+        phase = np.mod(arrivals, 100.0)
+        peak_half = np.sum(phase < 50.0)  # sin > 0 on the first half
+        assert peak_half > 0.6 * len(arrivals)
+
+    def test_same_seed_is_bit_identical(self):
+        p = DiurnalRate(base_rate=0.5, period=60.0, amplitude=0.7)
+        a = diurnal_interarrivals(200, p, np.random.default_rng(3))
+        b = diurnal_interarrivals(200, p, np.random.default_rng(3))
+        assert a.tolist() == b.tolist()
+
+    def test_prefix_draws_match(self):
+        """The first k draws never depend on n — the loop is strictly
+        sequential, so streaming callers can stop anywhere."""
+        p = DiurnalRate(base_rate=0.5, period=60.0, amplitude=0.7)
+        whole = diurnal_interarrivals(200, p, np.random.default_rng(3))
+        prefix = diurnal_interarrivals(120, p, np.random.default_rng(3))
+        assert prefix.tolist() == whole[:120].tolist()
 
 
 class TestGeneratorIntegration:

@@ -24,11 +24,28 @@ class TestSpecValidation:
             dict(priority_mix=(0.5, 0.4, 0.2)),
             dict(priority_mix=(-0.1, 0.6, 0.5)),
             dict(reference_speed_mips=0),
+            dict(diurnal_period=0),
+            dict(diurnal_amplitude=-0.1),
+            dict(diurnal_amplitude=1.5),
         ],
     )
     def test_invalid_specs_rejected(self, kwargs):
         with pytest.raises(ValueError):
             WorkloadSpec(**kwargs)
+
+    def test_degenerate_pareto_range_rejected(self):
+        """A point-mass size range silently breaks bounded-Pareto inversion
+        (lo == hi makes the CDF inversion divide 0/0); the spec must name
+        both offending fields instead of generating NaNs downstream."""
+        with pytest.raises(ValueError, match="size_range_mi.*bounded-pareto"):
+            WorkloadSpec(
+                size_range_mi=(5000.0, 5000.0),
+                size_distribution="bounded-pareto",
+            )
+
+    def test_degenerate_range_fine_for_uniform(self):
+        tasks = generate(num_tasks=10, size_range_mi=(5000.0, 5000.0))
+        assert all(t.size_mi == 5000.0 for t in tasks)
 
 
 class TestGeneration:
@@ -162,6 +179,12 @@ class TestIterTasksEquivalence:
     SPECS = {
         "poisson-uniform": WorkloadSpec(num_tasks=300),
         "mmpp": WorkloadSpec(num_tasks=300, arrival_process="mmpp"),
+        "diurnal": WorkloadSpec(
+            num_tasks=300,
+            arrival_process="diurnal",
+            diurnal_period=400.0,
+            diurnal_amplitude=0.9,
+        ),
         "pareto": WorkloadSpec(
             num_tasks=300, size_distribution="bounded-pareto"
         ),

@@ -1,0 +1,200 @@
+"""Unit tests for the Standard Workload Format (SWF) trace loader."""
+
+import pytest
+
+from repro.workload import (
+    SWFMapping,
+    SWFParseStats,
+    iter_swf_tasks,
+    load_swf,
+    load_workload,
+    read_swf_header,
+)
+from repro.workload.priorities import MAX_SLACK
+from repro.workload.swf import iter_swf_jobs
+
+
+def job_line(
+    job=1,
+    submit=0,
+    run_time=100,
+    requested=150,
+    status=1,
+    wait=5,
+    procs=1,
+):
+    """One SWF v2.2 job record (18 whitespace-separated fields)."""
+    fields = [
+        job, submit, wait, run_time, procs, -1, -1, procs,
+        requested, -1, status, 1, 1, 1, 1, 1, -1, -1,
+    ]
+    return " ".join(str(f) for f in fields)
+
+
+def write_swf(tmp_path, lines, header="; Version: 2.2\n; MaxJobs: 99\n"):
+    path = tmp_path / "log.swf"
+    path.write_text(header + "\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+class TestHeader:
+    def test_directives_parsed(self, tmp_path):
+        path = write_swf(
+            tmp_path,
+            [job_line()],
+            header=(
+                "; Version: 2.2\n"
+                ";   Computer: test-cluster\n"
+                "; Note: first\n"
+                "; Note: second\n"
+                "; just prose, no colon\n"
+            ),
+        )
+        header = read_swf_header(path)
+        assert header["Version"] == "2.2"
+        assert header["Computer"] == "test-cluster"
+        assert header["Note"] == "first\nsecond"  # repeats accumulate
+
+    def test_header_stops_at_first_job(self, tmp_path):
+        path = write_swf(tmp_path, [job_line(), "; Version: 9.9"])
+        assert read_swf_header(path)["Version"] == "2.2"
+
+
+class TestFieldMapping:
+    def test_runtime_times_reference_speed_is_size(self, tmp_path):
+        path = write_swf(tmp_path, [job_line(run_time=100, requested=150)])
+        mapping = SWFMapping(reference_speed_mips=700.0)
+        (task,) = load_swf(path, mapping)
+        assert task.size_mi == pytest.approx(100 * 700.0)
+        # ACT = size / reference speed = the SWF runtime, by construction.
+        assert task.act == pytest.approx(100.0)
+
+    def test_submit_becomes_arrival_rebased(self, tmp_path):
+        path = write_swf(
+            tmp_path, [job_line(job=1, submit=500), job_line(job=2, submit=530)]
+        )
+        t1, t2 = load_swf(path)
+        assert t1.arrival_time == 0.0  # rebased to the first runnable job
+        assert t2.arrival_time == 30.0
+
+    def test_rebase_can_be_disabled(self, tmp_path):
+        path = write_swf(tmp_path, [job_line(submit=500)])
+        (task,) = load_swf(path, SWFMapping(rebase_arrivals=False))
+        assert task.arrival_time == 500.0
+
+    def test_first_arrival_offset(self, tmp_path):
+        path = write_swf(tmp_path, [job_line(submit=500)])
+        (task,) = load_swf(path, SWFMapping(first_arrival=100.0))
+        assert task.arrival_time == 100.0
+
+    def test_slack_from_walltime_request(self, tmp_path):
+        # requested/run_time = 1.4 -> slack 0.4 -> deadline = arrival + 1.4*ACT
+        path = write_swf(tmp_path, [job_line(run_time=100, requested=140)])
+        (task,) = load_swf(path)
+        assert task.deadline == pytest.approx(task.arrival_time + 140.0)
+
+    def test_slack_clamped_to_max(self, tmp_path):
+        path = write_swf(tmp_path, [job_line(run_time=100, requested=100_000)])
+        (task,) = load_swf(path)
+        assert task.deadline == pytest.approx(100.0 * (1.0 + MAX_SLACK))
+
+    def test_missing_request_uses_default_slack(self, tmp_path):
+        path = write_swf(tmp_path, [job_line(run_time=100, requested=-1)])
+        (task,) = load_swf(path, SWFMapping(default_slack=0.25))
+        assert task.deadline == pytest.approx(100.0 * 1.25)
+
+    def test_tids_are_swf_job_numbers(self, tmp_path):
+        path = write_swf(tmp_path, [job_line(job=7), job_line(job=9, submit=1)])
+        tids = [t.tid for t in load_swf(path)]
+        assert tids == [7, 9]
+
+
+class TestSkipRules:
+    def test_non_runnable_jobs_skipped_and_counted(self, tmp_path):
+        path = write_swf(
+            tmp_path,
+            [
+                job_line(job=1, submit=0, run_time=50),
+                job_line(job=2, submit=1, run_time=-1, status=5),  # cancelled
+                job_line(job=3, submit=2, run_time=0),  # zero runtime
+                job_line(job=4, submit=3, run_time=60),
+            ],
+        )
+        stats = SWFParseStats()
+        tasks = list(iter_swf_tasks(path, stats=stats))
+        assert [t.tid for t in tasks] == [1, 4]
+        assert stats.jobs_seen == 4
+        assert stats.jobs_skipped == 2
+        assert stats.tasks_emitted == 2
+
+    def test_max_jobs_truncates(self, tmp_path):
+        path = write_swf(
+            tmp_path, [job_line(job=i, submit=i) for i in range(1, 8)]
+        )
+        tasks = load_swf(path, SWFMapping(max_jobs=3))
+        assert len(tasks) == 3
+
+
+class TestMalformedInput:
+    def test_wrong_field_count_names_file_and_line(self, tmp_path):
+        path = write_swf(tmp_path, [job_line(), "1 2 3"])
+        with pytest.raises(ValueError, match=r"log\.swf:4.*3 fields"):
+            load_swf(path)
+
+    def test_non_numeric_field_names_file_and_line(self, tmp_path):
+        path = write_swf(tmp_path, [job_line().replace("100", "ten", 1)])
+        with pytest.raises(ValueError, match=r"log\.swf:3"):
+            load_swf(path)
+
+    def test_unsorted_submit_times_rejected(self, tmp_path):
+        path = write_swf(
+            tmp_path, [job_line(job=1, submit=100), job_line(job=2, submit=40)]
+        )
+        with pytest.raises(ValueError, match=r"log\.swf:4.*submit"):
+            load_swf(path)
+
+    def test_empty_log_yields_nothing(self, tmp_path):
+        path = write_swf(tmp_path, [])
+        assert load_swf(path) == []
+
+
+class TestStreaming:
+    def test_chunking_does_not_change_tasks(self, tmp_path):
+        path = write_swf(
+            tmp_path,
+            [job_line(job=i, submit=3 * i, run_time=40 + i) for i in range(1, 30)],
+        )
+        want = [(t.tid, t.size_mi, t.arrival_time, t.deadline) for t in load_swf(path)]
+        for chunk in (1, 4, 1024):
+            got = [
+                (t.tid, t.size_mi, t.arrival_time, t.deadline)
+                for t in iter_swf_tasks(path, chunk=chunk)
+            ]
+            assert got == want
+
+    def test_jobs_iterator_exposes_raw_records(self, tmp_path):
+        path = write_swf(tmp_path, [job_line(run_time=123, requested=456)])
+        (job,) = iter_swf_jobs(path)
+        assert job.run_time == 123.0
+        assert job.requested_time == 456.0
+        assert job.runnable
+
+    def test_load_workload_dispatches_on_suffix(self, tmp_path):
+        path = write_swf(tmp_path, [job_line()])
+        tasks = load_workload(path)
+        assert [t.tid for t in tasks] == [1]
+
+
+class TestMappingValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(reference_speed_mips=0),
+            dict(default_slack=-0.1),
+            dict(max_slack=-1.0),
+            dict(max_jobs=0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SWFMapping(**kwargs)

@@ -2,10 +2,12 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.sim import RandomStreams
 from repro.workload import (
+    Task,
     WorkloadGenerator,
     WorkloadSpec,
     load_trace,
@@ -121,3 +123,135 @@ class TestJsonlTraces:
             tasks[0].tid,
             tasks[1].tid,
         ]
+
+
+class TestRecordErrors:
+    """Malformed records must fail with a ValueError naming the source
+    (file and line when available), never a bare KeyError."""
+
+    def _write_jsonl(self, tmp_path, records):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        return path
+
+    def test_missing_field_names_file_line_and_field(self, tasks, tmp_path):
+        from repro.workload.traces import (
+            _task_record,
+            iter_trace_jsonl,
+        )
+
+        records = [_task_record(t) for t in tasks[:3]]
+        del records[1]["deadline"]
+        path = self._write_jsonl(tmp_path, records)
+        with pytest.raises(ValueError, match=r"trace\.jsonl:2.*'deadline'"):
+            list(iter_trace_jsonl(path))
+
+    def test_missing_field_is_not_a_keyerror(self, tasks):
+        from repro.workload.traces import _task_record
+
+        record = _task_record(tasks[0])
+        del record["size_mi"]
+        with pytest.raises(ValueError, match="size_mi"):
+            records_to_tasks([record])
+
+    def test_non_numeric_field_names_source(self, tasks, tmp_path):
+        from repro.workload.traces import _task_record, iter_trace_jsonl
+
+        records = [_task_record(t) for t in tasks[:2]]
+        records[1]["arrival_time"] = "soon"
+        path = self._write_jsonl(tmp_path, records)
+        with pytest.raises(ValueError, match=r"trace\.jsonl:2"):
+            list(iter_trace_jsonl(path))
+
+    def test_batch_errors_name_record_index(self, tasks):
+        from repro.workload.traces import _task_record
+
+        records = [_task_record(t) for t in tasks[:5]]
+        del records[3]["act"]
+        with pytest.raises(ValueError, match=r"#3.*'act'"):
+            records_to_tasks(records, where="memory")
+
+
+class TestSoARoundTrip:
+    """Traces must round-trip columnar (``Task._view``) tasks exactly —
+    the SoA refactor made views the common case for generated and SWF
+    workloads alike."""
+
+    def _stream_tasks(self, seed=11, n=40, **overrides):
+        from repro.workload import WorkloadGenerator, WorkloadSpec
+        from repro.sim import RandomStreams
+
+        spec = WorkloadSpec(num_tasks=n, **overrides)
+        return list(WorkloadGenerator(spec, RandomStreams(seed=seed)).iter_tasks())
+
+    def test_view_tasks_round_trip_bit_exact(self, tmp_path):
+        from repro.workload.task import _SCRATCH
+        from repro.workload.traces import iter_trace_jsonl, save_trace_jsonl
+
+        streamed = self._stream_tasks()
+        # Generated tasks are views onto the generator's bulk store, not
+        # scalar tasks in the shared scratch store.
+        assert all(t._store is not _SCRATCH for t in streamed)
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(streamed, path)
+        for orig, back in zip(streamed, iter_trace_jsonl(path)):
+            assert back.tid == orig.tid
+            assert back.size_mi.hex() == orig.size_mi.hex()
+            assert back.arrival_time.hex() == orig.arrival_time.hex()
+            assert back.act.hex() == orig.act.hex()
+            assert back.deadline.hex() == orig.deadline.hex()
+            assert back.priority is orig.priority
+
+    def test_view_tasks_round_trip_json_document(self, tmp_path, tasks):
+        from repro.workload.traces import save_trace
+
+        streamed = self._stream_tasks()
+        path = tmp_path / "trace.json"
+        save_trace(streamed, path)
+        loaded = load_trace(path)
+        assert [t.priority for t in loaded] == [t.priority for t in streamed]
+        assert [t.deadline for t in loaded] == [t.deadline for t in streamed]
+
+    def test_slack_band_boundaries_preserve_priority(self, tmp_path):
+        """Deadlines sitting exactly on the HIGH/LOW slack cutoffs must
+        classify identically after a save/load cycle."""
+        from repro.workload.priorities import (
+            HIGH_SLACK_MAX,
+            LOW_SLACK_MIN,
+            MAX_SLACK,
+        )
+        from repro.workload.taskstore import TaskStore
+        from repro.workload.traces import iter_trace_jsonl, save_trace_jsonl
+
+        slacks = [0.0, HIGH_SLACK_MAX, LOW_SLACK_MIN, MAX_SLACK]
+        store = TaskStore(capacity=len(slacks))
+        act = 10.0
+        rows = store.bulk_append(
+            list(range(1, len(slacks) + 1)),
+            np.full(len(slacks), act * 500.0),
+            np.arange(len(slacks), dtype=float),
+            np.full(len(slacks), act),
+            np.array([i + act * (1.0 + s) for i, s in enumerate(slacks)]),
+        )
+        boundary = [Task._view(store, r) for r in range(rows.start, rows.stop)]
+        labels = [t.priority for t in boundary]
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(boundary, path)
+        replayed = list(iter_trace_jsonl(path))
+        assert [t.priority for t in replayed] == labels
+        assert [t.deadline.hex() for t in replayed] == [
+            t.deadline.hex() for t in boundary
+        ]
+
+    def test_round_trip_under_scalar_oracle(self, tmp_path, monkeypatch):
+        """REPRO_SOA_ORACLE=1 (the scalar construction path) must write
+        and replay the very same bytes as the columnar default."""
+        from repro.workload.traces import save_trace_jsonl
+
+        columnar_path = tmp_path / "columnar.jsonl"
+        save_trace_jsonl(self._stream_tasks(), columnar_path)
+
+        monkeypatch.setenv("REPRO_SOA_ORACLE", "1")
+        oracle_path = tmp_path / "oracle.jsonl"
+        save_trace_jsonl(self._stream_tasks(), oracle_path)
+        assert oracle_path.read_bytes() == columnar_path.read_bytes()
